@@ -1,0 +1,37 @@
+//! Ablation A harness: EWMA factor α sensitivity (§IV.B) — prints the
+//! sweep at bench scale and times metric updates in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_core::{RcaEtxEstimator, Scheme};
+use mlora_sim::{experiment, Environment};
+use mlora_simcore::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut base = mlora_bench::bench_config(Scheme::RcaEtx, Environment::Urban);
+    base.num_gateways = 70;
+    let rows = experiment::alpha_sweep(&base, &[0.1, 0.3, 0.5, 0.7, 0.9], mlora_bench::HARNESS_SEED);
+    println!("\n== Ablation A: alpha sweep (RCA-ETX, urban, 70 gws, bench scale) ==");
+    println!("{:>6} {:>12} {:>12} {:>8}", "alpha", "delay(s)", "delivered", "hops");
+    for (alpha, r) in &rows {
+        println!(
+            "{alpha:>6.1} {:>12.1} {:>12} {:>8.2}",
+            r.mean_delay_s(),
+            r.delivered,
+            r.mean_hops()
+        );
+    }
+
+    c.bench_function("ablation_alpha/estimator_observe", |b| {
+        b.iter(|| {
+            let mut est = RcaEtxEstimator::new(0.5, 2040.0);
+            for i in 0..1000u64 {
+                let cap = if i % 3 == 0 { Some(4000.0) } else { None };
+                est.observe(SimTime::from_secs(i * 180), cap, 36.6);
+            }
+            est.rca_etx()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation C harness: Modified Class-C vs Queue-based Class-A (§VI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_core::Scheme;
+use mlora_sim::{experiment, DeviceClassChoice, Environment};
+
+fn bench(c: &mut Criterion) {
+    let mut base = mlora_bench::bench_config(Scheme::Robc, Environment::Urban);
+    base.num_gateways = 70;
+    let rows = experiment::class_compare(&base, mlora_bench::HARNESS_SEED);
+    println!("\n== Ablation C: device classes (ROBC, urban, 70 gws, bench scale) ==");
+    println!("{:>20} {:>12} {:>12} {:>16}", "class", "delay(s)", "delivered", "energy/node(J)");
+    for (class, r) in &rows {
+        println!(
+            "{:>20} {:>12.1} {:>12} {:>16.1}",
+            format!("{class:?}"),
+            r.mean_delay_s(),
+            r.delivered,
+            r.mean_energy_per_node_mj() / 1000.0
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_class");
+    group.sample_size(10);
+    for class in [DeviceClassChoice::ModifiedClassC, DeviceClassChoice::QueueBasedClassA] {
+        group.bench_function(format!("{class:?}"), |b| {
+            let mut cfg = mlora_bench::quick_config(Scheme::Robc, Environment::Urban);
+            cfg.device_class = class;
+            b.iter(|| cfg.run(mlora_bench::HARNESS_SEED).expect("valid config"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

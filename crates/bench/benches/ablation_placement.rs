@@ -1,0 +1,37 @@
+//! Ablation B harness: grid vs random gateway placement (§VII.C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_core::Scheme;
+use mlora_geo::Point;
+use mlora_sim::{experiment, place_gateways, Environment, GatewayPlacement};
+use mlora_simcore::SimRng;
+
+fn bench(c: &mut Criterion) {
+    let mut base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Urban);
+    base.num_gateways = 70;
+    let rows = experiment::placement_compare(&base, &Scheme::ALL, 3, mlora_bench::HARNESS_SEED);
+    println!("\n== Ablation B: placement (urban, 70 gws, bench scale) ==");
+    println!("{:>10} {:>10} {:>8} {:>12} {:>12}", "scheme", "placement", "layout", "delay(s)", "delivered");
+    for (scheme, placement, layout, r) in &rows {
+        println!(
+            "{:>10} {:>10} {layout:>8} {:>12.1} {:>12}",
+            scheme.label(),
+            format!("{placement:?}"),
+            r.mean_delay_s(),
+            r.delivered
+        );
+    }
+
+    let area = mlora_geo::BBox::square(Point::ORIGIN, 24_495.0);
+    c.bench_function("ablation_placement/grid_100", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| place_gateways(area, 100, GatewayPlacement::Grid, &mut rng))
+    });
+    c.bench_function("ablation_placement/random_100", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| place_gateways(area, 100, GatewayPlacement::Random, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

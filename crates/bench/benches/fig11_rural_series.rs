@@ -1,0 +1,31 @@
+//! Fig11 harness: the rural throughput-over-time series (one column
+//! per scheme) plus a timing of the series experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_core::Scheme;
+use mlora_sim::{experiment, report, Environment};
+
+fn bench(c: &mut Criterion) {
+    let base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Rural);
+    let gws = *mlora_bench::BENCH_GATEWAY_COUNTS.last().unwrap();
+    let rows = experiment::time_series(
+        &base,
+        Environment::Rural,
+        gws,
+        &Scheme::ALL,
+        mlora_bench::HARNESS_SEED,
+    );
+    println!("\n== Fig11: rural series, {gws} gateways (bench scale) ==");
+    print!("{}", report::time_series_table(&rows, Environment::Rural));
+
+    let mut group = c.benchmark_group("fig11_rural_series");
+    group.sample_size(10);
+    group.bench_function("robc_quick", |b| {
+        let cfg = mlora_bench::quick_config(Scheme::Robc, Environment::Rural);
+        b.iter(|| cfg.run(mlora_bench::HARNESS_SEED).expect("valid config"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

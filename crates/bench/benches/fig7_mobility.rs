@@ -1,0 +1,42 @@
+//! Fig. 7 harness: regenerates the bus-network statistics and times the
+//! mobility substrate (network generation + a day of position queries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_mobility::{active_bus_series, trip_duration_histogram, BusNetwork, BusNetworkConfig};
+use mlora_simcore::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let cfg = BusNetworkConfig::default();
+    let net = BusNetwork::generate(&cfg, mlora_bench::HARNESS_SEED);
+
+    // Print the Fig. 7 series once so `cargo bench` regenerates the figure.
+    println!("\n== Fig. 7a: active buses per 30 min ==");
+    for (t, n) in active_bus_series(&net, SimDuration::from_mins(30)) {
+        println!("{:>9} {n:>8}", t.as_secs());
+    }
+    println!("== Fig. 7b: trip duration histogram (30 min bins) ==");
+    let h = trip_duration_histogram(&net, SimDuration::from_mins(30), SimDuration::from_hours(8));
+    for (mid, n) in h.iter() {
+        println!("{:>8.0}min {n:>8}", mid / 60.0);
+    }
+
+    c.bench_function("fig7/generate_network", |b| {
+        b.iter(|| BusNetwork::generate(&cfg, mlora_bench::HARNESS_SEED))
+    });
+    c.bench_function("fig7/active_series_24h", |b| {
+        b.iter(|| active_bus_series(&net, SimDuration::from_mins(10)))
+    });
+    c.bench_function("fig7/position_queries", |b| {
+        let noon = SimTime::from_secs(12 * 3600);
+        let nodes: Vec<_> = net.active_trips(noon).map(|t| t.node()).collect();
+        b.iter(|| {
+            nodes
+                .iter()
+                .map(|&n| net.position(n, noon).x)
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig9 harness: regenerates the throughput table at bench scale and
+//! times the underlying simulation per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlora_core::Scheme;
+use mlora_sim::{experiment, report, Environment};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure once (bench scale: 6 h horizon, 800-bus peak).
+    let base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Urban);
+    let points = experiment::gateway_sweep(
+        &base,
+        &mlora_bench::BENCH_GATEWAY_COUNTS,
+        &[Environment::Urban, Environment::Rural],
+        &Scheme::ALL,
+        mlora_bench::HARNESS_SEED,
+    );
+    println!("\n== Fig9 (bench scale) ==");
+    print!("{}", report::fig9_throughput_table(&points));
+
+    // Time one quick-config run per scheme.
+    let mut group = c.benchmark_group("fig9_throughput");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.label(), |b| {
+            let cfg = mlora_bench::quick_config(scheme, Environment::Urban);
+            b.iter(|| cfg.run(mlora_bench::HARNESS_SEED).expect("valid config"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

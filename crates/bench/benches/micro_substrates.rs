@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the substrates: airtime, path loss, collisions,
+//! spatial index, queues, duty cycling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlora_geo::{GridIndex, Point};
+use mlora_mac::{AppMessage, DataQueue, DutyCycleTracker};
+use mlora_phy::{resolve_collision, time_on_air, LogDistanceModel, PhyParams, CAPTURE_MARGIN_DB};
+use mlora_simcore::{MessageId, NodeId, SimDuration, SimRng, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let phy = PhyParams::paper_default();
+    c.bench_function("micro_substrates/time_on_air_255B", |b| {
+        b.iter(|| time_on_air(black_box(255), &phy))
+    });
+
+    let model = LogDistanceModel::paper_default();
+    c.bench_function("micro_substrates/sample_rssi", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| model.sample_rssi_dbm(14.0, black_box(740.0), &mut rng))
+    });
+
+    c.bench_function("micro_substrates/resolve_collision_8", |b| {
+        let frames: Vec<(u32, f64)> = (0..8).map(|i| (i, -80.0 - f64::from(i) * 2.0)).collect();
+        b.iter(|| resolve_collision(&frames, -123.0, CAPTURE_MARGIN_DB))
+    });
+
+    c.bench_function("micro_substrates/grid_build_query_2000", |b| {
+        let mut rng = SimRng::new(4);
+        let pts: Vec<(u32, Point)> = (0..2000)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range_f64(0.0, 24_495.0), rng.gen_range_f64(0.0, 24_495.0)),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let grid = GridIndex::build(pts.iter().copied(), 500.0);
+            grid.within(Point::new(12_000.0, 12_000.0), 500.0).count()
+        })
+    });
+
+    c.bench_function("micro_substrates/queue_cycle", |b| {
+        b.iter(|| {
+            let mut q = DataQueue::new(256);
+            for i in 0..64u64 {
+                q.push(AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO));
+            }
+            let bundle = q.peek_front(12);
+            q.remove(&bundle);
+            q.len()
+        })
+    });
+
+    c.bench_function("micro_substrates/duty_cycle_day", |b| {
+        b.iter(|| {
+            let mut dc = DutyCycleTracker::new(0.01);
+            let toa = SimDuration::from_millis(368);
+            let mut t = SimTime::ZERO;
+            let end = SimTime::from_secs(86_400);
+            while t < end {
+                t = dc.next_opportunity(t);
+                if t >= end {
+                    break;
+                }
+                dc.record_tx(t, toa);
+                t = t + toa;
+            }
+            dc.tx_count()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

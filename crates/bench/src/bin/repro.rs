@@ -1,0 +1,226 @@
+//! `repro` — regenerates every table and figure of the paper's §VII.
+//!
+//! ```sh
+//! repro [--quick] [--seed N] [--gateways 40,70,100] [FIGURE...]
+//! ```
+//!
+//! `FIGURE` is any of `fig7 fig8 fig9 fig10 fig11 fig12 fig13 alpha
+//! placement class` (default: all of them). `--quick` switches from the
+//! paper-scale configuration (600 km², 24 h, ~2000 peak buses) to the
+//! bench-scale one (6 h, ~800 peak buses) so a full pass finishes in
+//! about a minute.
+
+use std::collections::HashSet;
+
+use mlora_core::Scheme;
+use mlora_mobility::{active_bus_series, trip_duration_histogram, BusNetwork};
+use mlora_sim::{experiment, report, Environment, SimConfig};
+use mlora_simcore::SimDuration;
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    gateways: Vec<usize>,
+    figures: HashSet<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        seed: mlora_bench::HARNESS_SEED,
+        gateways: experiment::PAPER_GATEWAY_COUNTS.to_vec(),
+        figures: HashSet::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("seed must be an integer");
+            }
+            "--gateways" => {
+                let v = args.next().expect("--gateways needs a list");
+                opts.gateways = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("gateway counts must be integers"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--seed N] [--gateways 40,70,100] [FIGURE...]"
+                );
+                println!("figures: fig7 fig8 fig9 fig10 fig11 fig12 fig13 alpha placement class");
+                std::process::exit(0);
+            }
+            fig => {
+                opts.figures.insert(fig.to_string());
+            }
+        }
+    }
+    opts
+}
+
+fn base_config(opts: &Options, scheme: Scheme, env: Environment) -> SimConfig {
+    if opts.quick {
+        mlora_bench::bench_config(scheme, env)
+    } else {
+        mlora_bench::paper_config(scheme, env)
+    }
+}
+
+fn wants(opts: &Options, fig: &str) -> bool {
+    opts.figures.is_empty() || opts.figures.contains(fig)
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.quick { "bench-scale (--quick)" } else { "paper-scale" };
+    println!("== repro: {scale}, seed {} ==", opts.seed);
+
+    if wants(&opts, "fig7") {
+        fig7(&opts);
+    }
+
+    // Figs. 8, 9, 12 and 13 share one gateway-density sweep.
+    if ["fig8", "fig9", "fig12", "fig13"].iter().any(|f| wants(&opts, f)) {
+        let base = base_config(&opts, Scheme::NoRouting, Environment::Urban);
+        eprintln!(
+            "[sweep] {} gateway counts x 2 environments x 3 schemes ...",
+            opts.gateways.len()
+        );
+        let points = experiment::gateway_sweep(
+            &base,
+            &opts.gateways,
+            &[Environment::Urban, Environment::Rural],
+            &Scheme::ALL,
+            opts.seed,
+        );
+        if wants(&opts, "fig8") {
+            println!("\n== Fig. 8: average end-to-end delay ==");
+            print!("{}", report::fig8_delay_table(&points));
+        }
+        if wants(&opts, "fig9") {
+            println!("\n== Fig. 9: total network throughput ==");
+            print!("{}", report::fig9_throughput_table(&points));
+        }
+        if wants(&opts, "fig12") {
+            println!("\n== Fig. 12: average number of hops ==");
+            print!("{}", report::fig12_hops_table(&points));
+        }
+        if wants(&opts, "fig13") {
+            println!("\n== Fig. 13: average messages sent per node ==");
+            print!("{}", report::fig13_overhead_table(&points));
+        }
+    }
+
+    if wants(&opts, "fig10") {
+        let base = base_config(&opts, Scheme::NoRouting, Environment::Urban);
+        let gws = *opts.gateways.last().expect("at least one gateway count");
+        eprintln!("[fig10] urban time series at {gws} gateways ...");
+        let rows = experiment::time_series(&base, Environment::Urban, gws, &Scheme::ALL, opts.seed);
+        println!("\n== Fig. 10: throughput over time, urban ({gws} gateways) ==");
+        print!("{}", report::time_series_table(&rows, Environment::Urban));
+    }
+
+    if wants(&opts, "fig11") {
+        let base = base_config(&opts, Scheme::NoRouting, Environment::Rural);
+        let gws = *opts.gateways.last().expect("at least one gateway count");
+        eprintln!("[fig11] rural time series at {gws} gateways ...");
+        let rows = experiment::time_series(&base, Environment::Rural, gws, &Scheme::ALL, opts.seed);
+        println!("\n== Fig. 11: throughput over time, rural ({gws} gateways) ==");
+        print!("{}", report::time_series_table(&rows, Environment::Rural));
+    }
+
+    if wants(&opts, "alpha") {
+        let mut base = base_config(&opts, Scheme::RcaEtx, Environment::Urban);
+        base.num_gateways = opts.gateways[opts.gateways.len() / 2];
+        eprintln!("[alpha] EWMA sensitivity ...");
+        let rows = experiment::alpha_sweep(&base, &[0.1, 0.3, 0.5, 0.7, 0.9], opts.seed);
+        println!("\n== Ablation A: EWMA factor α (RCA-ETX, urban, {} gws) ==", base.num_gateways);
+        println!("{:>6} {:>12} {:>12} {:>8}", "alpha", "delay(s)", "delivered", "hops");
+        for (alpha, r) in rows {
+            println!(
+                "{:>6.1} {:>12.1} {:>12} {:>8.2}",
+                alpha,
+                r.mean_delay_s(),
+                r.delivered,
+                r.mean_hops()
+            );
+        }
+    }
+
+    if wants(&opts, "placement") {
+        let mut base = base_config(&opts, Scheme::NoRouting, Environment::Urban);
+        base.num_gateways = opts.gateways[opts.gateways.len() / 2];
+        eprintln!("[placement] grid vs random ...");
+        let rows = experiment::placement_compare(&base, &Scheme::ALL, 3, opts.seed);
+        println!(
+            "\n== Ablation B: gateway placement (urban, {} gws) ==",
+            base.num_gateways
+        );
+        println!(
+            "{:>10} {:>10} {:>8} {:>12} {:>12}",
+            "scheme", "placement", "layout", "delay(s)", "delivered"
+        );
+        for (scheme, placement, layout, r) in rows {
+            println!(
+                "{:>10} {:>10} {:>8} {:>12.1} {:>12}",
+                scheme.label(),
+                format!("{placement:?}"),
+                layout,
+                r.mean_delay_s(),
+                r.delivered
+            );
+        }
+    }
+
+    if wants(&opts, "class") {
+        let mut base = base_config(&opts, Scheme::Robc, Environment::Urban);
+        base.num_gateways = opts.gateways[opts.gateways.len() / 2];
+        eprintln!("[class] Modified Class-C vs Queue-based Class-A ...");
+        let rows = experiment::class_compare(&base, opts.seed);
+        println!(
+            "\n== Ablation C: device classes (ROBC, urban, {} gws) ==",
+            base.num_gateways
+        );
+        println!(
+            "{:>20} {:>12} {:>12} {:>16}",
+            "class", "delay(s)", "delivered", "energy/node(J)"
+        );
+        for (class, r) in rows {
+            println!(
+                "{:>20} {:>12.1} {:>12} {:>16.1}",
+                format!("{class:?}"),
+                r.mean_delay_s(),
+                r.delivered,
+                r.mean_energy_per_node_mj() / 1000.0
+            );
+        }
+    }
+
+    eprintln!("done.");
+}
+
+/// Fig. 7: properties of the bus network itself.
+fn fig7(opts: &Options) {
+    let cfg = base_config(opts, Scheme::NoRouting, Environment::Urban);
+    let mut net_cfg = cfg.network.clone();
+    net_cfg.horizon = cfg.horizon;
+    // The engine derives the mobility seed the same way (fork 11).
+    let net_seed = mlora_simcore::SimRng::new(opts.seed).fork(11).seed();
+    let net = BusNetwork::generate(&net_cfg, net_seed);
+
+    println!("\n== Fig. 7a: number of active buses over the day ==");
+    println!("{:>9} {:>8}", "t_start_s", "active");
+    for (t, count) in active_bus_series(&net, SimDuration::from_mins(30)) {
+        println!("{:>9} {:>8}", t.as_secs(), count);
+    }
+
+    println!("\n== Fig. 7b: distribution of bus active duration ==");
+    println!("{:>12} {:>8}", "midpoint_min", "buses");
+    let hist = trip_duration_histogram(&net, SimDuration::from_mins(30), SimDuration::from_hours(8));
+    for (mid_s, count) in hist.iter() {
+        println!("{:>12.0} {:>8}", mid_s / 60.0, count);
+    }
+}

@@ -1,0 +1,21 @@
+use mlora_core::Scheme;
+use mlora_sim::{Environment, SimConfig};
+
+fn main() {
+    for env in [Environment::Urban, Environment::Rural] {
+        for gws in [40usize, 100] {
+            for scheme in Scheme::ALL {
+                let mut cfg = SimConfig::paper_default(scheme, env);
+                cfg.num_gateways = gws;
+                let t0 = std::time::Instant::now();
+                let r = cfg.run(2020).unwrap();
+                println!(
+                    "{env:6} gws={gws:3} {s:8} delay={d:8.1}s thr={thr:6} hops={h:4.2} frames/node={f:6.1} msgs/node={m:7.1} gen={g} coll={c} [{el:.1?}]",
+                    s = scheme.label(), d = r.mean_delay_s(), thr = r.delivered,
+                    h = r.mean_hops(), f = r.mean_frames_per_node(), m = r.mean_messages_sent_per_node(), g = r.generated,
+                    c = r.collisions, el = t0.elapsed()
+                );
+            }
+        }
+    }
+}

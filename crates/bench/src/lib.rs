@@ -1,0 +1,35 @@
+//! Shared configuration for the benchmark harness.
+//!
+//! Criterion benches run the [`bench_config`] scale (full area, 6-hour
+//! horizon) so `cargo bench` finishes in minutes; the `repro` binary runs
+//! [`paper_config`] (24 h, full fleet) to regenerate the figures at paper
+//! scale. Both use the same code paths — only fleet size and horizon
+//! differ.
+
+use mlora_core::Scheme;
+use mlora_sim::{Environment, SimConfig};
+
+/// The seed every harness run uses, so printed numbers are reproducible.
+pub const HARNESS_SEED: u64 = 2020;
+
+/// Gateway counts for bench-scale sweeps (subset of the paper's 40–100).
+pub const BENCH_GATEWAY_COUNTS: [usize; 3] = [40, 70, 100];
+
+/// The bench-scale configuration for a scheme/environment pair.
+pub fn bench_config(scheme: Scheme, environment: Environment) -> SimConfig {
+    SimConfig::bench_scale(scheme, environment)
+}
+
+/// The paper-scale configuration for a scheme/environment pair.
+pub fn paper_config(scheme: Scheme, environment: Environment) -> SimConfig {
+    SimConfig::paper_default(scheme, environment)
+}
+
+/// A quick configuration for Criterion micro-runs that must iterate many
+/// times (sub-second per run).
+pub fn quick_config(scheme: Scheme, environment: Environment) -> SimConfig {
+    let mut cfg = SimConfig::smoke_test(scheme, environment);
+    cfg.horizon = mlora_simcore::SimDuration::from_mins(30);
+    cfg.network.horizon = cfg.horizon;
+    cfg
+}

@@ -1,0 +1,191 @@
+//! CA-ETX — the prior-work comparator (§III.C).
+//!
+//! Contact-Aware ETX (Yang et al., IEEE TMC 2017) is the metric RCA-ETX
+//! extends. It estimates the node-to-sink cost from the *long-term
+//! statistics* of inter-contact gaps — mean and variance accumulated over
+//! the device's history — rather than from real-time observations. The
+//! paper argues (§III.C) that under MLoRa-SS duty cycles those statistics
+//! go stale and degrade scheduling; implementing CA-ETX lets the
+//! evaluation quantify that claim.
+
+use mlora_simcore::stats::Welford;
+use mlora_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::metric::{packet_service_time, RCA_ETX_CEILING};
+
+/// The CA-ETX estimator: long-term mean (and variance) of inter-contact
+/// gaps plus the transmission term.
+///
+/// The node-to-sink cost is estimated as
+///
+/// ```text
+/// CA-ETX_{x,S} = 1/c̄ + E[gap]/2
+/// ```
+///
+/// — the mean transmission time plus the expected residual wait until
+/// the next contact under a renewal assumption (half the mean
+/// inter-contact gap). Unlike [`crate::RcaEtxEstimator`], nothing here
+/// reacts to *how long ago* the last contact happened: two devices with
+/// identical histories report identical costs even if one has been dark
+/// for an hour. That staleness is exactly the §III.C critique.
+///
+/// # Example
+///
+/// ```
+/// use mlora_core::CaEtxEstimator;
+/// use mlora_simcore::SimTime;
+///
+/// let mut est = CaEtxEstimator::new(2040.0);
+/// est.observe(SimTime::from_secs(0), Some(2_000.0));
+/// est.observe(SimTime::from_secs(600), Some(2_000.0));
+/// // Mean gap 600 s → expected residual wait 300 s (+ ~1 s tx time).
+/// assert!((est.ca_etx() - 301.02).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaEtxEstimator {
+    packet_bits: f64,
+    gaps: Welford,
+    capacities: Welford,
+    last_contact: Option<SimTime>,
+}
+
+impl CaEtxEstimator {
+    /// Creates an estimator for frames of `packet_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bits` is not strictly positive.
+    pub fn new(packet_bits: f64) -> Self {
+        assert!(packet_bits > 0.0, "packet size must be positive");
+        CaEtxEstimator {
+            packet_bits,
+            gaps: Welford::new(),
+            capacities: Welford::new(),
+            last_contact: None,
+        }
+    }
+
+    /// Records the outcome of a device-to-sink slot at `t`:
+    /// `capacity_bps` is `Some` with the observed capacity on success,
+    /// `None` on failure. Failures do not update the statistics — CA-ETX
+    /// only learns from contacts.
+    pub fn observe(&mut self, t: SimTime, capacity_bps: Option<f64>) {
+        let Some(cap) = capacity_bps else {
+            return;
+        };
+        if let Some(prev) = self.last_contact {
+            self.gaps.push(t.saturating_since(prev).as_secs_f64());
+        }
+        self.capacities.push(cap.max(0.0));
+        self.last_contact = Some(t);
+    }
+
+    /// The CA-ETX node-to-sink cost, seconds. Devices with no contact
+    /// history report [`RCA_ETX_CEILING`].
+    pub fn ca_etx(&self) -> f64 {
+        if self.capacities.count() == 0 {
+            return RCA_ETX_CEILING;
+        }
+        let tx = packet_service_time(self.capacities.mean(), self.packet_bits);
+        let wait = if self.gaps.count() == 0 {
+            // One contact ever: no gap statistics yet; be optimistic about
+            // the wait (the device is presumably still in contact).
+            0.0
+        } else {
+            self.gaps.mean() / 2.0
+        };
+        (tx + wait).min(RCA_ETX_CEILING)
+    }
+
+    /// Standard deviation of the inter-contact gaps (the σ the paper
+    /// notes goes stale), seconds.
+    pub fn gap_std_dev(&self) -> f64 {
+        self.gaps.std_dev()
+    }
+
+    /// Mean inter-contact gap, seconds.
+    pub fn mean_gap(&self) -> f64 {
+        self.gaps.mean()
+    }
+
+    /// Number of successful contacts observed.
+    pub fn contacts(&self) -> u64 {
+        self.capacities.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BITS: f64 = 2_040.0;
+
+    #[test]
+    fn unobserved_is_ceiling() {
+        assert_eq!(CaEtxEstimator::new(BITS).ca_etx(), RCA_ETX_CEILING);
+    }
+
+    #[test]
+    fn single_contact_only_tx_term() {
+        let mut e = CaEtxEstimator::new(BITS);
+        e.observe(SimTime::from_secs(10), Some(2_040.0));
+        assert!((e.ca_etx() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_gap_drives_wait_term() {
+        let mut e = CaEtxEstimator::new(BITS);
+        for i in 0..5u64 {
+            e.observe(SimTime::from_secs(i * 400), Some(2_040.0));
+        }
+        assert_eq!(e.mean_gap(), 400.0);
+        assert!((e.ca_etx() - (1.0 + 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_are_invisible() {
+        let mut with_failures = CaEtxEstimator::new(BITS);
+        let mut without = CaEtxEstimator::new(BITS);
+        for i in 0..5u64 {
+            let t = SimTime::from_secs(i * 400);
+            with_failures.observe(t, Some(2_040.0));
+            without.observe(t, Some(2_040.0));
+            // Interleave failures; CA-ETX must not notice.
+            with_failures.observe(t + mlora_simcore::SimDuration::from_secs(100), None);
+        }
+        assert_eq!(with_failures.ca_etx(), without.ca_etx());
+    }
+
+    #[test]
+    fn staleness_blind_spot() {
+        // The §III.C critique in miniature: after the same history, the
+        // CA-ETX of a device dark for an hour equals its fresh value,
+        // while RCA-ETX's real-time preview diverges.
+        let mut ca = CaEtxEstimator::new(BITS);
+        let mut rca = crate::RcaEtxEstimator::new(0.5, BITS);
+        for i in 0..5u64 {
+            let t = SimTime::from_secs(i * 300);
+            ca.observe(t, Some(2_040.0));
+            rca.observe(t, Some(2_040.0), 0.0);
+        }
+        // Both devices then lose the gateway and go dark for an hour.
+        let t_fail = SimTime::from_secs(5 * 300);
+        ca.observe(t_fail, None);
+        rca.observe(t_fail, None, 0.0);
+        let fresh_ca = ca.ca_etx();
+        let hour_later = t_fail + mlora_simcore::SimDuration::from_hours(1);
+        assert_eq!(ca.ca_etx(), fresh_ca); // blind to elapsed time
+        assert!(rca.rca_etx_at(hour_later, 0.0) > rca.rca_etx());
+    }
+
+    #[test]
+    fn variance_tracked() {
+        let mut e = CaEtxEstimator::new(BITS);
+        for t in [0u64, 100, 500, 600, 1_400] {
+            e.observe(SimTime::from_secs(t), Some(2_040.0));
+        }
+        assert!(e.gap_std_dev() > 0.0);
+        assert_eq!(e.contacts(), 5);
+    }
+}

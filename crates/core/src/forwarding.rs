@@ -1,0 +1,435 @@
+//! Per-device routing state and the three forwarding schemes (§VII.A.7).
+
+use mlora_phy::CapacityModel;
+use mlora_simcore::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    greedy_forward_rule, link_rca_etx, CaEtxEstimator, DonorLedger, RcaEtxEstimator, Rgq,
+};
+
+/// The three data-forwarding schemes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain LoRaWAN with the application-layer queue but no
+    /// device-to-device forwarding — the paper's baseline.
+    NoRouting,
+    /// Greedy handover by the Eq. 1 RCA-ETX comparison (§IV).
+    RcaEtx,
+    /// Real-time opportunistic backpressure collection (§V).
+    Robc,
+    /// The prior-work CA-ETX comparator (§III.C): the same greedy rule as
+    /// [`Scheme::RcaEtx`] but driven by long-term contact statistics that
+    /// cannot react to the current disconnection gap.
+    CaEtx,
+}
+
+impl Scheme {
+    /// The paper's three evaluated schemes, in figure order.
+    pub const ALL: [Scheme; 3] = [Scheme::NoRouting, Scheme::RcaEtx, Scheme::Robc];
+
+    /// The evaluated schemes plus the CA-ETX comparator, for the
+    /// staleness ablation.
+    pub const WITH_CA_ETX: [Scheme; 4] =
+        [Scheme::NoRouting, Scheme::CaEtx, Scheme::RcaEtx, Scheme::Robc];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::NoRouting => "LoRaWAN",
+            Scheme::RcaEtx => "RCA-ETX",
+            Scheme::Robc => "ROBC",
+            Scheme::CaEtx => "CA-ETX",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The routing metadata a device piggybacks on every uplink and that
+/// neighbours overhear (§IV.A, §V.B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beacon {
+    /// The broadcasting device.
+    pub sender: NodeId,
+    /// Sender's node-to-sink RCA-ETX, seconds.
+    pub rca_etx: f64,
+    /// Sender's queue length, messages.
+    pub queue_len: usize,
+}
+
+/// What a device does with its queue after overhearing a beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardDecision {
+    /// Hold the data until the next own opportunity.
+    Keep,
+    /// Hand over `count` messages to `target`.
+    Forward {
+        /// The opportunistic next hop.
+        target: NodeId,
+        /// Messages to transfer (bounded by the frame bundle limit).
+        count: usize,
+    },
+}
+
+/// Static configuration shared by every device's [`RoutingState`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Active scheme.
+    pub scheme: Scheme,
+    /// EWMA smoothing factor α of Eq. 4 (paper evaluation: 0.5).
+    pub alpha: f64,
+    /// Frame size used to convert capacities into packet service times,
+    /// bits.
+    pub packet_bits: f64,
+    /// RGQ stability bounds.
+    pub rgq: Rgq,
+    /// The Eq. 5 RSSI→capacity map.
+    pub capacity: CapacityModel,
+    /// Most messages movable in one handover frame.
+    pub max_bundle: usize,
+}
+
+impl RoutingConfig {
+    /// The paper's evaluation setting for a given scheme: α = 0.5,
+    /// 255-byte frames, default RGQ bounds and capacity map, 12-message
+    /// bundles.
+    pub fn paper_default(scheme: Scheme) -> Self {
+        RoutingConfig {
+            scheme,
+            alpha: 0.5,
+            packet_bits: 255.0 * 8.0,
+            rgq: Rgq::paper_default(),
+            capacity: CapacityModel::paper_default(),
+            max_bundle: mlora_mac::MAX_BUNDLE,
+        }
+    }
+}
+
+/// One device's complete routing brain: the RCA-ETX estimator, the RGQ
+/// bounds, and the ROBC donor ledger, dispatching on the configured
+/// [`Scheme`].
+///
+/// The embedding simulator calls:
+///
+/// * [`RoutingState::on_sink_slot`] after every device-to-sink uplink
+///   attempt (success or failure) — updates the metric and clears the
+///   anti-loop ledger (a sink-forwarding opportunity occurred);
+/// * [`RoutingState::on_received_data`] when accepting a handover;
+/// * [`RoutingState::decide`] when overhearing a neighbour's beacon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingState {
+    config: RoutingConfig,
+    estimator: RcaEtxEstimator,
+    ca_estimator: CaEtxEstimator,
+    ledger: DonorLedger,
+}
+
+impl RoutingState {
+    /// Creates the routing state for one device.
+    pub fn new(config: RoutingConfig) -> Self {
+        RoutingState {
+            estimator: RcaEtxEstimator::new(config.alpha, config.packet_bits),
+            ca_estimator: CaEtxEstimator::new(config.packet_bits),
+            ledger: DonorLedger::new(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// Records the outcome of a device-to-sink slot: `capacity_bps` is
+    /// `Some` with the observed capacity when a gateway acknowledged,
+    /// `None` otherwise. `wait_s` is the duty-cycle wait an immediate
+    /// retry would face. Clears the donor ledger — this slot *was* the
+    /// next sink-forwarding opportunity.
+    pub fn on_sink_slot(&mut self, t: SimTime, capacity_bps: Option<f64>, wait_s: f64) {
+        self.estimator.observe(t, capacity_bps, wait_s);
+        self.ca_estimator.observe(t, capacity_bps);
+        self.ledger.clear_on_sink_opportunity();
+    }
+
+    /// Records acceptance of a handover from `donor` (anti-loop rule).
+    pub fn on_received_data(&mut self, donor: NodeId) {
+        self.ledger.record_donor(donor);
+    }
+
+    /// The device's current node-to-sink RCA-ETX, seconds.
+    pub fn rca_etx(&self) -> f64 {
+        self.estimator.rca_etx()
+    }
+
+    /// The device's CA-ETX comparator value (§III.C), seconds.
+    pub fn ca_etx(&self) -> f64 {
+        self.ca_estimator.ca_etx()
+    }
+
+    /// The metric this device piggybacks on its uplinks: CA-ETX under
+    /// [`Scheme::CaEtx`], RCA-ETX otherwise.
+    pub fn beacon_metric(&self) -> f64 {
+        match self.config.scheme {
+            Scheme::CaEtx => self.ca_etx(),
+            _ => self.rca_etx(),
+        }
+    }
+
+    /// The node-to-sink metric previewed at `now`
+    /// (see [`RcaEtxEstimator::rca_etx_at`]): Eq. 1 and Eq. 10 are
+    /// evaluated against real time, so a disconnection gap that has grown
+    /// since the last slot raises the device's own cost.
+    pub fn rca_etx_at(&self, now: SimTime, wait_s: f64) -> f64 {
+        self.estimator.rca_etx_at(now, wait_s)
+    }
+
+    /// The bounded gateway quality φ previewed at `now`.
+    pub fn phi_at(&self, now: SimTime, wait_s: f64) -> f64 {
+        self.config.rgq.phi(self.rca_etx_at(now, wait_s))
+    }
+
+    /// The device's bounded gateway quality φ.
+    pub fn phi(&self) -> f64 {
+        self.config.rgq.phi(self.rca_etx())
+    }
+
+    /// The Eq. 11 receive-window fraction for Queue-based Class-A.
+    pub fn gamma(&self, queue_len: usize, queue_max: usize) -> f64 {
+        mlora_mac::queue_based_window_fraction(
+            self.phi(),
+            self.config.rgq.phi_max(),
+            queue_len,
+            queue_max,
+        )
+    }
+
+    /// True if the anti-loop ledger currently bars `node` as a target.
+    pub fn is_barred(&self, node: NodeId) -> bool {
+        self.ledger.is_barred(node)
+    }
+
+    /// Decides whether to hand queued data to the beacon's sender.
+    ///
+    /// `now` and `wait_s` (the duty-cycle wait an immediate transmission
+    /// would face) feed the real-time metric preview; `queue_len` is the
+    /// device's current backlog and `rssi_dbm` the received strength of
+    /// the overheard frame (driving the Eq. 5–6 link metric).
+    pub fn decide(
+        &self,
+        now: SimTime,
+        wait_s: f64,
+        queue_len: usize,
+        beacon: &Beacon,
+        rssi_dbm: f64,
+    ) -> ForwardDecision {
+        if queue_len == 0 {
+            return ForwardDecision::Keep;
+        }
+        match self.config.scheme {
+            Scheme::NoRouting => ForwardDecision::Keep,
+            Scheme::CaEtx => {
+                let link = link_rca_etx(rssi_dbm, &self.config.capacity, self.config.packet_bits);
+                // Long-term statistics only: no real-time preview.
+                if greedy_forward_rule(self.ca_etx(), beacon.rca_etx, link) {
+                    ForwardDecision::Forward {
+                        target: beacon.sender,
+                        count: queue_len.min(self.config.max_bundle),
+                    }
+                } else {
+                    ForwardDecision::Keep
+                }
+            }
+            Scheme::RcaEtx => {
+                let link = link_rca_etx(rssi_dbm, &self.config.capacity, self.config.packet_bits);
+                if greedy_forward_rule(self.rca_etx_at(now, wait_s), beacon.rca_etx, link) {
+                    ForwardDecision::Forward {
+                        target: beacon.sender,
+                        count: queue_len.min(self.config.max_bundle),
+                    }
+                } else {
+                    ForwardDecision::Keep
+                }
+            }
+            Scheme::Robc => {
+                if self.ledger.is_barred(beacon.sender) {
+                    return ForwardDecision::Keep;
+                }
+                let phi_x = self.phi_at(now, wait_s);
+                let phi_y = self.config.rgq.phi(beacon.rca_etx);
+                let weight = crate::robc_weight(queue_len, phi_x, beacon.queue_len, phi_y);
+                if weight <= 0.0 {
+                    return ForwardDecision::Keep;
+                }
+                let delta =
+                    crate::robc_transfer_amount(queue_len, phi_x, beacon.queue_len, phi_y);
+                let count = delta.min(self.config.max_bundle);
+                if count == 0 {
+                    ForwardDecision::Keep
+                } else {
+                    ForwardDecision::Forward {
+                        target: beacon.sender,
+                        count,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(scheme: Scheme) -> RoutingState {
+        RoutingState::new(RoutingConfig::paper_default(scheme))
+    }
+
+    /// Gives `s` a contact history: `good` devices reach the gateway every
+    /// slot, others only once at t=0 then decay.
+    fn warm_up(s: &mut RoutingState, good: bool) {
+        for i in 0..8u64 {
+            let t = SimTime::from_secs(i * 180);
+            let cap = if good || i == 0 { Some(4_000.0) } else { None };
+            s.on_sink_slot(t, cap, 0.0);
+        }
+    }
+
+    #[test]
+    fn no_routing_always_keeps() {
+        let mut s = state(Scheme::NoRouting);
+        warm_up(&mut s, false);
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 0.001,
+            queue_len: 0,
+        };
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -80.0), ForwardDecision::Keep);
+    }
+
+    #[test]
+    fn rca_etx_forwards_to_better_neighbour() {
+        let mut s = state(Scheme::RcaEtx);
+        warm_up(&mut s, false); // poorly connected
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 1.0, // well connected neighbour
+            queue_len: 3,
+        };
+        match s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -85.0) {
+            ForwardDecision::Forward { target, count } => {
+                assert_eq!(target, NodeId::new(2));
+                assert_eq!(count, 5);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rca_etx_keeps_when_neighbour_worse() {
+        let mut s = state(Scheme::RcaEtx);
+        warm_up(&mut s, true); // well connected
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 5_000.0, // poorly connected neighbour
+            queue_len: 3,
+        };
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -85.0), ForwardDecision::Keep);
+    }
+
+    #[test]
+    fn rca_etx_keeps_on_dead_link() {
+        let mut s = state(Scheme::RcaEtx);
+        warm_up(&mut s, false);
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 1.0,
+            queue_len: 0,
+        };
+        // RSSI below γ_min: the link metric hits the ceiling.
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -140.0), ForwardDecision::Keep);
+    }
+
+    #[test]
+    fn empty_queue_never_forwards() {
+        let mut s = state(Scheme::Robc);
+        warm_up(&mut s, false);
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 0.5,
+            queue_len: 0,
+        };
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 0, &beacon, -70.0), ForwardDecision::Keep);
+    }
+
+    #[test]
+    fn robc_forwards_down_pressure_gradient() {
+        let mut s = state(Scheme::Robc);
+        warm_up(&mut s, false); // poorly connected, so low φ
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 1.0, // φy near max
+            queue_len: 0,
+        };
+        match s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -85.0) {
+            ForwardDecision::Forward { count, .. } => {
+                assert!(count > 0 && count <= mlora_mac::MAX_BUNDLE);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robc_respects_reverse_pressure() {
+        let mut s = state(Scheme::Robc);
+        warm_up(&mut s, true); // well connected
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 5_000.0, // poorly connected, heavy queue
+            queue_len: 50,
+        };
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 2, &beacon, -85.0), ForwardDecision::Keep);
+    }
+
+    #[test]
+    fn robc_anti_loop_bars_donor_until_sink_slot() {
+        let mut s = state(Scheme::Robc);
+        warm_up(&mut s, false);
+        s.on_received_data(NodeId::new(2));
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 0.5,
+            queue_len: 0,
+        };
+        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -85.0), ForwardDecision::Keep);
+        // The next sink slot clears the bar.
+        s.on_sink_slot(SimTime::from_secs(10_000), None, 0.0);
+        assert!(matches!(
+            s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -85.0),
+            ForwardDecision::Forward { .. }
+        ));
+    }
+
+    #[test]
+    fn gamma_uses_eq11() {
+        let mut s = state(Scheme::Robc);
+        warm_up(&mut s, true);
+        let g_empty = s.gamma(0, 100);
+        let g_half = s.gamma(50, 100);
+        let g_full = s.gamma(100, 100);
+        assert_eq!(g_empty, 0.0);
+        assert!(g_half > 0.0 && g_half <= 1.0);
+        assert!(g_full >= g_half);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::NoRouting.label(), "LoRaWAN");
+        assert_eq!(Scheme::RcaEtx.to_string(), "RCA-ETX");
+        assert_eq!(Scheme::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! RCA-ETX and ROBC — the paper's core contribution.
+//!
+//! This crate implements *Real-Time Contact-Aware Expected Transmission
+//! Count* (RCA-ETX) and *Real-Time Opportunistic Backpressure Collection*
+//! (ROBC) exactly as specified in §IV–§V of the paper:
+//!
+//! * [`Ewma`] — the exponentially weighted moving average of Eq. 4.
+//! * [`ContactTracker`] — per-device bookkeeping of gateway contacts,
+//!   yielding the real-time packet service time (RPST) of Eq. 3.
+//! * [`RcaEtxEstimator`] — combines the two into the node-to-sink metric
+//!!  `RCA-ETX_{x,S}(t) = E[µ′_{x,S}(t)]`.
+//! * [`link_rca_etx`] — the device-to-device metric of Eq. 6 over the
+//!   Eq. 5 RSSI→capacity map.
+//! * [`greedy_forward_rule`] — the handover predicate of Eq. 1.
+//! * [`Rgq`] — real-time gateway quality `φ = 1/RCA-ETX` with the
+//!   stability bounds of §V.B.1.
+//! * [`robc_weight`] / [`robc_transfer_amount`] — Eq. 10 and the partial
+//!   transfer `δ = Qx − Qy·φx/φy`.
+//! * [`DonorLedger`] — the §V.B.2 anti-loop rule.
+//! * [`RoutingState`] + [`Scheme`] — one device's complete routing brain,
+//!   dispatching between `NoRouting`, `RcaEtx`, and `Robc`.
+//! * [`CaEtxEstimator`] — the prior-work CA-ETX comparator of §III.C,
+//!   exposing the staleness problem RCA-ETX fixes.
+
+#![deny(missing_docs)]
+
+mod ca_etx;
+mod contact;
+mod ewma;
+mod forwarding;
+mod metric;
+mod rgq;
+mod robc;
+
+pub use ca_etx::CaEtxEstimator;
+pub use contact::{ContactTracker, RcaEtxEstimator};
+pub use ewma::Ewma;
+pub use forwarding::{Beacon, ForwardDecision, RoutingConfig, RoutingState, Scheme};
+pub use metric::{greedy_forward_rule, link_rca_etx, packet_service_time, RCA_ETX_CEILING};
+pub use rgq::Rgq;
+pub use robc::{robc_transfer_amount, robc_weight, DonorLedger};

@@ -1,0 +1,173 @@
+//! Uniform spatial hash grid for range queries.
+
+use std::collections::HashMap;
+
+use crate::Point;
+
+/// A uniform grid index over `(item, position)` pairs.
+///
+/// Built once per query window from the currently active nodes, then
+/// queried with [`GridIndex::within`] to find everything inside a radius.
+/// With cell size ≥ query radius, a query inspects at most 9 cells.
+///
+/// # Example
+///
+/// ```
+/// use mlora_geo::{GridIndex, Point};
+///
+/// let items = [(1u32, Point::new(0.0, 0.0)), (2, Point::new(30.0, 40.0)),
+///              (3, Point::new(500.0, 0.0))];
+/// let grid = GridIndex::build(items.iter().copied(), 100.0);
+/// let mut near: Vec<u32> = grid.within(Point::ORIGIN, 60.0).map(|(id, _)| id).collect();
+/// near.sort_unstable();
+/// assert_eq!(near, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<(T, Point)>>,
+    len: usize,
+}
+
+impl<T: Copy> GridIndex<T> {
+    /// Builds an index from items and positions with the given cell size.
+    ///
+    /// For best performance pick `cell_size` close to the typical query
+    /// radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn build(items: impl IntoIterator<Item = (T, Point)>, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "bad cell size {cell_size}"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<(T, Point)>> = HashMap::new();
+        let mut len = 0;
+        for (item, pos) in items {
+            let key = Self::key_for(pos, cell_size);
+            cells.entry(key).or_default().push((item, pos));
+            len += 1;
+        }
+        GridIndex {
+            cell: cell_size,
+            cells,
+            len,
+        }
+    }
+
+    fn key_for(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All items strictly within `radius` metres of `center` (inclusive).
+    pub fn within(&self, center: Point, radius: f64) -> impl Iterator<Item = (T, Point)> + '_ {
+        let r = radius.max(0.0);
+        let r_sq = r * r;
+        let lo = Self::key_for(Point::new(center.x - r, center.y - r), self.cell);
+        let hi = Self::key_for(Point::new(center.x + r, center.y + r), self.cell);
+        (lo.0..=hi.0)
+            .flat_map(move |cx| (lo.1..=hi.1).map(move |cy| (cx, cy)))
+            .filter_map(move |key| self.cells.get(&key))
+            .flatten()
+            .copied()
+            .filter(move |(_, p)| p.distance_sq(center) <= r_sq)
+    }
+
+    /// The nearest item to `p` within `radius`, if any.
+    pub fn nearest_within(&self, p: Point, radius: f64) -> Option<(T, Point)> {
+        self.within(p, radius)
+            .min_by(|a, b| {
+                a.1.distance_sq(p)
+                    .partial_cmp(&b.1.distance_sq(p))
+                    .expect("distances are finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_items_across_cell_borders() {
+        // Two points close together but in different grid cells.
+        let items = [(1u32, Point::new(99.0, 0.0)), (2, Point::new(101.0, 0.0))];
+        let grid = GridIndex::build(items.iter().copied(), 100.0);
+        let hits: Vec<u32> = grid.within(Point::new(100.0, 0.0), 5.0).map(|(i, _)| i).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn radius_is_inclusive_boundary() {
+        let items = [(1u32, Point::new(10.0, 0.0))];
+        let grid = GridIndex::build(items.iter().copied(), 50.0);
+        assert_eq!(grid.within(Point::ORIGIN, 10.0).count(), 1);
+        assert_eq!(grid.within(Point::ORIGIN, 9.999).count(), 0);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let items = [(1u32, Point::new(-250.0, -250.0))];
+        let grid = GridIndex::build(items.iter().copied(), 100.0);
+        assert_eq!(grid.within(Point::new(-240.0, -240.0), 20.0).count(), 1);
+    }
+
+    #[test]
+    fn nearest_within_picks_closest() {
+        let items = [
+            (1u32, Point::new(10.0, 0.0)),
+            (2, Point::new(5.0, 0.0)),
+            (3, Point::new(50.0, 0.0)),
+        ];
+        let grid = GridIndex::build(items.iter().copied(), 100.0);
+        assert_eq!(grid.nearest_within(Point::ORIGIN, 20.0).unwrap().0, 2);
+        assert_eq!(grid.nearest_within(Point::ORIGIN, 1.0), None);
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        use mlora_simcore::SimRng;
+        let mut rng = SimRng::new(42);
+        let items: Vec<(u32, Point)> = (0..500)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range_f64(0.0, 5000.0), rng.gen_range_f64(0.0, 5000.0)),
+                )
+            })
+            .collect();
+        let grid = GridIndex::build(items.iter().copied(), 500.0);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range_f64(0.0, 5000.0), rng.gen_range_f64(0.0, 5000.0));
+            let r = rng.gen_range_f64(10.0, 1500.0);
+            let mut got: Vec<u32> = grid.within(c, r).map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = items
+                .iter()
+                .filter(|(_, p)| p.distance_sq(c) <= r * r)
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let grid: GridIndex<u32> = GridIndex::build(std::iter::empty(), 10.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.within(Point::ORIGIN, 100.0).count(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Planar geometry primitives for the MLoRa mobility substrate.
+//!
+//! Coordinates are metres in a local tangent plane — at London-bus scale
+//! (≤ 25 km) the flat-earth error is negligible compared to the 0.5–1 km
+//! radio ranges the simulation reasons about.
+//!
+//! * [`Point`] — a position in metres.
+//! * [`BBox`] — an axis-aligned bounding box (the simulation area).
+//! * [`Polyline`] — a bus route with O(log n) arc-length interpolation.
+//! * [`GridIndex`] — a uniform spatial hash grid answering "who is within
+//!   radius r of p?" queries, the backbone of neighbour discovery.
+
+#![deny(missing_docs)]
+
+mod bbox;
+mod grid;
+mod point;
+mod polyline;
+
+pub use bbox::BBox;
+pub use grid::GridIndex;
+pub use point::Point;
+pub use polyline::{Polyline, PolylineError};

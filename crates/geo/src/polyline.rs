@@ -1,0 +1,188 @@
+//! Polylines with arc-length parameterisation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// A piecewise-linear path (a bus route) supporting O(log n) queries of
+/// "where am I after travelling `d` metres?".
+///
+/// # Example
+///
+/// ```
+/// use mlora_geo::{Point, Polyline};
+///
+/// let route = Polyline::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(100.0, 0.0),
+///     Point::new(100.0, 50.0),
+/// ]).unwrap();
+/// assert_eq!(route.length(), 150.0);
+/// assert_eq!(route.point_at(125.0), Point::new(100.0, 25.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+    /// Cumulative arc length at each vertex; `cum[0] == 0`.
+    cum: Vec<f64>,
+}
+
+/// Error returned when constructing a [`Polyline`] from invalid vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolylineError {
+    /// Fewer than two vertices were supplied.
+    TooFewPoints,
+    /// A vertex coordinate was NaN or infinite.
+    NonFinitePoint,
+}
+
+impl std::fmt::Display for PolylineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolylineError::TooFewPoints => write!(f, "polyline needs at least two points"),
+            PolylineError::NonFinitePoint => write!(f, "polyline point is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolylineError {}
+
+impl Polyline {
+    /// Builds a polyline from its vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolylineError::TooFewPoints`] with fewer than two vertices
+    /// and [`PolylineError::NonFinitePoint`] if any coordinate is NaN or
+    /// infinite. Repeated vertices (zero-length segments) are allowed.
+    pub fn new(points: Vec<Point>) -> Result<Self, PolylineError> {
+        if points.len() < 2 {
+            return Err(PolylineError::TooFewPoints);
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(PolylineError::NonFinitePoint);
+        }
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let last = *cum.last().expect("cum is non-empty");
+            cum.push(last + w[0].distance(w[1]));
+        }
+        Ok(Polyline { points, cum })
+    }
+
+    /// Total length in metres.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("cum is non-empty")
+    }
+
+    /// The vertices.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First vertex.
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    /// Last vertex.
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("points is non-empty")
+    }
+
+    /// The position after travelling `distance` metres from the start.
+    ///
+    /// Distances are clamped to `[0, length()]`, so callers can feed raw
+    /// `speed × elapsed` products without range checks.
+    pub fn point_at(&self, distance: f64) -> Point {
+        let d = distance.clamp(0.0, self.length());
+        // Find the segment containing d: first index with cum[i] >= d.
+        let i = self.cum.partition_point(|&c| c < d);
+        if i == 0 {
+            return self.points[0];
+        }
+        let seg_start = self.cum[i - 1];
+        let seg_len = self.cum[i] - seg_start;
+        if seg_len <= 0.0 {
+            return self.points[i];
+        }
+        let t = (d - seg_start) / seg_len;
+        self.points[i - 1].lerp(self.points[i], t)
+    }
+
+    /// The fraction `[0, 1]` of the route covered after `distance` metres.
+    pub fn fraction_at(&self, distance: f64) -> f64 {
+        if self.length() <= 0.0 {
+            return 1.0;
+        }
+        (distance / self.length()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 50.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        assert_eq!(l_shape().length(), 150.0);
+    }
+
+    #[test]
+    fn point_at_interpolates() {
+        let p = l_shape();
+        assert_eq!(p.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at(50.0), Point::new(50.0, 0.0));
+        assert_eq!(p.point_at(100.0), Point::new(100.0, 0.0));
+        assert_eq!(p.point_at(150.0), Point::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let p = l_shape();
+        assert_eq!(p.point_at(-10.0), p.start());
+        assert_eq!(p.point_at(1e9), p.end());
+    }
+
+    #[test]
+    fn zero_length_segments_allowed() {
+        let p = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.length(), 10.0);
+        assert_eq!(p.point_at(5.0), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN]).unwrap_err(),
+            PolylineError::TooFewPoints
+        );
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN, Point::new(f64::NAN, 0.0)]).unwrap_err(),
+            PolylineError::NonFinitePoint
+        );
+    }
+
+    #[test]
+    fn fraction_at() {
+        let p = l_shape();
+        assert_eq!(p.fraction_at(75.0), 0.5);
+        assert_eq!(p.fraction_at(-5.0), 0.0);
+        assert_eq!(p.fraction_at(500.0), 1.0);
+    }
+}

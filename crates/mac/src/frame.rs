@@ -1,0 +1,131 @@
+//! Application messages and uplink frames.
+
+use mlora_simcore::{MessageId, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Size of one application reading, bytes (§VII.A.4: 20-byte message).
+pub const APP_MESSAGE_BYTES: usize = 20;
+
+/// LoRaWAN overhead per uplink frame, bytes: MHDR (1) + DevAddr (4) +
+/// MIC (4). Kept compact so a full 12-message bundle plus the routing
+/// metadata is exactly the 255-byte LoRa maximum the paper quotes.
+pub const FRAME_HEADER_BYTES: usize = 9;
+
+/// Most application messages bundled into one frame (§VII.A.5: "devices
+/// select up to 12 messages from the queue").
+pub const MAX_BUNDLE: usize = 12;
+
+/// Bytes spent piggybacking the routing metadata (RCA-ETX as f32 plus a
+/// 16-bit queue length).
+pub const METADATA_BYTES: usize = 6;
+
+/// One 20-byte application reading.
+///
+/// Identity and provenance only — the simulation never materialises the
+/// payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppMessage {
+    /// Globally unique message identity.
+    pub id: MessageId,
+    /// The device that generated the reading.
+    pub origin: NodeId,
+    /// Generation timestamp (`t_d(x)` in the paper's delay metric).
+    pub created: SimTime,
+}
+
+impl AppMessage {
+    /// Creates a message record.
+    pub fn new(id: MessageId, origin: NodeId, created: SimTime) -> Self {
+        AppMessage { id, origin, created }
+    }
+}
+
+/// An uplink data frame: up to [`MAX_BUNDLE`] bundled messages plus the
+/// sender's routing metadata (§VII.A.5: devices "append their RCA-ETX
+/// value and data queue size to the data packets").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UplinkFrame {
+    /// Transmitting device.
+    pub sender: NodeId,
+    /// Bundled application messages, oldest first.
+    pub messages: Vec<AppMessage>,
+    /// Sender's node-to-sink RCA-ETX estimate, seconds.
+    pub rca_etx: f64,
+    /// Sender's queue length (messages) at transmission time.
+    pub queue_len: usize,
+}
+
+impl UplinkFrame {
+    /// Builds a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_BUNDLE`] messages are supplied.
+    pub fn new(sender: NodeId, messages: Vec<AppMessage>, rca_etx: f64, queue_len: usize) -> Self {
+        assert!(
+            messages.len() <= MAX_BUNDLE,
+            "frame bundles at most {MAX_BUNDLE} messages, got {}",
+            messages.len()
+        );
+        UplinkFrame {
+            sender,
+            messages,
+            rca_etx,
+            queue_len,
+        }
+    }
+
+    /// PHY payload size of this frame, bytes.
+    pub fn payload_bytes(&self) -> usize {
+        FRAME_HEADER_BYTES + METADATA_BYTES + self.messages.len() * APP_MESSAGE_BYTES
+    }
+
+    /// Number of bundled messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if the frame carries no application messages (a pure metric
+    /// beacon).
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(i: u64) -> AppMessage {
+        AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO)
+    }
+
+    #[test]
+    fn payload_size_fits_lora_maximum() {
+        let msgs: Vec<AppMessage> = (0..MAX_BUNDLE as u64).map(msg).collect();
+        let frame = UplinkFrame::new(NodeId::new(1), msgs, 10.0, 30);
+        // 9 + 6 + 12*20 = 255, the LoRa PHY maximum exactly.
+        assert_eq!(frame.payload_bytes(), FRAME_HEADER_BYTES + METADATA_BYTES + 240);
+        assert!(frame.payload_bytes() <= 255);
+    }
+
+    #[test]
+    fn empty_frame_is_beacon() {
+        let frame = UplinkFrame::new(NodeId::new(1), Vec::new(), 5.0, 0);
+        assert!(frame.is_empty());
+        assert_eq!(frame.payload_bytes(), FRAME_HEADER_BYTES + METADATA_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn overfull_bundle_rejected() {
+        let msgs: Vec<AppMessage> = (0..(MAX_BUNDLE as u64 + 1)).map(msg).collect();
+        let _ = UplinkFrame::new(NodeId::new(1), msgs, 1.0, 0);
+    }
+
+    #[test]
+    fn message_equality_by_fields() {
+        assert_eq!(msg(1), msg(1));
+        assert_ne!(msg(1), msg(2));
+    }
+}

@@ -1,0 +1,39 @@
+//! LoRaWAN MAC substrate for MLoRa-SS.
+//!
+//! Implements the medium-access behaviour the paper's §III.B and §VI rely
+//! on:
+//!
+//! * [`AppMessage`] / [`UplinkFrame`] — 20-byte application readings,
+//!   bundled up to twelve per frame with the sender's RCA-ETX and queue
+//!   length piggybacked (§VII.A.5).
+//! * [`DataQueue`] — the per-device FIFO application buffer.
+//! * [`DutyCycleTracker`] — EU868 1 % duty-cycle enforcement.
+//! * [`RetransmitPolicy`] — up to eight attempts, reset when a new packet
+//!   is generated.
+//! * [`DeviceClass`] — Class A/B/C plus the paper's **Modified Class-C**
+//!   (always listening on the uplink channel) and **Queue-based Class-A**
+//!   (receive window scaled by normalised backlog, Eq. 11).
+//! * [`EnergyModel`] / [`EnergyAccount`] — time-in-state energy
+//!   accounting for the class comparison (§VII.C).
+//! * [`encode_frame`] / [`decode_frame`] — the reference wire layout for
+//!   the metric-piggybacking uplink, for on-device ports.
+
+#![deny(missing_docs)]
+
+mod class;
+mod codec;
+mod dutycycle;
+mod energy;
+mod frame;
+mod queue;
+mod retransmit;
+
+pub use class::{queue_based_window_fraction, ClassAWindows, DeviceClass};
+pub use codec::{decode_frame, encode_frame, DecodeError};
+pub use dutycycle::DutyCycleTracker;
+pub use energy::{EnergyAccount, EnergyModel, RadioState};
+pub use frame::{
+    AppMessage, UplinkFrame, APP_MESSAGE_BYTES, FRAME_HEADER_BYTES, MAX_BUNDLE, METADATA_BYTES,
+};
+pub use queue::DataQueue;
+pub use retransmit::RetransmitPolicy;

@@ -1,0 +1,176 @@
+//! Per-device FIFO application data queue.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::AppMessage;
+
+/// The first-in-first-out application buffer of a device (§VII.A.4).
+///
+/// Messages stay queued until the device learns they were delivered (a
+/// gateway acknowledgement) or hands them to a neighbour. The queue is
+/// bounded; when full, the **oldest** message is dropped (freshest-data
+/// retention, the usual choice for telemetry) and counted.
+///
+/// # Example
+///
+/// ```
+/// use mlora_mac::{AppMessage, DataQueue};
+/// use mlora_simcore::{MessageId, NodeId, SimTime};
+///
+/// let mut q = DataQueue::new(2);
+/// for i in 0..3 {
+///     q.push(AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO));
+/// }
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.dropped(), 1);
+/// assert_eq!(q.peek_front(2)[0].id, MessageId::new(1)); // msg-0 was dropped
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataQueue {
+    buf: VecDeque<AppMessage>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl DataQueue {
+    /// Creates a queue holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        DataQueue {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a message; drops (and counts) the oldest if full.
+    pub fn push(&mut self, msg: AppMessage) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(msg);
+    }
+
+    /// The oldest `n` messages without removing them (fewer if the queue
+    /// is shorter).
+    pub fn peek_front(&self, n: usize) -> Vec<AppMessage> {
+        self.buf.iter().take(n).copied().collect()
+    }
+
+    /// Removes and returns the oldest `n` messages.
+    pub fn pop_front(&mut self, n: usize) -> Vec<AppMessage> {
+        let n = n.min(self.buf.len());
+        self.buf.drain(..n).collect()
+    }
+
+    /// Removes the specific `messages` (by identity) wherever they sit in
+    /// the queue; returns how many were found and removed.
+    ///
+    /// Used when an acknowledgement confirms delivery of an earlier
+    /// bundle: new messages may have arrived since, so removal cannot
+    /// assume the bundle is still at the front.
+    pub fn remove(&mut self, messages: &[AppMessage]) -> usize {
+        let before = self.buf.len();
+        self.buf.retain(|m| !messages.iter().any(|d| d.id == m.id));
+        before - self.buf.len()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Messages dropped so far due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over queued messages, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AppMessage> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlora_simcore::{MessageId, NodeId, SimTime};
+
+    fn msg(i: u64) -> AppMessage {
+        AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DataQueue::new(10);
+        for i in 0..5 {
+            q.push(msg(i));
+        }
+        let popped = q.pop_front(3);
+        assert_eq!(popped.iter().map(|m| m.id.raw()).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut q = DataQueue::new(3);
+        for i in 0..5 {
+            q.push(msg(i));
+        }
+        assert_eq!(q.dropped(), 2);
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = DataQueue::new(10);
+        q.push(msg(1));
+        let peeked = q.peek_front(5);
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_by_identity_anywhere() {
+        let mut q = DataQueue::new(10);
+        for i in 0..6 {
+            q.push(msg(i));
+        }
+        let removed = q.remove(&[msg(1), msg(4), msg(99)]);
+        assert_eq!(removed, 2);
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn pop_more_than_available() {
+        let mut q = DataQueue::new(4);
+        q.push(msg(1));
+        assert_eq!(q.pop_front(10).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DataQueue::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fleet statistics reproducing Fig. 7 of the paper.
+
+use mlora_simcore::stats::Histogram;
+use mlora_simcore::{SimDuration, SimTime};
+
+use crate::BusNetwork;
+
+/// Number of active buses sampled every `bucket` across the network's
+/// horizon — the series of Fig. 7(a).
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero.
+pub fn active_bus_series(net: &BusNetwork, bucket: SimDuration) -> Vec<(SimTime, usize)> {
+    assert!(!bucket.is_zero(), "bucket must be positive");
+    let horizon = net.horizon();
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t < SimTime::ZERO + horizon {
+        out.push((t, net.active_trips(t).count()));
+        t += bucket;
+    }
+    out
+}
+
+/// Histogram of trip (bus active) durations — the distribution of
+/// Fig. 7(b). Bins are `bin_width` wide covering `[0, max_duration)`.
+///
+/// # Panics
+///
+/// Panics if `bin_width` is zero or `max_duration <= bin_width`.
+pub fn trip_duration_histogram(
+    net: &BusNetwork,
+    bin_width: SimDuration,
+    max_duration: SimDuration,
+) -> Histogram {
+    assert!(!bin_width.is_zero(), "bin width must be positive");
+    assert!(max_duration > bin_width, "need more than one bin");
+    let bins = (max_duration.as_millis() / bin_width.as_millis()) as usize;
+    let mut h = Histogram::new(0.0, max_duration.as_secs_f64(), bins.max(1));
+    for trip in net.trips() {
+        h.push(trip.duration().as_secs_f64());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusNetwork, BusNetworkConfig};
+
+    fn net() -> BusNetwork {
+        let cfg = BusNetworkConfig {
+            area_side_m: 10_000.0,
+            num_routes: 12,
+            max_active_buses: 60,
+            min_route_length_m: 2_000.0,
+            ..BusNetworkConfig::default()
+        };
+        BusNetwork::generate(&cfg, 11)
+    }
+
+    #[test]
+    fn series_covers_horizon() {
+        let n = net();
+        let series = active_bus_series(&n, SimDuration::from_mins(30));
+        assert_eq!(series.len(), 48);
+        assert_eq!(series[0].0, SimTime::ZERO);
+        // At least some sample shows activity.
+        assert!(series.iter().any(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn series_shape_matches_profile() {
+        let n = net();
+        let series = active_bus_series(&n, SimDuration::from_mins(60));
+        let night = series[3].1; // 03:00
+        let noon = series[12].1; // 12:00
+        assert!(noon > night, "noon {noon} vs night {night}");
+    }
+
+    #[test]
+    fn histogram_counts_every_trip() {
+        let n = net();
+        let h = trip_duration_histogram(&n, SimDuration::from_mins(15), SimDuration::from_hours(6));
+        assert_eq!(h.count(), n.trips().len() as u64);
+    }
+
+    #[test]
+    fn durations_mostly_under_four_hours() {
+        let n = net();
+        let h = trip_duration_histogram(&n, SimDuration::from_mins(30), SimDuration::from_hours(8));
+        let total = h.count() as f64;
+        let under_4h: u64 = h
+            .iter()
+            .filter(|&(mid, _)| mid < 4.0 * 3600.0)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(under_4h as f64 / total > 0.8);
+    }
+}

@@ -1,0 +1,154 @@
+//! Individual vehicle trips.
+
+use mlora_simcore::{NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{Route, RouteId};
+
+/// One vehicle serving a route: it departs, ping-pongs along the path for
+/// a number of one-way legs, then leaves service.
+///
+/// A trip *is* a LoRa device for the duration of its service window — the
+/// paper's Fig. 7(b) "bus active duration" is exactly this window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    node: NodeId,
+    route: RouteId,
+    depart: SimTime,
+    legs: u32,
+    /// Cached duration so callers do not need the route to ask for it.
+    duration: SimDuration,
+}
+
+impl Trip {
+    /// Creates a trip for `node` on `route`, departing at `depart` and
+    /// serving `legs` one-way traversals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legs == 0`.
+    pub fn new(node: NodeId, route: &Route, depart: SimTime, legs: u32) -> Self {
+        assert!(legs > 0, "a trip needs at least one leg");
+        Trip {
+            node,
+            route: route.id(),
+            depart,
+            legs,
+            duration: route.one_way_duration() * u64::from(legs),
+        }
+    }
+
+    /// The device identity of this vehicle.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The route served.
+    pub fn route(&self) -> RouteId {
+        self.route
+    }
+
+    /// Service start.
+    pub fn depart(&self) -> SimTime {
+        self.depart
+    }
+
+    /// Number of one-way legs served.
+    pub fn legs(&self) -> u32 {
+        self.legs
+    }
+
+    /// Total time in service.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Service end (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.depart + self.duration
+    }
+
+    /// True if the vehicle is in service at `t`.
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t >= self.depart && t < self.end()
+    }
+
+    /// Position at time `t`.
+    ///
+    /// Outside the service window the position clamps to the nearest
+    /// endpoint of the window (the terminus where the bus parks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is not the route this trip serves.
+    pub fn position(&self, route: &Route, t: SimTime) -> mlora_geo::Point {
+        assert_eq!(route.id(), self.route, "position queried with wrong route");
+        let t = t.max(self.depart).min(self.end());
+        let elapsed = (t - self.depart).as_secs_f64();
+        route.position_after(route.speed_mps() * elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlora_geo::{Point, Polyline};
+
+    fn route() -> Route {
+        let path = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]).unwrap();
+        Route::new(RouteId::new(0), path, 10.0)
+    }
+
+    #[test]
+    fn window_and_duration() {
+        let r = route();
+        let t = Trip::new(NodeId::new(1), &r, SimTime::from_secs(100), 3);
+        assert_eq!(t.duration(), SimDuration::from_secs(300));
+        assert_eq!(t.end(), SimTime::from_secs(400));
+        assert!(!t.is_active(SimTime::from_secs(99)));
+        assert!(t.is_active(SimTime::from_secs(100)));
+        assert!(t.is_active(SimTime::from_secs(399)));
+        assert!(!t.is_active(SimTime::from_secs(400)));
+    }
+
+    #[test]
+    fn positions_along_legs() {
+        let r = route();
+        let t = Trip::new(NodeId::new(1), &r, SimTime::from_secs(0), 2);
+        assert_eq!(t.position(&r, SimTime::from_secs(50)), Point::new(500.0, 0.0));
+        assert_eq!(t.position(&r, SimTime::from_secs(100)), Point::new(1000.0, 0.0));
+        // Second leg runs back towards the start.
+        assert_eq!(t.position(&r, SimTime::from_secs(150)), Point::new(500.0, 0.0));
+        assert_eq!(t.position(&r, SimTime::from_secs(200)), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn position_clamps_outside_window() {
+        let r = route();
+        let t = Trip::new(NodeId::new(1), &r, SimTime::from_secs(100), 1);
+        assert_eq!(t.position(&r, SimTime::ZERO), Point::new(0.0, 0.0));
+        assert_eq!(
+            t.position(&r, SimTime::from_secs(10_000)),
+            Point::new(1000.0, 0.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leg")]
+    fn zero_legs_rejected() {
+        let _ = Trip::new(NodeId::new(1), &route(), SimTime::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong route")]
+    fn wrong_route_rejected() {
+        let r = route();
+        let other = Route::new(
+            RouteId::new(9),
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap(),
+            1.0,
+        );
+        let t = Trip::new(NodeId::new(1), &r, SimTime::ZERO, 1);
+        let _ = t.position(&other, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! Same-channel collision resolution with capture.
+
+/// Power margin by which the strongest frame must exceed every interferer
+/// to be captured, in dB. 6 dB is the figure used by FLoRa and most LoRa
+/// collision studies.
+pub const CAPTURE_MARGIN_DB: f64 = 6.0;
+
+/// Resolves which of several time-overlapping transmissions (same channel,
+/// same spreading factor) a receiver decodes.
+///
+/// `frames` holds `(tag, rssi_dbm)` pairs for every frame overlapping at
+/// the receiver. A frame is decoded iff:
+///
+/// * its RSSI is at or above `sensitivity_dbm`, and
+/// * either it is alone, or it exceeds **every** other overlapping frame
+///   by at least `capture_margin_db` (the capture effect).
+///
+/// Returns the tag of the decoded frame, or `None` if the collision
+/// destroys all frames.
+///
+/// # Example
+///
+/// ```
+/// use mlora_phy::{resolve_collision, CAPTURE_MARGIN_DB};
+///
+/// // A strong frame captures over a weak interferer…
+/// let got = resolve_collision(&[("a", -70.0), ("b", -90.0)], -123.0, CAPTURE_MARGIN_DB);
+/// assert_eq!(got, Some("a"));
+/// // …but similar powers destroy both.
+/// let got = resolve_collision(&[("a", -80.0), ("b", -82.0)], -123.0, CAPTURE_MARGIN_DB);
+/// assert_eq!(got, None);
+/// ```
+pub fn resolve_collision<T: Copy>(
+    frames: &[(T, f64)],
+    sensitivity_dbm: f64,
+    capture_margin_db: f64,
+) -> Option<T> {
+    let (best_idx, &(tag, best_rssi)) = frames
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1 .1
+                .partial_cmp(&b.1 .1)
+                .expect("RSSI values are finite")
+        })?;
+    if best_rssi < sensitivity_dbm {
+        return None;
+    }
+    let captured = frames
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != best_idx)
+        .all(|(_, &(_, rssi))| best_rssi - rssi >= capture_margin_db);
+    captured.then_some(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SENS: f64 = -123.0;
+
+    #[test]
+    fn lone_frame_above_sensitivity_decodes() {
+        assert_eq!(resolve_collision(&[(1, -100.0)], SENS, CAPTURE_MARGIN_DB), Some(1));
+    }
+
+    #[test]
+    fn lone_frame_below_sensitivity_lost() {
+        assert_eq!(resolve_collision(&[(1, -130.0)], SENS, CAPTURE_MARGIN_DB), None);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(resolve_collision::<u32>(&[], SENS, CAPTURE_MARGIN_DB), None);
+    }
+
+    #[test]
+    fn capture_requires_margin_over_all() {
+        // Strongest beats one interferer by 10 dB but another by only 3 dB.
+        let frames = [(1, -70.0), (2, -80.0), (3, -73.0)];
+        assert_eq!(resolve_collision(&frames, SENS, CAPTURE_MARGIN_DB), None);
+        // Remove the close interferer and capture succeeds.
+        let frames = [(1, -70.0), (2, -80.0)];
+        assert_eq!(resolve_collision(&frames, SENS, CAPTURE_MARGIN_DB), Some(1));
+    }
+
+    #[test]
+    fn exact_margin_captures() {
+        let frames = [(1, -70.0), (2, -76.0)];
+        assert_eq!(resolve_collision(&frames, SENS, CAPTURE_MARGIN_DB), Some(1));
+    }
+
+    #[test]
+    fn strongest_still_needs_sensitivity() {
+        let frames = [(1, -125.0), (2, -140.0)];
+        assert_eq!(resolve_collision(&frames, SENS, CAPTURE_MARGIN_DB), None);
+    }
+
+    #[test]
+    fn zero_margin_degenerates_to_strongest_wins() {
+        let frames = [(1, -80.0), (2, -80.5)];
+        assert_eq!(resolve_collision(&frames, SENS, 0.0), Some(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! Log-distance path loss with log-normal shadowing.
+
+use mlora_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The log-distance path-loss model with optional log-normal shadowing:
+///
+/// ```text
+/// PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀) + X_σ,   X_σ ~ N(0, σ²)
+/// ```
+///
+/// Defaults follow Petäjäjärvi et al. ("On the coverage of LPWANs", ITST
+/// 2015), the model the paper cites for its sub-urban LoRa channel:
+/// `PL(1 km) = 128.95 dB`, `n = 2.32`.
+///
+/// # Example
+///
+/// ```
+/// use mlora_phy::LogDistanceModel;
+///
+/// let model = LogDistanceModel::paper_default();
+/// let rssi_1km = model.mean_rssi_dbm(14.0, 1_000.0);
+/// let rssi_2km = model.mean_rssi_dbm(14.0, 2_000.0);
+/// assert!(rssi_1km > rssi_2km); // further is weaker
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDistanceModel {
+    /// Path loss at the reference distance, in dB.
+    pub pl0_db: f64,
+    /// Reference distance in metres.
+    pub d0_m: f64,
+    /// Path-loss exponent `n`.
+    pub exponent: f64,
+    /// Shadowing standard deviation σ in dB (0 disables shadowing).
+    pub shadowing_sigma_db: f64,
+}
+
+impl LogDistanceModel {
+    /// The sub-urban model of §VII.A.5: `PL(1 km) = 128.95 dB`, `n = 2.32`,
+    /// `σ = 7.8 dB` (the fit reported by Petäjäjärvi et al.).
+    pub const fn paper_default() -> Self {
+        LogDistanceModel {
+            pl0_db: 128.95,
+            d0_m: 1_000.0,
+            exponent: 2.32,
+            shadowing_sigma_db: 7.8,
+        }
+    }
+
+    /// Deterministic variant of [`LogDistanceModel::paper_default`] with
+    /// shadowing disabled; useful for reproducible unit tests.
+    pub const fn deterministic() -> Self {
+        LogDistanceModel {
+            shadowing_sigma_db: 0.0,
+            ..LogDistanceModel::paper_default()
+        }
+    }
+
+    /// Mean path loss at `distance_m` metres, in dB (no shadowing term).
+    ///
+    /// Distances below 1 m are clamped to 1 m to keep the logarithm sane.
+    pub fn mean_path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10()
+    }
+
+    /// Mean received signal strength for a transmit power, in dBm.
+    pub fn mean_rssi_dbm(&self, tx_power_dbm: f64, distance_m: f64) -> f64 {
+        tx_power_dbm - self.mean_path_loss_db(distance_m)
+    }
+
+    /// Received signal strength with a fresh shadowing draw, in dBm.
+    ///
+    /// Each call draws an independent `N(0, σ²)` shadowing term from `rng`;
+    /// with `σ = 0` this equals [`LogDistanceModel::mean_rssi_dbm`].
+    pub fn sample_rssi_dbm(&self, tx_power_dbm: f64, distance_m: f64, rng: &mut SimRng) -> f64 {
+        let shadow = if self.shadowing_sigma_db > 0.0 {
+            rng.normal(0.0, self.shadowing_sigma_db)
+        } else {
+            0.0
+        };
+        self.mean_rssi_dbm(tx_power_dbm, distance_m) + shadow
+    }
+
+    /// The distance at which mean RSSI falls to `sensitivity_dbm`, in
+    /// metres — the nominal communication range.
+    pub fn range_for_sensitivity_m(&self, tx_power_dbm: f64, sensitivity_dbm: f64) -> f64 {
+        let budget_db = tx_power_dbm - sensitivity_dbm - self.pl0_db;
+        self.d0_m * 10f64.powf(budget_db / (10.0 * self.exponent))
+    }
+}
+
+impl Default for LogDistanceModel {
+    fn default() -> Self {
+        LogDistanceModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_distance_loss() {
+        let m = LogDistanceModel::deterministic();
+        assert!((m.mean_path_loss_db(1_000.0) - 128.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_increases_with_distance() {
+        let m = LogDistanceModel::deterministic();
+        let mut last = 0.0;
+        for d in [10.0, 100.0, 500.0, 1_000.0, 5_000.0, 15_000.0] {
+            let pl = m.mean_path_loss_db(d);
+            assert!(pl > last);
+            last = pl;
+        }
+    }
+
+    #[test]
+    fn slope_is_10n_per_decade() {
+        let m = LogDistanceModel::deterministic();
+        let per_decade = m.mean_path_loss_db(10_000.0) - m.mean_path_loss_db(1_000.0);
+        assert!((per_decade - 23.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_distance_clamped() {
+        let m = LogDistanceModel::deterministic();
+        assert_eq!(m.mean_path_loss_db(0.0), m.mean_path_loss_db(1.0));
+        assert_eq!(m.mean_path_loss_db(-5.0), m.mean_path_loss_db(1.0));
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = LogDistanceModel::paper_default();
+        let mut rng = SimRng::new(3);
+        let n = 10_000;
+        let mean_rssi = m.mean_rssi_dbm(14.0, 1_000.0);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.sample_rssi_dbm(14.0, 1_000.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - mean_rssi).abs() < 0.3, "mean {mean} vs {mean_rssi}");
+        assert!((var.sqrt() - 7.8).abs() < 0.3, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_sampling_equals_mean() {
+        let m = LogDistanceModel::deterministic();
+        let mut rng = SimRng::new(4);
+        assert_eq!(
+            m.sample_rssi_dbm(14.0, 500.0, &mut rng),
+            m.mean_rssi_dbm(14.0, 500.0)
+        );
+    }
+
+    #[test]
+    fn range_inverts_loss() {
+        let m = LogDistanceModel::deterministic();
+        // SF7 sensitivity -123 dBm at +14 dBm: link budget 137 dB.
+        let range = m.range_for_sensitivity_m(14.0, -123.0);
+        let rssi_at_range = m.mean_rssi_dbm(14.0, range);
+        assert!((rssi_at_range - (-123.0)).abs() < 1e-6);
+        // The paper's 1 km urban figure is the right order of magnitude.
+        assert!(range > 1_000.0 && range < 3_000.0, "range {range}");
+    }
+}

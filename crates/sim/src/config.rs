@@ -1,0 +1,299 @@
+//! Simulation configuration.
+
+use mlora_core::{RoutingConfig, Scheme};
+use mlora_mobility::BusNetworkConfig;
+use mlora_phy::{CapacityModel, LogDistanceModel, PhyParams};
+use mlora_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::SimReport;
+
+/// Radio environment, setting the device-to-device range (§VII.A.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Urban: buildings block signals; device↔device range 500 m.
+    Urban,
+    /// Rural: open terrain; device↔device range 1000 m.
+    Rural,
+}
+
+impl Environment {
+    /// The device-to-device communication range, metres.
+    pub const fn d2d_range_m(self) -> f64 {
+        match self {
+            Environment::Urban => 500.0,
+            Environment::Rural => 1_000.0,
+        }
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Environment::Urban => "urban",
+            Environment::Rural => "rural",
+        }
+    }
+}
+
+impl std::fmt::Display for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How gateways are placed over the area (§VII.A.6 uses a uniform grid;
+/// §VII.C discusses random placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GatewayPlacement {
+    /// Uniform grid (the paper's main setting).
+    Grid,
+    /// Uniformly random positions (the §VII.C ablation).
+    Random,
+}
+
+/// Which device class the fleet runs (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClassChoice {
+    /// Modified Class-C: always listening on the uplink channel.
+    ModifiedClassC,
+    /// Queue-based Class-A: Eq. 11 adaptive receive windows.
+    QueueBasedClassA,
+}
+
+/// Full configuration of one simulation run.
+///
+/// [`SimConfig::paper_default`] reproduces §VII.A; named constructors
+/// derive the scaled-down variants used by tests and Criterion benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Mobility substrate configuration.
+    pub network: BusNetworkConfig,
+    /// Number of gateways (the paper sweeps 40–100).
+    pub num_gateways: usize,
+    /// Gateway placement strategy.
+    pub placement: GatewayPlacement,
+    /// Device-to-gateway communication range, metres (paper: 1 km).
+    pub gateway_range_m: f64,
+    /// Radio environment (device-to-device range).
+    pub environment: Environment,
+    /// Forwarding scheme under test.
+    pub scheme: Scheme,
+    /// EWMA smoothing factor α (paper evaluation: 0.5).
+    pub alpha: f64,
+    /// Device class for the fleet.
+    pub device_class: DeviceClassChoice,
+    /// Application message generation interval (paper: 3 min).
+    pub gen_interval: SimDuration,
+    /// Per-device application queue capacity, messages.
+    pub queue_capacity: usize,
+    /// Duty cycle cap (paper: 1 %).
+    pub duty_cycle: f64,
+    /// Maximum transmissions per frame (paper: 8).
+    pub max_attempts: u32,
+    /// LoRa modulation parameters.
+    pub phy: PhyParams,
+    /// Path-loss model.
+    pub path_loss: LogDistanceModel,
+    /// RSSI→capacity map (Eq. 5).
+    pub capacity: CapacityModel,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Width of the throughput time-series buckets (paper: 10 min).
+    pub series_bucket: SimDuration,
+}
+
+/// Error returned when a [`SimConfig`] is internally inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A field failed validation; the message names it.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Invalid(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimConfig {
+    /// The paper's §VII.A setting for a scheme/environment pair: 600 km²,
+    /// 24 h, grid gateways at 1 km range, 3-minute 20-byte messages, SF7,
+    /// 1 % duty cycle, α = 0.5, Modified Class-C.
+    pub fn paper_default(scheme: Scheme, environment: Environment) -> Self {
+        SimConfig {
+            network: BusNetworkConfig::default(),
+            num_gateways: 60,
+            placement: GatewayPlacement::Grid,
+            gateway_range_m: 1_000.0,
+            environment,
+            scheme,
+            alpha: 0.5,
+            device_class: DeviceClassChoice::ModifiedClassC,
+            gen_interval: SimDuration::from_mins(3),
+            queue_capacity: 256,
+            duty_cycle: 0.01,
+            max_attempts: 8,
+            phy: PhyParams::paper_default(),
+            path_loss: LogDistanceModel::paper_default(),
+            capacity: CapacityModel::paper_default(),
+            horizon: SimDuration::from_hours(24),
+            series_bucket: SimDuration::from_mins(10),
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests and micro
+    /// benches: 100 km², 2 simulated hours, a few dozen buses.
+    pub fn smoke_test(scheme: Scheme, environment: Environment) -> Self {
+        let mut cfg = SimConfig::paper_default(scheme, environment);
+        cfg.network.area_side_m = 10_000.0;
+        cfg.network.num_routes = 12;
+        cfg.network.max_active_buses = 40;
+        cfg.network.min_route_length_m = 2_000.0;
+        cfg.network.horizon = SimDuration::from_hours(2);
+        cfg.horizon = SimDuration::from_hours(2);
+        cfg.num_gateways = 9;
+        cfg
+    }
+
+    /// The mid-scale configuration used by the Criterion benches: the full
+    /// 600 km² area and fleet profile shape, but a 6-hour horizon spanning
+    /// the morning ramp so runs finish in seconds.
+    pub fn bench_scale(scheme: Scheme, environment: Environment) -> Self {
+        let mut cfg = SimConfig::paper_default(scheme, environment);
+        cfg.network.max_active_buses = 800;
+        cfg.network.num_routes = 80;
+        cfg.network.horizon = SimDuration::from_hours(6);
+        cfg.horizon = SimDuration::from_hours(6);
+        cfg
+    }
+
+    /// The frame size (bits) used for metric normalisation: a full bundle.
+    pub fn packet_bits(&self) -> f64 {
+        let bytes = mlora_mac::FRAME_HEADER_BYTES
+            + mlora_mac::METADATA_BYTES
+            + mlora_mac::MAX_BUNDLE * mlora_mac::APP_MESSAGE_BYTES;
+        (bytes * 8) as f64
+    }
+
+    /// The routing configuration devices run.
+    pub fn routing_config(&self) -> RoutingConfig {
+        RoutingConfig {
+            scheme: self.scheme,
+            alpha: self.alpha,
+            packet_bits: self.packet_bits(),
+            rgq: mlora_core::Rgq::paper_default(),
+            capacity: self.capacity,
+            max_bundle: mlora_mac::MAX_BUNDLE,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_gateways == 0 {
+            return Err(ConfigError::Invalid("num_gateways must be positive"));
+        }
+        if !(self.gateway_range_m.is_finite() && self.gateway_range_m > 0.0) {
+            return Err(ConfigError::Invalid("gateway_range_m must be positive"));
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ConfigError::Invalid("alpha must be in (0, 1]"));
+        }
+        if self.gen_interval.is_zero() {
+            return Err(ConfigError::Invalid("gen_interval must be positive"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::Invalid("queue_capacity must be positive"));
+        }
+        if !(self.duty_cycle > 0.0 && self.duty_cycle <= 1.0) {
+            return Err(ConfigError::Invalid("duty_cycle must be in (0, 1]"));
+        }
+        if self.max_attempts == 0 {
+            return Err(ConfigError::Invalid("max_attempts must be positive"));
+        }
+        if self.horizon.is_zero() {
+            return Err(ConfigError::Invalid("horizon must be positive"));
+        }
+        if self.series_bucket.is_zero() {
+            return Err(ConfigError::Invalid("series_bucket must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation with `seed` and returns the report.
+    ///
+    /// Identical `(config, seed)` pairs produce identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn run(&self, seed: u64) -> Result<SimReport, ConfigError> {
+        self.validate()?;
+        Ok(crate::Engine::new(self.clone(), seed).run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_ranges() {
+        assert_eq!(Environment::Urban.d2d_range_m(), 500.0);
+        assert_eq!(Environment::Rural.d2d_range_m(), 1_000.0);
+        assert_eq!(Environment::Urban.to_string(), "urban");
+    }
+
+    #[test]
+    fn paper_default_is_valid() {
+        for scheme in Scheme::ALL {
+            for env in [Environment::Urban, Environment::Rural] {
+                assert_eq!(SimConfig::paper_default(scheme, env).validate(), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn packet_bits_full_bundle() {
+        let cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        assert_eq!(cfg.packet_bits(), 255.0 * 8.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let base = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+
+        let mut c = base.clone();
+        c.num_gateways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.duty_cycle = 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.horizon = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::Invalid("x must be y");
+        assert_eq!(e.to_string(), "invalid configuration: x must be y");
+    }
+}

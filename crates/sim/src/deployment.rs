@@ -1,0 +1,133 @@
+//! Gateway deployment strategies (§VII.A.6).
+
+use mlora_geo::{BBox, Point};
+use mlora_simcore::SimRng;
+
+use crate::GatewayPlacement;
+
+/// Places `n` gateways over `area` using the chosen strategy.
+///
+/// * [`GatewayPlacement::Grid`] — the paper's main setting: a near-square
+///   uniform grid with cells centred in the area, so density comparisons
+///   are not confounded by placement luck.
+/// * [`GatewayPlacement::Random`] — the §VII.C ablation: i.i.d. uniform
+///   positions (draws from `rng`).
+///
+/// The returned vector has exactly `n` positions, indexed by gateway id.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn place_gateways(
+    area: BBox,
+    n: usize,
+    placement: GatewayPlacement,
+    rng: &mut SimRng,
+) -> Vec<Point> {
+    assert!(n > 0, "need at least one gateway");
+    match placement {
+        GatewayPlacement::Grid => grid_positions(area, n),
+        GatewayPlacement::Random => (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range_f64(area.min().x, area.max().x),
+                    rng.gen_range_f64(area.min().y, area.max().y),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// A near-square grid: `cols = ceil(sqrt(n))`, rows as needed, each
+/// gateway centred in its cell. The last row centres its remainder.
+fn grid_positions(area: BBox, n: usize) -> Vec<Point> {
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let mut out = Vec::with_capacity(n);
+    let cell_h = area.height() / rows as f64;
+    let mut placed = 0;
+    for r in 0..rows {
+        let in_row = (n - placed).min(cols);
+        let cell_w = area.width() / in_row as f64;
+        for c in 0..in_row {
+            out.push(Point::new(
+                area.min().x + cell_w * (c as f64 + 0.5),
+                area.min().y + cell_h * (r as f64 + 0.5),
+            ));
+        }
+        placed += in_row;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> BBox {
+        BBox::square(Point::ORIGIN, 10_000.0)
+    }
+
+    #[test]
+    fn grid_exact_count_and_in_area() {
+        for n in [1, 4, 7, 40, 50, 60, 70, 80, 90, 100] {
+            let mut rng = SimRng::new(1);
+            let pts = place_gateways(area(), n, GatewayPlacement::Grid, &mut rng);
+            assert_eq!(pts.len(), n, "n = {n}");
+            for p in &pts {
+                assert!(area().contains(*p), "gateway {p} outside area");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_spread() {
+        let mut rng = SimRng::new(1);
+        let a = place_gateways(area(), 16, GatewayPlacement::Grid, &mut rng);
+        let b = place_gateways(area(), 16, GatewayPlacement::Grid, &mut rng);
+        assert_eq!(a, b);
+        // A 4×4 grid over 10 km: neighbours are 2.5 km apart.
+        let min_sep = a
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| a[i + 1..].iter().map(move |q| p.distance(*q)))
+            .fold(f64::INFINITY, f64::min);
+        assert!((min_sep - 2_500.0).abs() < 1.0, "min separation {min_sep}");
+    }
+
+    #[test]
+    fn random_uses_rng_and_stays_inside() {
+        let mut rng1 = SimRng::new(7);
+        let mut rng2 = SimRng::new(7);
+        let a = place_gateways(area(), 25, GatewayPlacement::Random, &mut rng1);
+        let b = place_gateways(area(), 25, GatewayPlacement::Random, &mut rng2);
+        assert_eq!(a, b); // same seed, same layout
+        let mut rng3 = SimRng::new(8);
+        let c = place_gateways(area(), 25, GatewayPlacement::Random, &mut rng3);
+        assert_ne!(a, c);
+        for p in &a {
+            assert!(area().contains(*p));
+        }
+    }
+
+    #[test]
+    fn grid_handles_non_square_counts() {
+        let mut rng = SimRng::new(1);
+        // 7 gateways: 3 cols, 3 rows (3+3+1).
+        let pts = place_gateways(area(), 7, GatewayPlacement::Grid, &mut rng);
+        assert_eq!(pts.len(), 7);
+        // All unique.
+        for (i, p) in pts.iter().enumerate() {
+            for q in &pts[i + 1..] {
+                assert!(p.distance(*q) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gateway")]
+    fn zero_gateways_rejected() {
+        let mut rng = SimRng::new(1);
+        let _ = place_gateways(area(), 0, GatewayPlacement::Grid, &mut rng);
+    }
+}

@@ -1,0 +1,813 @@
+//! The event-driven network engine.
+//!
+//! A single-threaded discrete-event loop over five event kinds: trips
+//! starting and ending, message generation, and transmission start/end.
+//! All physics (ranges, RSSI, collisions) resolve at transmission end;
+//! positions are computed analytically from the mobility substrate, so
+//! there is no per-tick stepping anywhere.
+
+use std::collections::HashMap;
+
+use mlora_core::{Beacon, ForwardDecision, RoutingState};
+use mlora_geo::Point;
+use mlora_mac::{
+    AppMessage, DataQueue, DeviceClass, DutyCycleTracker, EnergyAccount, EnergyModel, RadioState,
+    RetransmitPolicy, UplinkFrame, MAX_BUNDLE,
+};
+use mlora_phy::{resolve_collision, time_on_air, CAPTURE_MARGIN_DB};
+use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
+
+use crate::metrics::Collector;
+use crate::{place_gateways, DeviceClassChoice, SimConfig, SimReport};
+
+/// Discrete events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A bus enters service and becomes a live device.
+    TripStart(NodeId),
+    /// A bus leaves service.
+    TripEnd(NodeId),
+    /// A device generates one application message.
+    Generate(NodeId),
+    /// A device begins a transmission (uplink or handover).
+    TxStart(NodeId),
+    /// A transmission completes; receptions resolve.
+    TxEnd(u64),
+}
+
+/// A frame in the air.
+#[derive(Debug, Clone)]
+struct Flight {
+    sender: NodeId,
+    frame: UplinkFrame,
+    /// `Some(y)` for a handover aimed at device `y`.
+    target: Option<NodeId>,
+    start: SimTime,
+    end: SimTime,
+    /// Sender position at transmission start (quasi-static over ≤0.4 s).
+    pos: Point,
+}
+
+/// Per-device live state.
+#[derive(Debug, Clone)]
+struct Device {
+    active: bool,
+    activated_at: SimTime,
+    retired_at: Option<SimTime>,
+    queue: DataQueue,
+    duty: DutyCycleTracker,
+    retransmit: RetransmitPolicy,
+    routing: RoutingState,
+    class: DeviceClass,
+    transmitting: bool,
+    tx_scheduled: bool,
+    pending_handover: Option<(NodeId, usize)>,
+    last_tx_end: Option<SimTime>,
+    /// Window of the most recent transmission, for half-duplex checks.
+    tx_window: Option<(SimTime, SimTime)>,
+    /// Eq. 11 receive-window fraction, refreshed at each uplink.
+    gamma: f64,
+    /// Cumulative transmit airtime.
+    tx_time: SimDuration,
+    /// Cumulative Queue-based Class-A listening time.
+    rx_window_time: SimDuration,
+    /// Uplink frames sent (for Class-A RX-window energy).
+    frames_sent: u64,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], execute with
+/// [`Engine::run`].
+#[derive(Debug)]
+pub struct Engine {
+    cfg: SimConfig,
+    net: mlora_mobility::BusNetwork,
+    gateways: Vec<Point>,
+    events: EventQueue<Event>,
+    devices: HashMap<NodeId, Device>,
+    /// Device ids currently in service, kept sorted for determinism.
+    active: Vec<NodeId>,
+    flights: HashMap<u64, Flight>,
+    next_flight: u64,
+    next_msg: u64,
+    channel_rng: SimRng,
+    collector: Collector,
+    now: SimTime,
+    horizon: SimTime,
+    /// Cached spatial index over active-device positions, rebuilt when
+    /// stale or when the active set changes.
+    grid: Option<(SimTime, mlora_geo::GridIndex<NodeId>)>,
+    grid_dirty: bool,
+}
+
+/// How long a cached neighbour grid stays valid. At ≤10.4 m/s a device
+/// drifts ≤52 m per side in this window, covered by the query margin.
+const GRID_TTL: SimDuration = SimDuration::from_secs(5);
+
+/// Query-radius slack absorbing position drift of both endpoints over
+/// [`GRID_TTL`]; exact distances are re-checked on the candidates.
+const GRID_MARGIN_M: f64 = 120.0;
+
+impl Engine {
+    /// Builds an engine for the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; prefer
+    /// [`SimConfig::run`](crate::SimConfig::run), which validates first.
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        let root = SimRng::new(seed);
+        let mut deploy_rng = root.fork(10);
+        let mut net_cfg = cfg.network.clone();
+        net_cfg.horizon = cfg.horizon;
+        let net = mlora_mobility::BusNetwork::generate(&net_cfg, root.fork(11).seed());
+        let gateways = place_gateways(net.area(), cfg.num_gateways, cfg.placement, &mut deploy_rng);
+        let collector = Collector::new(cfg.series_bucket, cfg.horizon);
+        let horizon = SimTime::ZERO + cfg.horizon;
+        Engine {
+            net,
+            gateways,
+            events: EventQueue::with_capacity(1 << 16),
+            devices: HashMap::new(),
+            active: Vec::new(),
+            flights: HashMap::new(),
+            next_flight: 0,
+            next_msg: 0,
+            channel_rng: root.fork(12),
+            collector,
+            now: SimTime::ZERO,
+            horizon,
+            cfg,
+            grid: None,
+            grid_dirty: true,
+        }
+    }
+
+    /// Active devices possibly within `radius` of `pos`, via the cached
+    /// spatial index (sorted; callers must re-check exact distances).
+    fn neighbour_candidates(&mut self, pos: Point, radius: f64) -> Vec<NodeId> {
+        let stale = match &self.grid {
+            Some((built, _)) => self.now.saturating_since(*built) > GRID_TTL,
+            None => true,
+        };
+        if stale || self.grid_dirty {
+            let now = self.now;
+            let items = self
+                .active
+                .iter()
+                .map(|&n| (n, self.net.position(n, now)));
+            let cell = self.cfg.environment.d2d_range_m().max(200.0);
+            self.grid = Some((now, mlora_geo::GridIndex::build(items, cell)));
+            self.grid_dirty = false;
+        }
+        let (_, grid) = self.grid.as_ref().expect("grid built above");
+        let mut out: Vec<NodeId> = grid
+            .within(pos, radius + GRID_MARGIN_M)
+            .map(|(n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The gateway positions in use.
+    pub fn gateways(&self) -> &[Point] {
+        &self.gateways
+    }
+
+    /// The generated mobility network.
+    pub fn network(&self) -> &mlora_mobility::BusNetwork {
+        &self.net
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    pub fn run(mut self) -> SimReport {
+        // Seed trip lifecycle events.
+        for trip in self.net.trips() {
+            if trip.depart() >= self.horizon {
+                continue;
+            }
+            self.events.schedule(trip.depart(), Event::TripStart(trip.node()));
+            self.events
+                .schedule(trip.end().min(self.horizon), Event::TripEnd(trip.node()));
+        }
+
+        while let Some((t, ev)) = self.events.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Event::TripStart(n) => self.on_trip_start(n),
+                Event::TripEnd(n) => self.on_trip_end(n),
+                Event::Generate(n) => self.on_generate(n),
+                Event::TxStart(n) => self.on_tx_start(n),
+                Event::TxEnd(id) => self.on_tx_end(id),
+            }
+        }
+
+        // Retire any device still in service at the horizon.
+        let still_active: Vec<NodeId> = self.active.clone();
+        self.now = self.horizon;
+        for n in still_active {
+            self.retire(n);
+        }
+
+        // Stranded = undelivered messages left in any queue, deduplicated
+        // across holders (handovers can replicate a message).
+        let mut stranded = std::collections::HashSet::new();
+        for dev in self.devices.values() {
+            for msg in dev.queue.iter() {
+                if !self.collector.was_delivered(msg.id) {
+                    stranded.insert(msg.id);
+                }
+            }
+        }
+        self.collector.on_stranded(stranded.len() as u64);
+
+        self.collector.finish()
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        match self.cfg.device_class {
+            DeviceClassChoice::ModifiedClassC => DeviceClass::ModifiedClassC,
+            DeviceClassChoice::QueueBasedClassA => DeviceClass::QueueBasedClassA,
+        }
+    }
+
+    fn on_trip_start(&mut self, n: NodeId) {
+        let device = Device {
+            active: true,
+            activated_at: self.now,
+            retired_at: None,
+            queue: DataQueue::new(self.cfg.queue_capacity),
+            duty: DutyCycleTracker::new(self.cfg.duty_cycle),
+            retransmit: RetransmitPolicy::new(self.cfg.max_attempts),
+            routing: RoutingState::new(self.cfg.routing_config()),
+            class: self.device_class(),
+            transmitting: false,
+            tx_scheduled: false,
+            pending_handover: None,
+            last_tx_end: None,
+            tx_window: None,
+            gamma: 0.0,
+            tx_time: SimDuration::ZERO,
+            rx_window_time: SimDuration::ZERO,
+            frames_sent: 0,
+        };
+        self.devices.insert(n, device);
+        if let Err(i) = self.active.binary_search(&n) {
+            self.active.insert(i, n);
+        }
+        self.grid_dirty = true;
+        // First reading arrives after a per-device phase so the fleet does
+        // not transmit in lockstep.
+        let phase_ms = self
+            .channel_rng
+            .gen_range_u64(0, self.cfg.gen_interval.as_millis().max(1));
+        self.events.schedule(
+            self.now + SimDuration::from_millis(phase_ms),
+            Event::Generate(n),
+        );
+    }
+
+    fn on_trip_end(&mut self, n: NodeId) {
+        self.retire(n);
+    }
+
+    fn retire(&mut self, n: NodeId) {
+        let Some(dev) = self.devices.get_mut(&n) else {
+            return;
+        };
+        if dev.retired_at.is_some() {
+            return;
+        }
+        dev.active = false;
+        dev.retired_at = Some(self.now);
+        if let Ok(i) = self.active.binary_search(&n) {
+            self.active.remove(i);
+        }
+        self.grid_dirty = true;
+        // Energy: time-in-state reconstruction for the whole service window.
+        let active_dur = self.now.saturating_since(dev.activated_at);
+        let tx = dev.tx_time.min(active_dur);
+        let non_tx = active_dur.saturating_sub(tx);
+        let rx = match dev.class {
+            DeviceClass::ModifiedClassC | DeviceClass::ClassC => non_tx,
+            DeviceClass::QueueBasedClassA => dev.rx_window_time.min(non_tx),
+            DeviceClass::ClassA => {
+                SimDuration::from_millis(320).min(non_tx) * dev.frames_sent
+            }
+            DeviceClass::ClassB { .. } => non_tx.mul_f64(0.01),
+        };
+        let sleep = non_tx.saturating_sub(rx);
+        let mut acct = EnergyAccount::new();
+        acct.add(RadioState::Tx, tx);
+        acct.add(RadioState::Rx, rx);
+        acct.add(RadioState::Sleep, sleep);
+        let energy = acct.energy_mj(&EnergyModel::sx1276());
+        self.collector.on_device_retired(energy, active_dur);
+    }
+
+    fn on_generate(&mut self, n: NodeId) {
+        let gen_interval = self.cfg.gen_interval;
+        let Some(dev) = self.devices.get_mut(&n) else {
+            return;
+        };
+        if !dev.active {
+            return;
+        }
+        let msg = AppMessage::new(
+            mlora_simcore::MessageId::new(self.next_msg),
+            n,
+            self.now,
+        );
+        self.next_msg += 1;
+        let drops_before = dev.queue.dropped();
+        dev.queue.push(msg);
+        let dropped = dev.queue.dropped() - drops_before;
+        self.collector.on_generated();
+        if dropped > 0 {
+            self.collector.on_queue_drop(dropped);
+        }
+        // A new packet resets the retransmission counter (§VII.A.5).
+        dev.retransmit.reset();
+        self.events.schedule(self.now + gen_interval, Event::Generate(n));
+        self.maybe_schedule_tx(n);
+    }
+
+    /// Schedules the next transmission opportunity for `n`, if one is
+    /// needed and none is pending.
+    fn maybe_schedule_tx(&mut self, n: NodeId) {
+        let Some(dev) = self.devices.get_mut(&n) else {
+            return;
+        };
+        if !dev.active || dev.tx_scheduled || dev.transmitting {
+            return;
+        }
+        let has_data = !dev.queue.is_empty()
+            || dev.pending_handover.map_or(false, |(_, c)| c > 0);
+        if !has_data {
+            return;
+        }
+        let t = dev.duty.next_opportunity(self.now);
+        dev.tx_scheduled = true;
+        self.events.schedule(t, Event::TxStart(n));
+    }
+
+    fn on_tx_start(&mut self, n: NodeId) {
+        let phy = self.cfg.phy;
+        let gen_interval = self.cfg.gen_interval;
+        let queue_capacity = self.cfg.queue_capacity;
+        let Some(dev) = self.devices.get_mut(&n) else {
+            return;
+        };
+        dev.tx_scheduled = false;
+        if !dev.active || dev.transmitting {
+            return;
+        }
+        if !dev.duty.can_transmit(self.now) {
+            // Races between success-drain and retransmit scheduling can
+            // land here; re-arm at the legal instant.
+            dev.tx_scheduled = true;
+            let t = dev.duty.next_opportunity(self.now);
+            self.events.schedule(t, Event::TxStart(n));
+            return;
+        }
+
+        // Handover takes precedence when armed and the target still lives.
+        let mut target = None;
+        let mut count = dev.queue.len().min(MAX_BUNDLE);
+        if let Some((y, c)) = dev.pending_handover.take() {
+            let target_alive = self
+                .devices
+                .get(&y)
+                .map_or(false, |d| d.active);
+            if target_alive {
+                let c = c.min(MAX_BUNDLE);
+                if c > 0 {
+                    target = Some(y);
+                    count = c;
+                }
+            }
+        }
+        let dev = self.devices.get_mut(&n).expect("checked above");
+        let count = count.min(dev.queue.len());
+        if count == 0 {
+            return;
+        }
+        let messages = dev.queue.peek_front(count);
+        let frame = UplinkFrame::new(n, messages, dev.routing.beacon_metric(), dev.queue.len());
+        let airtime = time_on_air(frame.payload_bytes(), &phy);
+        dev.duty.record_tx(self.now, airtime);
+        dev.transmitting = true;
+        dev.tx_window = Some((self.now, self.now + airtime));
+        dev.tx_time += airtime;
+        dev.frames_sent += 1;
+        // Queue-based Class-A opens its Eq. 11 window after this uplink.
+        if matches!(dev.class, DeviceClass::QueueBasedClassA) {
+            let gamma = dev.routing.gamma(dev.queue.len(), queue_capacity);
+            dev.gamma = gamma;
+            dev.rx_window_time += gen_interval.mul_f64(gamma);
+        }
+        self.collector.on_frame_sent(target.is_some(), frame.len());
+
+        let id = self.next_flight;
+        self.next_flight += 1;
+        let pos = self.net.position(n, self.now);
+        self.flights.insert(
+            id,
+            Flight {
+                sender: n,
+                frame,
+                target,
+                start: self.now,
+                end: self.now + airtime,
+                pos,
+            },
+        );
+        self.events.schedule(self.now + airtime, Event::TxEnd(id));
+    }
+
+    fn on_tx_end(&mut self, id: u64) {
+        let Some(flight) = self.flights.get(&id).cloned() else {
+            return;
+        };
+        let sender = flight.sender;
+
+        // Sender leaves the transmit state.
+        if let Some(dev) = self.devices.get_mut(&sender) {
+            dev.transmitting = false;
+            dev.last_tx_end = Some(self.now);
+        }
+
+        // Frames overlapping this one in time (including itself), sorted
+        // by id: HashMap order must not leak into RNG draw order.
+        let mut overlaps: Vec<(u64, Point)> = self
+            .flights
+            .iter()
+            .filter(|(_, f)| f.start < flight.end && f.end > flight.start)
+            .map(|(&fid, f)| (fid, f.pos))
+            .collect();
+        overlaps.sort_unstable_by_key(|&(fid, _)| fid);
+
+        let gateway_rssi = self.resolve_gateways(id, &flight, &overlaps);
+        let candidates =
+            self.neighbour_candidates(flight.pos, self.cfg.environment.d2d_range_m());
+        let (accepted_by_target, to_schedule) =
+            self.resolve_neighbours(id, &flight, &overlaps, &candidates);
+        self.settle_sender(&flight, gateway_rssi, accepted_by_target);
+        for n in to_schedule {
+            self.maybe_schedule_tx(n);
+        }
+
+        // Prune flights that can no longer overlap anything.
+        let cutoff = self.now;
+        self.flights
+            .retain(|_, f| f.end + SimDuration::from_secs(2) >= cutoff);
+    }
+
+    /// Resolves reception at every gateway; returns the best RSSI among
+    /// gateways that decoded this flight, if any.
+    fn resolve_gateways(
+        &mut self,
+        flight_id: u64,
+        flight: &Flight,
+        overlaps: &[(u64, Point)],
+    ) -> Option<f64> {
+        let range = self.cfg.gateway_range_m;
+        let sens = self.cfg.phy.sensitivity_dbm();
+        let txp = self.cfg.phy.tx_power_dbm;
+        let mut best: Option<f64> = None;
+        let gateways = std::mem::take(&mut self.gateways);
+        for gw in &gateways {
+            if gw.distance(flight.pos) > range {
+                continue;
+            }
+            // Candidate frames audible at this gateway.
+            let mut candidates: Vec<(u64, f64)> = Vec::new();
+            let mut flight_rssi = None;
+            for &(fid, pos) in overlaps {
+                if gw.distance(pos) > range {
+                    continue;
+                }
+                let rssi =
+                    self.cfg
+                        .path_loss
+                        .sample_rssi_dbm(txp, gw.distance(pos), &mut self.channel_rng);
+                if fid == flight_id {
+                    flight_rssi = Some(rssi);
+                }
+                candidates.push((fid, rssi));
+            }
+            match resolve_collision(&candidates, sens, CAPTURE_MARGIN_DB) {
+                Some(winner) if winner == flight_id => {
+                    let rssi = flight_rssi.expect("winner has an RSSI");
+                    best = Some(best.map_or(rssi, |b: f64| b.max(rssi)));
+                }
+                _ => {
+                    if candidates.len() > 1 && flight_rssi.is_some() {
+                        self.collector.on_collision();
+                    }
+                }
+            }
+        }
+        self.gateways = gateways;
+        best
+    }
+
+    /// Resolves overhearing at every active neighbour. Returns whether the
+    /// handover target decoded the frame, plus the devices that need a new
+    /// transmission opportunity scheduled.
+    fn resolve_neighbours(
+        &mut self,
+        flight_id: u64,
+        flight: &Flight,
+        overlaps: &[(u64, Point)],
+        candidates: &[NodeId],
+    ) -> (bool, Vec<NodeId>) {
+        let d2d = self.cfg.environment.d2d_range_m();
+        let sens = self.cfg.phy.sensitivity_dbm();
+        let txp = self.cfg.phy.tx_power_dbm;
+        let gen_interval = self.cfg.gen_interval;
+        let now = self.now;
+
+        let mut accepted = false;
+        let mut to_schedule = Vec::new();
+
+        for &x in candidates {
+            if x == flight.sender {
+                continue;
+            }
+            let pos_x = self.net.position(x, now);
+            if pos_x.distance(flight.pos) > d2d {
+                continue;
+            }
+            let Some(dev) = self.devices.get(&x) else {
+                continue;
+            };
+            if !dev.active {
+                continue;
+            }
+            // Half-duplex: a device transmitting during any part of the
+            // frame cannot receive it.
+            if let Some((s, e)) = dev.tx_window {
+                if s < flight.end && e > flight.start {
+                    continue;
+                }
+            }
+            if !dev
+                .class
+                .overhears(now, dev.last_tx_end, gen_interval, dev.gamma)
+            {
+                continue;
+            }
+            // Collision resolution at x.
+            let mut candidates: Vec<(u64, f64)> = Vec::new();
+            let mut flight_rssi = None;
+            for &(fid, pos) in overlaps {
+                if pos_x.distance(pos) > d2d {
+                    continue;
+                }
+                let rssi = self.cfg.path_loss.sample_rssi_dbm(
+                    txp,
+                    pos_x.distance(pos),
+                    &mut self.channel_rng,
+                );
+                if fid == flight_id {
+                    flight_rssi = Some(rssi);
+                }
+                candidates.push((fid, rssi));
+            }
+            let decoded = matches!(
+                resolve_collision(&candidates, sens, CAPTURE_MARGIN_DB),
+                Some(w) if w == flight_id
+            );
+            if !decoded {
+                if candidates.len() > 1 && flight_rssi.is_some() {
+                    self.collector.on_collision();
+                }
+                continue;
+            }
+            let rssi = flight_rssi.expect("decoded frame has an RSSI");
+
+            if flight.target == Some(x) {
+                // Accept the handover: enqueue, bar the donor, try to move
+                // the data onwards.
+                let dev = self.devices.get_mut(&x).expect("neighbour exists");
+                let drops_before = dev.queue.dropped();
+                for msg in &flight.frame.messages {
+                    dev.queue.push(*msg);
+                }
+                let dropped = dev.queue.dropped() - drops_before;
+                if dropped > 0 {
+                    self.collector.on_queue_drop(dropped);
+                }
+                dev.routing.on_received_data(flight.sender);
+                self.collector.on_handover_accepted(&flight.frame.messages);
+                accepted = true;
+                // The acceptor holds the data until its own next slot
+                // (§V.B.2); it does not transmit reactively.
+            } else {
+                // Treat as a beacon: should x hand its own data to the
+                // flight's sender?
+                let beacon = Beacon {
+                    sender: flight.sender,
+                    rca_etx: flight.frame.rca_etx,
+                    queue_len: flight.frame.queue_len,
+                };
+                let dev = self.devices.get_mut(&x).expect("neighbour exists");
+                let wait_s = dev
+                    .duty
+                    .next_opportunity(now)
+                    .saturating_since(now)
+                    .as_secs_f64();
+                let decision = dev
+                    .routing
+                    .decide(now, wait_s, dev.queue.len(), &beacon, rssi);
+                if let ForwardDecision::Forward { target, count } = decision {
+                    if dev.pending_handover.is_none() {
+                        dev.pending_handover = Some((target, count));
+                        to_schedule.push(x);
+                    }
+                }
+            }
+        }
+        (accepted, to_schedule)
+    }
+
+    /// Applies the transmission outcome to the sender: queue updates,
+    /// metric observation, retransmission bookkeeping, follow-up
+    /// scheduling.
+    fn settle_sender(
+        &mut self,
+        flight: &Flight,
+        gateway_rssi: Option<f64>,
+        accepted_by_target: bool,
+    ) {
+        // Deliver to the server first (instant backhaul).
+        if gateway_rssi.is_some() {
+            for msg in &flight.frame.messages {
+                self.collector.on_delivered(msg, self.now);
+            }
+        }
+        let capacity = gateway_rssi.map(|r| self.cfg.capacity.capacity_bps(r));
+        let sender = flight.sender;
+        let Some(dev) = self.devices.get_mut(&sender) else {
+            return;
+        };
+        let wait_s = dev
+            .duty
+            .next_opportunity(self.now)
+            .saturating_since(self.now)
+            .as_secs_f64();
+
+        let is_handover = flight.target.is_some();
+        let delivered_somewhere = gateway_rssi.is_some() || accepted_by_target;
+        if delivered_somewhere {
+            // Instant-ACK assumption (§VII.A.5): remove the bundle.
+            dev.queue.remove(&flight.frame.messages);
+        }
+
+        if is_handover {
+            // Handover slots are not device-to-sink slots; only a lucky
+            // gateway decode counts as contact (and clears the ledger).
+            if let Some(cap) = capacity {
+                dev.routing.on_sink_slot(self.now, Some(cap), wait_s);
+                dev.retransmit.reset();
+            }
+        } else {
+            dev.routing.on_sink_slot(self.now, capacity, wait_s);
+            if gateway_rssi.is_some() {
+                dev.retransmit.reset();
+            } else if !dev.retransmit.record_failure() {
+                // Retransmission budget exhausted (§VII.A.5): the backlog
+                // holds until the next generation resets the counter.
+                return;
+            }
+        }
+        // Anything still queued — a failed bundle awaiting its duty-timer
+        // retry, or backlog beyond the 12-message bundle — goes out at the
+        // next legal opportunity. Draining at the duty-cycle service rate
+        // (not the generation rate) is what gives well-connected relays
+        // their higher RGQ service rate φ.
+        if dev.active && !dev.queue.is_empty() {
+            self.maybe_schedule_tx(sender);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+    use mlora_core::Scheme;
+
+    fn smoke(scheme: Scheme) -> SimReport {
+        SimConfig::smoke_test(scheme, Environment::Urban)
+            .run(1234)
+            .expect("valid config")
+    }
+
+    #[test]
+    fn no_routing_runs_and_delivers() {
+        let r = smoke(Scheme::NoRouting);
+        assert!(r.generated > 100, "generated {}", r.generated);
+        assert!(r.delivered > 0, "delivered {}", r.delivered);
+        assert!(r.delivered <= r.generated);
+        assert_eq!(r.handover_frames, 0);
+        assert_eq!(r.handover_messages, 0);
+        // Every delivery in the baseline is exactly one hop.
+        assert_eq!(r.mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = smoke(Scheme::Robc);
+        let b = smoke(Scheme::Robc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        let a = cfg.run(1).unwrap();
+        let b = cfg.run(2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn forwarding_schemes_move_data_between_devices() {
+        let r = smoke(Scheme::Robc);
+        assert!(r.handover_frames > 0, "ROBC never handed over");
+        assert!(r.mean_hops() >= 1.0);
+    }
+
+    #[test]
+    fn rca_etx_scheme_hands_over() {
+        let r = smoke(Scheme::RcaEtx);
+        assert!(r.handover_frames > 0, "RCA-ETX never handed over");
+    }
+
+    #[test]
+    fn message_conservation() {
+        for scheme in Scheme::ALL {
+            let r = smoke(scheme);
+            assert!(
+                r.delivered + r.stranded + r.queue_drops >= r.generated,
+                "{scheme}: {} delivered + {} stranded + {} drops < {} generated",
+                r.delivered,
+                r.stranded,
+                r.queue_drops,
+                r.generated
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_matches_paper() {
+        // Fig. 13: forwarding schemes send more frames per node.
+        let base = smoke(Scheme::NoRouting).mean_frames_per_node();
+        let robc = smoke(Scheme::Robc).mean_frames_per_node();
+        // Smoke-scale runs are noisy; the paper-scale ordering (1.6–2.2×)
+        // is asserted by the repro harness. Here we only require ROBC not
+        // to transmit *less* than the baseline beyond noise.
+        assert!(
+            robc >= 0.9 * base,
+            "ROBC overhead {robc} far below baseline {base}"
+        );
+    }
+
+    #[test]
+    fn energy_accounted_for_all_devices() {
+        let r = smoke(Scheme::NoRouting);
+        assert!(r.devices_seen > 0);
+        assert!(r.total_energy_mj > 0.0);
+        assert!(r.total_active_s > 0.0);
+    }
+
+    #[test]
+    fn gateways_on_grid() {
+        let cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        let engine = Engine::new(cfg.clone(), 9);
+        assert_eq!(engine.gateways().len(), cfg.num_gateways);
+        for gw in engine.gateways() {
+            assert!(engine.network().area().contains(*gw));
+        }
+    }
+
+    #[test]
+    fn queue_based_class_a_delivers_with_less_energy() {
+        let mut cfg_c = SimConfig::smoke_test(Scheme::Robc, Environment::Urban);
+        cfg_c.device_class = DeviceClassChoice::ModifiedClassC;
+        let mut cfg_a = cfg_c.clone();
+        cfg_a.device_class = DeviceClassChoice::QueueBasedClassA;
+        let rc = cfg_c.run(7).unwrap();
+        let ra = cfg_a.run(7).unwrap();
+        assert!(ra.delivered > 0);
+        assert!(
+            ra.mean_energy_per_node_mj() < rc.mean_energy_per_node_mj(),
+            "queue-based class A should save energy: {} vs {}",
+            ra.mean_energy_per_node_mj(),
+            rc.mean_energy_per_node_mj()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Experiment runners — one per figure of §VII (see DESIGN.md's index).
+//!
+//! Each runner takes a base [`SimConfig`], applies the sweep the figure
+//! calls for, and returns structured results the report formatters (and
+//! EXPERIMENTS.md) consume. Runners never print; formatting lives in
+//! [`crate::report`].
+
+use mlora_core::Scheme;
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimReport};
+
+/// One cell of the Fig. 8/9/12/13 sweeps: a (gateways, environment,
+/// scheme) combination and its simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of gateways deployed.
+    pub gateways: usize,
+    /// Radio environment.
+    pub environment: Environment,
+    /// Forwarding scheme.
+    pub scheme: Scheme,
+    /// The run's metrics.
+    pub report: SimReport,
+}
+
+/// Runs the full gateway-density sweep behind Figs. 8, 9, 12 and 13:
+/// every `(gateways, environment, scheme)` combination on an otherwise
+/// fixed configuration.
+///
+/// The same seed is reused across combinations so every cell sees the
+/// identical fleet and traffic; only deployment and scheme vary.
+pub fn gateway_sweep(
+    base: &SimConfig,
+    gateway_counts: &[usize],
+    environments: &[Environment],
+    schemes: &[Scheme],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &environment in environments {
+        for &gateways in gateway_counts {
+            for &scheme in schemes {
+                let mut cfg = base.clone();
+                cfg.environment = environment;
+                cfg.num_gateways = gateways;
+                cfg.scheme = scheme;
+                let report = cfg.run(seed).expect("sweep config is valid");
+                out.push(SweepPoint {
+                    gateways,
+                    environment,
+                    scheme,
+                    report,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The paper's gateway counts: 40–100 in steps of 10.
+pub const PAPER_GATEWAY_COUNTS: [usize; 7] = [40, 50, 60, 70, 80, 90, 100];
+
+/// Runs the Figs. 10–11 time-series experiment: one run per scheme at a
+/// fixed gateway count, returning the per-bucket unique-delivery series.
+pub fn time_series(
+    base: &SimConfig,
+    environment: Environment,
+    gateways: usize,
+    schemes: &[Scheme],
+    seed: u64,
+) -> Vec<(Scheme, SimReport)> {
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = base.clone();
+            cfg.environment = environment;
+            cfg.num_gateways = gateways;
+            cfg.scheme = scheme;
+            (scheme, cfg.run(seed).expect("series config is valid"))
+        })
+        .collect()
+}
+
+/// Ablation A: sensitivity of the Eq. 4 EWMA factor α (§IV.B discusses
+/// the adaptivity/stability trade-off).
+pub fn alpha_sweep(base: &SimConfig, alphas: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let mut cfg = base.clone();
+            cfg.alpha = alpha;
+            (alpha, cfg.run(seed).expect("alpha config is valid"))
+        })
+        .collect()
+}
+
+/// Ablation B (§VII.C): grid versus random gateway placement. Random
+/// placement is run with `random_layouts` different deployment seeds to
+/// expose the placement variance the paper reports.
+pub fn placement_compare(
+    base: &SimConfig,
+    schemes: &[Scheme],
+    random_layouts: u64,
+    seed: u64,
+) -> Vec<(Scheme, GatewayPlacement, u64, SimReport)> {
+    let mut out = Vec::new();
+    for &scheme in schemes {
+        let mut grid = base.clone();
+        grid.scheme = scheme;
+        grid.placement = GatewayPlacement::Grid;
+        out.push((
+            scheme,
+            GatewayPlacement::Grid,
+            seed,
+            grid.run(seed).expect("grid config is valid"),
+        ));
+        for layout in 0..random_layouts {
+            let mut rnd = base.clone();
+            rnd.scheme = scheme;
+            rnd.placement = GatewayPlacement::Random;
+            let s = seed.wrapping_add(layout + 1);
+            out.push((
+                scheme,
+                GatewayPlacement::Random,
+                s,
+                rnd.run(s).expect("random config is valid"),
+            ));
+        }
+    }
+    out
+}
+
+/// Ablation C (§VI, §VII.C): Modified Class-C versus Queue-based Class-A
+/// under the same scheme — delivery on par, energy lower.
+pub fn class_compare(base: &SimConfig, seed: u64) -> Vec<(DeviceClassChoice, SimReport)> {
+    [
+        DeviceClassChoice::ModifiedClassC,
+        DeviceClassChoice::QueueBasedClassA,
+    ]
+    .into_iter()
+    .map(|class| {
+        let mut cfg = base.clone();
+        cfg.device_class = class;
+        (class, cfg.run(seed).expect("class config is valid"))
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimConfig {
+        let mut cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        cfg.horizon = mlora_simcore::SimDuration::from_mins(40);
+        cfg.network.horizon = cfg.horizon;
+        cfg
+    }
+
+    #[test]
+    fn sweep_covers_grid_of_combinations() {
+        let pts = gateway_sweep(
+            &tiny(),
+            &[4, 9],
+            &[Environment::Urban, Environment::Rural],
+            &Scheme::ALL,
+            5,
+        );
+        assert_eq!(pts.len(), 2 * 2 * 3);
+        assert!(pts.iter().all(|p| p.report.generated > 0));
+        // Combinations are unique.
+        let mut keys: Vec<_> = pts
+            .iter()
+            .map(|p| (p.gateways, p.environment, p.scheme))
+            .collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 12);
+    }
+
+    #[test]
+    fn time_series_one_report_per_scheme() {
+        let rows = time_series(&tiny(), Environment::Urban, 9, &Scheme::ALL, 5);
+        assert_eq!(rows.len(), 3);
+        for (_, r) in &rows {
+            assert_eq!(
+                r.throughput_series.total(),
+                r.delivered,
+                "series total must equal unique deliveries"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_sweep_runs_each_alpha() {
+        let rows = alpha_sweep(&tiny(), &[0.2, 0.5, 0.8], 5);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].0, 0.5);
+    }
+
+    #[test]
+    fn placement_compare_has_grid_and_random_rows() {
+        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 2, 5);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, GatewayPlacement::Grid);
+        assert_eq!(rows[1].1, GatewayPlacement::Random);
+        // Different layouts give different results.
+        assert_ne!(rows[1].3, rows[2].3);
+    }
+
+    #[test]
+    fn class_compare_two_rows() {
+        let rows = class_compare(&tiny(), 5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, DeviceClassChoice::ModifiedClassC);
+    }
+}

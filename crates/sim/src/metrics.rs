@@ -1,0 +1,296 @@
+//! Metric collection and the simulation report.
+
+use std::collections::HashMap;
+
+use mlora_simcore::stats::{TimeSeries, Welford};
+use mlora_simcore::{MessageId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything a run measures — the inputs to every figure in §VII.B.
+///
+/// * Fig. 8 — [`SimReport::mean_delay_s`] / [`SimReport::delay_std_error_s`]
+/// * Fig. 9 — [`SimReport::delivered`]
+/// * Figs. 10–11 — [`SimReport::throughput_series`]
+/// * Fig. 12 — [`SimReport::mean_hops`]
+/// * Fig. 13 — [`SimReport::mean_frames_per_node`]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Application messages generated.
+    pub generated: u64,
+    /// Unique messages that reached the network server.
+    pub delivered: u64,
+    /// Duplicate arrivals discarded by the server.
+    pub duplicates: u64,
+    /// Messages still undelivered when their holder left service.
+    pub stranded: u64,
+    /// Messages dropped by full queues.
+    pub queue_drops: u64,
+    /// End-to-end delay statistics over delivered messages, seconds.
+    delay: Welford,
+    /// Hop-count statistics over delivered messages.
+    hops: Welford,
+    /// Unique messages received per series bucket (Figs. 10–11).
+    pub throughput_series: TimeSeries,
+    /// Frames transmitted, network-wide.
+    pub frames_sent: u64,
+    /// Application messages transmitted (bundle-weighted: a frame with
+    /// 12 readings counts 12) — the Fig. 13 "messages sent" measure.
+    pub messages_sent: u64,
+    /// Device-to-device handover frames transmitted.
+    pub handover_frames: u64,
+    /// Messages moved by accepted handovers.
+    pub handover_messages: u64,
+    /// Frames lost to same-channel collisions (at any receiver that was
+    /// otherwise in range).
+    pub collisions: u64,
+    /// Number of devices that saw service during the run.
+    pub devices_seen: u64,
+    /// Total radio energy across the fleet, millijoules.
+    pub total_energy_mj: f64,
+    /// Sum of all device active (in-service) time, seconds.
+    pub total_active_s: f64,
+}
+
+impl SimReport {
+    /// Mean end-to-end delay over delivered messages, seconds.
+    pub fn mean_delay_s(&self) -> f64 {
+        self.delay.mean()
+    }
+
+    /// Standard error of the mean delay (the Fig. 8 error bars), seconds.
+    pub fn delay_std_error_s(&self) -> f64 {
+        self.delay.std_error()
+    }
+
+    /// Standard deviation of delivered-message delay, seconds.
+    pub fn delay_std_dev_s(&self) -> f64 {
+        self.delay.std_dev()
+    }
+
+    /// Mean hop count over delivered messages (Fig. 12).
+    pub fn mean_hops(&self) -> f64 {
+        self.hops.mean()
+    }
+
+    /// Largest hop count observed.
+    pub fn max_hops(&self) -> f64 {
+        self.hops.max().unwrap_or(0.0)
+    }
+
+    /// Mean frames transmitted per participating device.
+    pub fn mean_frames_per_node(&self) -> f64 {
+        if self.devices_seen == 0 {
+            0.0
+        } else {
+            self.frames_sent as f64 / self.devices_seen as f64
+        }
+    }
+
+    /// Mean messages transmitted per participating device (Fig. 13) —
+    /// bundle-weighted, so relayed messages count once per hop.
+    pub fn mean_messages_sent_per_node(&self) -> f64 {
+        if self.devices_seen == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.devices_seen as f64
+        }
+    }
+
+    /// Delivery ratio: unique deliveries over generated messages.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Mean radio energy per device over the run, millijoules.
+    pub fn mean_energy_per_node_mj(&self) -> f64 {
+        if self.devices_seen == 0 {
+            0.0
+        } else {
+            self.total_energy_mj / self.devices_seen as f64
+        }
+    }
+}
+
+/// Accumulates metrics during a run; [`Collector::finish`] yields the
+/// immutable [`SimReport`].
+#[derive(Debug, Clone)]
+pub(crate) struct Collector {
+    report: SimReport,
+    /// First-arrival times, for dedup.
+    arrived: HashMap<MessageId, SimTime>,
+    /// Device-to-device transfer counts per message (hops − 1).
+    transfers: HashMap<MessageId, u32>,
+}
+
+impl Collector {
+    pub(crate) fn new(bucket: SimDuration, horizon: SimDuration) -> Self {
+        Collector {
+            report: SimReport {
+                generated: 0,
+                delivered: 0,
+                duplicates: 0,
+                stranded: 0,
+                queue_drops: 0,
+                delay: Welford::new(),
+                hops: Welford::new(),
+                throughput_series: TimeSeries::new(bucket, horizon),
+                frames_sent: 0,
+                messages_sent: 0,
+                handover_frames: 0,
+                handover_messages: 0,
+                collisions: 0,
+                devices_seen: 0,
+                total_energy_mj: 0.0,
+                total_active_s: 0.0,
+            },
+            arrived: HashMap::new(),
+            transfers: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn on_generated(&mut self) {
+        self.report.generated += 1;
+    }
+
+    pub(crate) fn on_frame_sent(&mut self, is_handover: bool, bundled: usize) {
+        self.report.frames_sent += 1;
+        self.report.messages_sent += bundled as u64;
+        if is_handover {
+            self.report.handover_frames += 1;
+        }
+    }
+
+    pub(crate) fn on_handover_accepted(&mut self, messages: &[mlora_mac::AppMessage]) {
+        self.report.handover_messages += messages.len() as u64;
+        for m in messages {
+            *self.transfers.entry(m.id).or_insert(0) += 1;
+        }
+    }
+
+    pub(crate) fn on_collision(&mut self) {
+        self.report.collisions += 1;
+    }
+
+    pub(crate) fn on_queue_drop(&mut self, n: u64) {
+        self.report.queue_drops += n;
+    }
+
+    /// Records server reception of a message; dedups by id.
+    pub(crate) fn on_delivered(&mut self, msg: &mlora_mac::AppMessage, now: SimTime) {
+        if self.arrived.contains_key(&msg.id) {
+            self.report.duplicates += 1;
+            return;
+        }
+        self.arrived.insert(msg.id, now);
+        self.report.delivered += 1;
+        self.report
+            .delay
+            .push(now.saturating_since(msg.created).as_secs_f64());
+        let transfers = self.transfers.get(&msg.id).copied().unwrap_or(0);
+        self.report.hops.push(f64::from(transfers) + 1.0);
+        self.report.throughput_series.record(now);
+    }
+
+    pub(crate) fn on_stranded(&mut self, n: u64) {
+        self.report.stranded += n;
+    }
+
+    pub(crate) fn on_device_retired(&mut self, energy_mj: f64, active: SimDuration) {
+        self.report.devices_seen += 1;
+        self.report.total_energy_mj += energy_mj;
+        self.report.total_active_s += active.as_secs_f64();
+    }
+
+    pub(crate) fn was_delivered(&self, id: MessageId) -> bool {
+        self.arrived.contains_key(&id)
+    }
+
+    pub(crate) fn finish(self) -> SimReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlora_mac::AppMessage;
+    use mlora_simcore::NodeId;
+
+    fn msg(i: u64, created_s: u64) -> AppMessage {
+        AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::from_secs(created_s))
+    }
+
+    fn collector() -> Collector {
+        Collector::new(SimDuration::from_mins(10), SimDuration::from_hours(1))
+    }
+
+    #[test]
+    fn delivery_dedups_and_tracks_delay() {
+        let mut c = collector();
+        c.on_generated();
+        c.on_delivered(&msg(1, 100), SimTime::from_secs(160));
+        c.on_delivered(&msg(1, 100), SimTime::from_secs(200)); // duplicate
+        let r = c.finish();
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.mean_delay_s(), 60.0);
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn hops_count_transfers_plus_one() {
+        let mut c = collector();
+        let m = msg(5, 0);
+        c.on_handover_accepted(&[m]);
+        c.on_handover_accepted(&[m]);
+        c.on_delivered(&m, SimTime::from_secs(10));
+        let r = c.finish();
+        assert_eq!(r.mean_hops(), 3.0);
+        assert_eq!(r.handover_messages, 2);
+    }
+
+    #[test]
+    fn direct_delivery_is_one_hop() {
+        let mut c = collector();
+        c.on_delivered(&msg(1, 0), SimTime::from_secs(1));
+        assert_eq!(c.finish().mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn frames_per_node() {
+        let mut c = collector();
+        c.on_frame_sent(false, 3);
+        c.on_frame_sent(true, 12);
+        c.on_frame_sent(false, 1);
+        c.on_device_retired(10.0, SimDuration::from_secs(60));
+        c.on_device_retired(20.0, SimDuration::from_secs(60));
+        let r = c.finish();
+        assert_eq!(r.mean_frames_per_node(), 1.5);
+        assert_eq!(r.mean_messages_sent_per_node(), 8.0);
+        assert_eq!(r.handover_frames, 1);
+        assert_eq!(r.mean_energy_per_node_mj(), 15.0);
+    }
+
+    #[test]
+    fn throughput_series_buckets_by_arrival() {
+        let mut c = collector();
+        c.on_delivered(&msg(1, 0), SimTime::from_secs(30));
+        c.on_delivered(&msg(2, 0), SimTime::from_secs(700));
+        let r = c.finish();
+        assert_eq!(r.throughput_series.counts()[0], 1);
+        assert_eq!(r.throughput_series.counts()[1], 1);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = collector().finish();
+        assert_eq!(r.mean_delay_s(), 0.0);
+        assert_eq!(r.mean_hops(), 0.0);
+        assert_eq!(r.mean_frames_per_node(), 0.0);
+        assert_eq!(r.delivery_ratio(), 0.0);
+    }
+}

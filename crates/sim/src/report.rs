@@ -1,0 +1,179 @@
+//! Plain-text formatters turning experiment results into the rows and
+//! series the paper's figures plot.
+
+use std::fmt::Write as _;
+
+use mlora_core::Scheme;
+
+use crate::experiment::SweepPoint;
+use crate::{Environment, SimReport};
+
+/// Formats the Fig. 8 table: mean end-to-end delay ± standard error per
+/// (environment, gateways, scheme).
+pub fn fig8_delay_table(points: &[SweepPoint]) -> String {
+    metric_table(points, "mean end-to-end delay (s) ± stderr", |r| {
+        format!("{:9.1} ±{:5.1}", r.mean_delay_s(), r.delay_std_error_s())
+    })
+}
+
+/// Formats the Fig. 9 table: total unique messages delivered.
+pub fn fig9_throughput_table(points: &[SweepPoint]) -> String {
+    metric_table(points, "total throughput (unique msgs received)", |r| {
+        format!("{:9}", r.delivered)
+    })
+}
+
+/// Formats the Fig. 12 table: mean hop count of delivered messages.
+pub fn fig12_hops_table(points: &[SweepPoint]) -> String {
+    metric_table(points, "mean hops per delivered message", |r| {
+        format!("{:9.2}", r.mean_hops())
+    })
+}
+
+/// Formats the Fig. 13 table: mean frames transmitted per device, plus
+/// the overhead ratio against the LoRaWAN baseline in the same cell.
+pub fn fig13_overhead_table(points: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# mean messages sent per node (overhead vs LoRaWAN)");
+    let _ = writeln!(s, "{:>6} {:>6} {:>12} {:>16}", "env", "gws", "scheme", "msgs/node");
+    let mut sorted = points.to_vec();
+    sorted.sort_by_key(|p| (p.environment.label(), p.gateways, p.scheme.label()));
+    for p in &sorted {
+        let baseline = points
+            .iter()
+            .find(|q| {
+                q.environment == p.environment
+                    && q.gateways == p.gateways
+                    && q.scheme == Scheme::NoRouting
+            })
+            .map(|q| q.report.mean_messages_sent_per_node());
+        let ratio = match baseline {
+            Some(b) if b > 0.0 => format!(" ({:.2}x)", p.report.mean_messages_sent_per_node() / b),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>12} {:>13.2}{}",
+            p.environment.label(),
+            p.gateways,
+            p.scheme.label(),
+            p.report.mean_messages_sent_per_node(),
+            ratio
+        );
+    }
+    s
+}
+
+/// Formats the Figs. 10–11 series: unique deliveries per bucket, one
+/// column per scheme.
+pub fn time_series_table(rows: &[(Scheme, SimReport)], environment: Environment) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# msgs received per bucket over time ({environment}, one column per scheme)"
+    );
+    let mut header = format!("{:>9}", "t_start_s");
+    for (scheme, _) in rows {
+        header.push_str(&format!(" {:>9}", scheme.label()));
+    }
+    let _ = writeln!(s, "{header}");
+    let n = rows
+        .iter()
+        .map(|(_, r)| r.throughput_series.counts().len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..n {
+        let t = rows
+            .first()
+            .map(|(_, r)| r.throughput_series.bucket().as_millis() as usize * i / 1000)
+            .unwrap_or(0);
+        let mut line = format!("{t:>9}");
+        for (_, r) in rows {
+            let c = r.throughput_series.counts().get(i).copied().unwrap_or(0);
+            line.push_str(&format!(" {c:>9}"));
+        }
+        let _ = writeln!(s, "{line}");
+    }
+    s
+}
+
+/// Generic sweep-table formatter used by the per-figure functions.
+fn metric_table(
+    points: &[SweepPoint],
+    title: &str,
+    cell: impl Fn(&SimReport) -> String,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(s, "{:>6} {:>6} {:>12} {:>18}", "env", "gws", "scheme", "value");
+    let mut sorted = points.to_vec();
+    sorted.sort_by_key(|p| (p.environment.label(), p.gateways, p.scheme.label()));
+    for p in &sorted {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>12} {:>18}",
+            p.environment.label(),
+            p.gateways,
+            p.scheme.label(),
+            cell(&p.report)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    fn points() -> Vec<SweepPoint> {
+        let mut cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        cfg.horizon = mlora_simcore::SimDuration::from_mins(30);
+        cfg.network.horizon = cfg.horizon;
+        crate::experiment::gateway_sweep(
+            &cfg,
+            &[4],
+            &[Environment::Urban],
+            &Scheme::ALL,
+            3,
+        )
+    }
+
+    #[test]
+    fn tables_contain_all_schemes() {
+        let pts = points();
+        for table in [
+            fig8_delay_table(&pts),
+            fig9_throughput_table(&pts),
+            fig12_hops_table(&pts),
+            fig13_overhead_table(&pts),
+        ] {
+            for scheme in Scheme::ALL {
+                assert!(
+                    table.contains(scheme.label()),
+                    "table missing {scheme}:\n{table}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_table_reports_ratio() {
+        let table = fig13_overhead_table(&points());
+        assert!(table.contains("1.00x"), "baseline row should be 1.00x:\n{table}");
+    }
+
+    #[test]
+    fn series_table_has_bucket_rows() {
+        let cfg = {
+            let mut c = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+            c.horizon = mlora_simcore::SimDuration::from_mins(30);
+            c.network.horizon = c.horizon;
+            c
+        };
+        let rows = crate::experiment::time_series(&cfg, Environment::Urban, 4, &Scheme::ALL, 3);
+        let table = time_series_table(&rows, Environment::Urban);
+        // 30 min / 10 min buckets = 3 data lines + 2 header lines.
+        assert_eq!(table.lines().count(), 5, "table:\n{table}");
+    }
+}

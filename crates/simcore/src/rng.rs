@@ -1,0 +1,252 @@
+//! Seeded, fork-able randomness.
+//!
+//! A single `u64` master seed must reproduce an entire simulation run.
+//! [`SimRng::fork`] derives independent child generators from the master
+//! seed and a stream label, so subsystems (mobility, shadowing, workload)
+//! draw from decoupled streams: adding draws in one subsystem does not
+//! perturb another.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random number generator for simulations.
+///
+/// # Example
+///
+/// ```
+/// use mlora_simcore::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.gen_u64(), b.gen_u64());
+///
+/// // Forked streams are independent of draw order on the parent.
+/// let mut fork1 = SimRng::new(42).fork(7);
+/// let mut parent = SimRng::new(42);
+/// let _ = parent.gen_u64();
+/// let mut fork2 = parent.fork(7);
+/// assert_eq!(fork1.gen_u64(), fork2.gen_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+/// SplitMix64 step; used to decorrelate seeds derived from small integers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The master seed this generator (or its ancestor) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator for `stream`.
+    ///
+    /// Forking depends only on the master seed and the stream label — not
+    /// on how many values have been drawn — so subsystems stay decoupled.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
+        SimRng {
+            seed: child_seed,
+            inner: SmallRng::seed_from_u64(splitmix64(child_seed)),
+        }
+    }
+
+    /// A uniformly random `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "bad range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// A sample from the standard normal distribution (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller transform; u1 in (0,1] avoids ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A sample from `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev: {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A sample from a log-normal distribution with the given parameters of
+    /// the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// A sample from an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "non-positive rate: {rate}");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// Picks a uniformly random index in `[0, len)`, or `None` if `len == 0`.
+    pub fn choose_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.inner.gen_range(0..len))
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.gen_u64() == b.gen_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_draw_independent() {
+        let mut parent = SimRng::new(99);
+        let mut f1 = parent.fork(3);
+        for _ in 0..10 {
+            let _ = parent.gen_u64();
+        }
+        let mut f2 = parent.fork(3);
+        for _ in 0..20 {
+            assert_eq!(f1.gen_u64(), f2.gen_u64());
+        }
+    }
+
+    #[test]
+    fn forks_of_different_streams_differ() {
+        let parent = SimRng::new(99);
+        let mut f1 = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        assert_ne!(f1.gen_u64(), f2.gen_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            let x = rng.gen_range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n = rng.gen_range_u64(10, 20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut rng = SimRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = SimRng::new(8);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SimRng::new(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!(!rng.gen_bool(-0.5)); // clamped to 0
+        assert!(rng.gen_bool(1.5)); // clamped to 1
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_index_empty() {
+        let mut rng = SimRng::new(11);
+        assert_eq!(rng.choose_index(0), None);
+        assert!(rng.choose_index(5).unwrap() < 5);
+    }
+}

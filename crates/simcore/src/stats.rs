@@ -1,0 +1,400 @@
+//! Streaming statistics for metric collection.
+//!
+//! All accumulators are single-pass and allocation-light so they can run
+//! inside the hot simulation loop: [`Welford`] for running mean/variance,
+//! [`Histogram`] for fixed-width distributions, [`TimeSeries`] for
+//! time-bucketed counts (the 10-minute throughput series of Figs. 10–11),
+//! and [`quantile`] over sorted samples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// Welford's online algorithm for running mean and variance.
+///
+/// Numerically stable single-pass accumulator.
+///
+/// # Example
+///
+/// ```
+/// use mlora_simcore::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by *n*), or 0 if empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by *n − 1*), or 0 with fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean (σ/√n), or 0 if empty.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range clamping.
+///
+/// Samples below `lo` land in the first bin; samples at or above `hi` land
+/// in the last bin. Used for distributions such as trip durations
+/// (Fig. 7b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "bad histogram range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((x - self.lo) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Bin counts, in order.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterator over `(bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+    }
+
+    /// Fraction of samples in each bin; empty histogram yields zeros.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.count as f64)
+            .collect()
+    }
+}
+
+/// Counts events into fixed-width time buckets.
+///
+/// Backs the "messages received per 10 minutes" series of Figs. 10–11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width covering `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration, horizon: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let n = horizon.as_millis().div_ceil(bucket.as_millis()) as usize;
+        TimeSeries {
+            bucket,
+            counts: vec![0; n.max(1)],
+        }
+    }
+
+    /// Records one event at `time`; events beyond the horizon land in the
+    /// last bucket.
+    pub fn record(&mut self, time: SimTime) {
+        self.record_n(time, 1);
+    }
+
+    /// Records `n` events at `time`.
+    pub fn record_n(&mut self, time: SimTime, n: u64) {
+        let idx = (time.as_millis() / self.bucket.as_millis()) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += n;
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over `(bucket_start, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (SimTime::ZERO + self.bucket * i as u64, c))
+    }
+}
+
+/// Linear-interpolated quantile of a **sorted** slice.
+///
+/// Returns `None` on an empty slice. `q` is clamped to `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mlora_simcore::stats::quantile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.population_variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let b = Welford::new();
+        let mut a2 = a;
+        a2.merge(&b);
+        assert_eq!(a2, a);
+        let mut e = Welford::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(-1.0); // clamps to first
+        h.push(0.5);
+        h.push(5.0);
+        h.push(9.99);
+        h.push(100.0); // clamps to last
+        assert_eq!(h.bins(), &[2, 0, 1, 0, 2]);
+        assert_eq!(h.count(), 5);
+        let norm = h.normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_midpoints() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.push(1.5);
+        let mids: Vec<f64> = h.iter().map(|(m, _)| m).collect();
+        assert_eq!(mids, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn timeseries_bucketing() {
+        let mut ts = TimeSeries::new(SimDuration::from_mins(10), SimDuration::from_hours(1));
+        ts.record(SimTime::from_secs(0));
+        ts.record(SimTime::from_secs(599));
+        ts.record(SimTime::from_secs(600));
+        ts.record_n(SimTime::from_secs(3599), 3);
+        ts.record(SimTime::from_secs(100_000)); // beyond horizon -> last
+        assert_eq!(ts.counts(), &[2, 1, 0, 0, 0, 4]);
+        assert_eq!(ts.total(), 7);
+        let first = ts.iter().next().unwrap();
+        assert_eq!(first.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn quantile_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&xs, -1.0), Some(1.0)); // clamped
+    }
+}

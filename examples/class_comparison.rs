@@ -1,0 +1,59 @@
+//! Modified Class-C vs Queue-based Class-A (§VI, §VII.C).
+//!
+//! Both classes enable device-to-device overhearing; Queue-based Class-A
+//! opens its receive window only in proportion to its RGQ-corrected
+//! backlog (Eq. 11), trading a little forwarding opportunity for energy.
+//! The paper reports on-par delivery with under 20 % energy saving; this
+//! example reproduces that comparison.
+//!
+//! ```sh
+//! cargo run --release --example class_comparison
+//! ```
+
+use mlora::core::Scheme;
+use mlora::sim::{experiment, DeviceClassChoice, Environment, SimConfig};
+use mlora::simcore::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = {
+        let mut cfg = SimConfig::paper_default(Scheme::Robc, Environment::Urban);
+        cfg.network.area_side_m = 15_000.0;
+        cfg.network.num_routes = 30;
+        cfg.network.max_active_buses = 150;
+        cfg.num_gateways = 16;
+        cfg.horizon = SimDuration::from_hours(4);
+        cfg.network.horizon = cfg.horizon;
+        cfg
+    };
+
+    println!("Device-class comparison under ROBC (16 gateways, urban)");
+    println!();
+    println!("class              delivery%  delay(s)  hops  energy/node(J)");
+    let rows = experiment::class_compare(&base, 3);
+    let mut energies = Vec::new();
+    for (class, report) in &rows {
+        let label = match class {
+            DeviceClassChoice::ModifiedClassC => "Modified Class-C",
+            DeviceClassChoice::QueueBasedClassA => "Queue-based Cl-A",
+        };
+        energies.push(report.mean_energy_per_node_mj());
+        println!(
+            "{:18} {:8.1}% {:9.1} {:5.2} {:15.1}",
+            label,
+            100.0 * report.delivery_ratio(),
+            report.mean_delay_s(),
+            report.mean_hops(),
+            report.mean_energy_per_node_mj() / 1000.0,
+        );
+    }
+    if let [class_c, class_a] = energies[..] {
+        println!();
+        println!(
+            "Queue-based Class-A spends {:.0}% of Modified Class-C's radio energy",
+            100.0 * class_a / class_c
+        );
+        println!("while keeping delivery on par (§VII.C reports <20% saving for");
+        println!("their duty pattern; the saving grows as queues sit empty).");
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Logistics tracking — the paper's motivating scenario (§VII.A.1).
+//!
+//! LoRa trackers ride on high-value parcels carried by a vehicle fleet
+//! across a city. Coverage is sparse (few gateways), so trackers exploit
+//! ROBC to push condition reports through better-connected vehicles.
+//! This example sweeps gateway density and reports how forwarding changes
+//! delivery ratio and stranding — the metrics a logistics operator
+//! actually cares about.
+//!
+//! ```sh
+//! cargo run --release --example logistics_tracking
+//! ```
+
+use mlora::core::Scheme;
+use mlora::sim::{Environment, SimConfig};
+use mlora::simcore::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size deployment: 225 km², four simulated hours, ~120 vehicles.
+    let base = {
+        let mut cfg = SimConfig::paper_default(Scheme::NoRouting, Environment::Urban);
+        cfg.network.area_side_m = 15_000.0;
+        cfg.network.num_routes = 30;
+        cfg.network.max_active_buses = 120;
+        cfg.horizon = SimDuration::from_hours(4);
+        cfg.network.horizon = cfg.horizon;
+        cfg
+    };
+
+    println!("Parcel tracking over a 225 km² city, 4 h of service");
+    println!();
+    println!("gateways scheme     delivery%  mean-delay(s)  stranded");
+    for gateways in [6usize, 12, 24] {
+        for scheme in [Scheme::NoRouting, Scheme::Robc] {
+            let mut cfg = base.clone();
+            cfg.num_gateways = gateways;
+            cfg.scheme = scheme;
+            let r = cfg.run(7)?;
+            println!(
+                "{:8} {:10} {:8.1}% {:14.1} {:9}",
+                gateways,
+                scheme.label(),
+                100.0 * r.delivery_ratio(),
+                r.mean_delay_s(),
+                r.stranded,
+            );
+        }
+    }
+    println!();
+    println!("Fewer stranded reports means fewer parcels going dark between");
+    println!("depot scans — the gain is largest where coverage is thinnest.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # mlora — contact-aware opportunistic forwarding for mobile LoRaWAN
+//!
+//! A full reproduction of *"Contact-Aware Opportunistic Data Forwarding
+//! in Disconnected LoRaWAN Mobile Networks"* (Chen et al., ICDCS 2020):
+//! the RCA-ETX routing metric, the ROBC backpressure scheme, the two new
+//! device classes, and the complete simulation stack (mobility, PHY, MAC,
+//! network engine) used to evaluate them.
+//!
+//! This facade crate re-exports each layer under a stable path:
+//!
+//! * [`core`] — RCA-ETX, ROBC, forwarding schemes (the paper's §IV–§V).
+//! * [`sim`] — the integration simulator and experiment runners (§VII).
+//! * [`mobility`] — the synthetic London bus network substrate.
+//! * [`mac`] — LoRaWAN MAC: classes, duty cycle, queues, frames (§III, §VI).
+//! * [`phy`] — LoRa airtime, path loss, capacity, collisions.
+//! * [`geo`] / [`simcore`] — geometry and discrete-event foundations.
+//!
+//! # Quick start
+//!
+//! Run one urban ROBC simulation and inspect the headline metrics:
+//!
+//! ```
+//! use mlora::core::Scheme;
+//! use mlora::sim::{Environment, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = SimConfig::smoke_test(Scheme::Robc, Environment::Urban).run(42)?;
+//! println!(
+//!     "delivered {} of {} messages, mean delay {:.1}s, {:.1} hops",
+//!     report.delivered,
+//!     report.generated,
+//!     report.mean_delay_s(),
+//!     report.mean_hops()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for paper-scale scenarios and `crates/bench` for the
+//! harness that regenerates every figure of the evaluation.
+
+#![deny(missing_docs)]
+
+pub use mlora_core as core;
+pub use mlora_geo as geo;
+pub use mlora_mac as mac;
+pub use mlora_mobility as mobility;
+pub use mlora_phy as phy;
+pub use mlora_sim as sim;
+pub use mlora_simcore as simcore;

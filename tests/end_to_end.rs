@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full stack from mobility to server
+//! delivery, exercised through the public facade.
+
+use mlora::core::Scheme;
+use mlora::sim::{Environment, SimConfig};
+use mlora::simcore::SimDuration;
+
+fn smoke(scheme: Scheme, env: Environment, seed: u64) -> mlora::sim::SimReport {
+    SimConfig::smoke_test(scheme, env).run(seed).expect("valid config")
+}
+
+#[test]
+fn full_stack_delivers_messages() {
+    for scheme in Scheme::ALL {
+        for env in [Environment::Urban, Environment::Rural] {
+            let r = smoke(scheme, env, 99);
+            assert!(r.generated > 0, "{scheme}/{env}: nothing generated");
+            assert!(r.delivered > 0, "{scheme}/{env}: nothing delivered");
+            assert!(
+                r.delivered <= r.generated,
+                "{scheme}/{env}: delivered more unique messages than generated"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_reports() {
+    for scheme in Scheme::ALL {
+        let a = smoke(scheme, Environment::Urban, 7);
+        let b = smoke(scheme, Environment::Urban, 7);
+        assert_eq!(a, b, "{scheme}: non-deterministic report");
+    }
+}
+
+#[test]
+fn baseline_never_forwards() {
+    let r = smoke(Scheme::NoRouting, Environment::Rural, 5);
+    assert_eq!(r.handover_frames, 0);
+    assert_eq!(r.handover_messages, 0);
+    assert_eq!(r.mean_hops(), 1.0);
+}
+
+#[test]
+fn forwarding_schemes_do_forward_in_rural() {
+    // The 1 km rural d2d range guarantees contact opportunities even in
+    // the small smoke network.
+    for scheme in [Scheme::RcaEtx, Scheme::Robc] {
+        let r = smoke(scheme, Environment::Rural, 5);
+        assert!(r.handover_frames > 0, "{scheme}: no handovers");
+        assert!(r.mean_hops() > 1.0, "{scheme}: hops stuck at 1");
+    }
+}
+
+#[test]
+fn delays_are_physical() {
+    for scheme in Scheme::ALL {
+        let r = smoke(scheme, Environment::Urban, 11);
+        // No message can be delivered before the shortest possible airtime
+        // nor after the 2 h horizon.
+        assert!(r.mean_delay_s() > 0.0, "{scheme}: zero delay");
+        assert!(
+            r.mean_delay_s() < 7_200.0,
+            "{scheme}: delay beyond horizon"
+        );
+    }
+}
+
+#[test]
+fn more_gateways_help_the_baseline() {
+    let mut sparse = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+    sparse.num_gateways = 2;
+    let mut dense = sparse.clone();
+    dense.num_gateways = 16;
+    let r_sparse = sparse.run(3).unwrap();
+    let r_dense = dense.run(3).unwrap();
+    assert!(
+        r_dense.delivered > r_sparse.delivered,
+        "denser gateways should deliver more: {} vs {}",
+        r_dense.delivered,
+        r_sparse.delivered
+    );
+    assert!(
+        r_dense.mean_delay_s() < r_sparse.mean_delay_s(),
+        "denser gateways should deliver sooner"
+    );
+}
+
+#[test]
+fn throughput_series_sums_to_delivered() {
+    for scheme in Scheme::ALL {
+        let r = smoke(scheme, Environment::Urban, 13);
+        assert_eq!(r.throughput_series.total(), r.delivered);
+    }
+}
+
+#[test]
+fn longer_horizon_generates_more() {
+    let short = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+    let mut long = short.clone();
+    long.horizon = SimDuration::from_hours(4);
+    long.network.horizon = long.horizon;
+    let r_short = short.run(21).unwrap();
+    let r_long = long.run(21).unwrap();
+    assert!(r_long.generated > r_short.generated);
+}
+
+#[test]
+fn message_accounting_is_consistent() {
+    for scheme in Scheme::ALL {
+        let r = smoke(scheme, Environment::Rural, 17);
+        // Every generated message is delivered, stranded in a queue, or
+        // dropped by overflow (sets may overlap via duplication, so >=).
+        assert!(
+            r.delivered + r.stranded + r.queue_drops >= r.generated,
+            "{scheme}: accounting hole"
+        );
+        // Bundle-weighted sends cannot be fewer than frames.
+        assert!(r.messages_sent >= r.frames_sent);
+    }
+}
