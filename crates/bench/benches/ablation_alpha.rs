@@ -3,18 +3,26 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlora_core::{RcaEtxEstimator, Scheme};
-use mlora_sim::{experiment, Environment};
+use mlora_sim::{Environment, ExperimentPlan, Runner};
 use mlora_simcore::SimTime;
 
 fn bench(c: &mut Criterion) {
     let mut base = mlora_bench::bench_config(Scheme::RcaEtx, Environment::Urban);
     base.num_gateways = 70;
-    let rows = experiment::alpha_sweep(&base, &[0.1, 0.3, 0.5, 0.7, 0.9], mlora_bench::HARNESS_SEED);
+    let plan = ExperimentPlan::new(base)
+        .alphas([0.1, 0.3, 0.5, 0.7, 0.9])
+        .fixed_seeds([mlora_bench::HARNESS_SEED]);
+    let cells = Runner::new().run(&plan).expect("alpha plan is valid");
     println!("\n== Ablation A: alpha sweep (RCA-ETX, urban, 70 gws, bench scale) ==");
-    println!("{:>6} {:>12} {:>12} {:>8}", "alpha", "delay(s)", "delivered", "hops");
-    for (alpha, r) in &rows {
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "alpha", "delay(s)", "delivered", "hops"
+    );
+    for cell in &cells {
+        let r = cell.report.single();
         println!(
-            "{alpha:>6.1} {:>12.1} {:>12} {:>8.2}",
+            "{:>6.1} {:>12.1} {:>12} {:>8.2}",
+            cell.key.alpha,
             r.mean_delay_s(),
             r.delivered,
             r.mean_hops()

@@ -2,18 +2,28 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlora_core::Scheme;
-use mlora_sim::{experiment, DeviceClassChoice, Environment};
+use mlora_sim::{DeviceClassChoice, Environment, ExperimentPlan, Runner};
 
 fn bench(c: &mut Criterion) {
     let mut base = mlora_bench::bench_config(Scheme::Robc, Environment::Urban);
     base.num_gateways = 70;
-    let rows = experiment::class_compare(&base, mlora_bench::HARNESS_SEED);
+    let plan = ExperimentPlan::new(base)
+        .device_classes([
+            DeviceClassChoice::ModifiedClassC,
+            DeviceClassChoice::QueueBasedClassA,
+        ])
+        .fixed_seeds([mlora_bench::HARNESS_SEED]);
+    let cells = Runner::new().run(&plan).expect("class plan is valid");
     println!("\n== Ablation C: device classes (ROBC, urban, 70 gws, bench scale) ==");
-    println!("{:>20} {:>12} {:>12} {:>16}", "class", "delay(s)", "delivered", "energy/node(J)");
-    for (class, r) in &rows {
+    println!(
+        "{:>20} {:>12} {:>12} {:>16}",
+        "class", "delay(s)", "delivered", "energy/node(J)"
+    );
+    for cell in &cells {
+        let r = cell.report.single();
         println!(
             "{:>20} {:>12.1} {:>12} {:>16.1}",
-            format!("{class:?}"),
+            format!("{:?}", cell.key.device_class),
             r.mean_delay_s(),
             r.delivered,
             r.mean_energy_per_node_mj() / 1000.0
@@ -22,7 +32,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_class");
     group.sample_size(10);
-    for class in [DeviceClassChoice::ModifiedClassC, DeviceClassChoice::QueueBasedClassA] {
+    for class in [
+        DeviceClassChoice::ModifiedClassC,
+        DeviceClassChoice::QueueBasedClassA,
+    ] {
         group.bench_function(format!("{class:?}"), |b| {
             let mut cfg = mlora_bench::quick_config(Scheme::Robc, Environment::Urban);
             cfg.device_class = class;

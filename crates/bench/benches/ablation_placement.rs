@@ -3,23 +3,44 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlora_core::Scheme;
 use mlora_geo::Point;
-use mlora_sim::{experiment, place_gateways, Environment, GatewayPlacement};
+use mlora_sim::{place_gateways, Environment, ExperimentPlan, GatewayPlacement, Runner};
 use mlora_simcore::SimRng;
 
 fn bench(c: &mut Criterion) {
     let mut base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Urban);
     base.num_gateways = 70;
-    let rows = experiment::placement_compare(&base, &Scheme::ALL, 3, mlora_bench::HARNESS_SEED);
+    let runner = Runner::new();
+    let grid = runner
+        .run(
+            &ExperimentPlan::new(base.clone())
+                .schemes(Scheme::ALL)
+                .placements([GatewayPlacement::Grid])
+                .fixed_seeds([mlora_bench::HARNESS_SEED]),
+        )
+        .expect("grid plan is valid");
+    let random = runner
+        .run(
+            &ExperimentPlan::new(base.clone())
+                .schemes(Scheme::ALL)
+                .placements([GatewayPlacement::Random])
+                .fixed_seeds((1..=3).map(|i| mlora_bench::HARNESS_SEED + i)),
+        )
+        .expect("random plan is valid");
     println!("\n== Ablation B: placement (urban, 70 gws, bench scale) ==");
-    println!("{:>10} {:>10} {:>8} {:>12} {:>12}", "scheme", "placement", "layout", "delay(s)", "delivered");
-    for (scheme, placement, layout, r) in &rows {
-        println!(
-            "{:>10} {:>10} {layout:>8} {:>12.1} {:>12}",
-            scheme.label(),
-            format!("{placement:?}"),
-            r.mean_delay_s(),
-            r.delivered
-        );
+    println!(
+        "{:>10} {:>10} {:>8} {:>12} {:>12}",
+        "scheme", "placement", "layout", "delay(s)", "delivered"
+    );
+    for cell in grid.iter().chain(&random) {
+        for (layout, r) in cell.report.runs() {
+            println!(
+                "{:>10} {:>10} {layout:>8} {:>12.1} {:>12}",
+                cell.key.scheme.label(),
+                format!("{:?}", cell.key.placement),
+                r.mean_delay_s(),
+                r.delivered
+            );
+        }
     }
 
     let area = mlora_geo::BBox::square(Point::ORIGIN, 24_495.0);

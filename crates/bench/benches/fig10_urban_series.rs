@@ -3,18 +3,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlora_core::Scheme;
-use mlora_sim::{experiment, report, Environment};
+use mlora_sim::{report, Environment, ExperimentPlan, Runner, SimReport};
 
 fn bench(c: &mut Criterion) {
     let base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Urban);
     let gws = *mlora_bench::BENCH_GATEWAY_COUNTS.last().unwrap();
-    let rows = experiment::time_series(
-        &base,
-        Environment::Urban,
-        gws,
-        &Scheme::ALL,
-        mlora_bench::HARNESS_SEED,
-    );
+    let plan = ExperimentPlan::new(base)
+        .gateway_counts([gws])
+        .schemes(Scheme::ALL)
+        .fixed_seeds([mlora_bench::HARNESS_SEED]);
+    let cells = Runner::new().run(&plan).expect("series plan is valid");
+    let rows: Vec<(Scheme, SimReport)> = cells
+        .into_iter()
+        .map(|cell| (cell.key.scheme, cell.report.single().clone()))
+        .collect();
     println!("\n== Fig10: urban series, {gws} gateways (bench scale) ==");
     print!("{}", report::time_series_table(&rows, Environment::Urban));
 

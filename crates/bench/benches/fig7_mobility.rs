@@ -29,12 +29,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig7/position_queries", |b| {
         let noon = SimTime::from_secs(12 * 3600);
         let nodes: Vec<_> = net.active_trips(noon).map(|t| t.node()).collect();
-        b.iter(|| {
-            nodes
-                .iter()
-                .map(|&n| net.position(n, noon).x)
-                .sum::<f64>()
-        })
+        b.iter(|| nodes.iter().map(|&n| net.position(n, noon).x).sum::<f64>())
     });
 }
 

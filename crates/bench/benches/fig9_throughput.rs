@@ -1,20 +1,19 @@
-//! Fig9 harness: regenerates the throughput table at bench scale and
-//! times the underlying simulation per scheme.
+//! Fig9 harness: regenerates the throughput table at bench scale through the
+//! parallel experiment Runner and times the underlying simulation per
+//! scheme.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlora_core::Scheme;
-use mlora_sim::{experiment, report, Environment};
+use mlora_sim::{report, Environment, Runner, SweepPoint};
 
 fn bench(c: &mut Criterion) {
-    // Regenerate the figure once (bench scale: 6 h horizon, 800-bus peak).
+    // Regenerate the figure once (bench scale: 6 h horizon, 800-bus
+    // peak); the sweep's cells run across all cores.
     let base = mlora_bench::bench_config(Scheme::NoRouting, Environment::Urban);
-    let points = experiment::gateway_sweep(
-        &base,
-        &mlora_bench::BENCH_GATEWAY_COUNTS,
-        &[Environment::Urban, Environment::Rural],
-        &Scheme::ALL,
-        mlora_bench::HARNESS_SEED,
-    );
+    let plan = mlora_bench::figure_sweep_plan(base, &mlora_bench::BENCH_GATEWAY_COUNTS)
+        .fixed_seeds([mlora_bench::HARNESS_SEED]);
+    let cells = Runner::new().run(&plan).expect("sweep plan is valid");
+    let points = SweepPoint::from_cells(&cells);
     println!("\n== Fig9 (bench scale) ==");
     print!("{}", report::fig9_throughput_table(&points));
 

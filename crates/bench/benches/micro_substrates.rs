@@ -30,7 +30,10 @@ fn bench(c: &mut Criterion) {
             .map(|i| {
                 (
                     i,
-                    Point::new(rng.gen_range_f64(0.0, 24_495.0), rng.gen_range_f64(0.0, 24_495.0)),
+                    Point::new(
+                        rng.gen_range_f64(0.0, 24_495.0),
+                        rng.gen_range_f64(0.0, 24_495.0),
+                    ),
                 )
             })
             .collect();
@@ -44,7 +47,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut q = DataQueue::new(256);
             for i in 0..64u64 {
-                q.push(AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO));
+                q.push(AppMessage::new(
+                    MessageId::new(i),
+                    NodeId::new(0),
+                    SimTime::ZERO,
+                ));
             }
             let bundle = q.peek_front(12);
             q.remove(&bundle);
@@ -64,7 +71,7 @@ fn bench(c: &mut Criterion) {
                     break;
                 }
                 dc.record_tx(t, toa);
-                t = t + toa;
+                t += toa;
             }
             dc.tx_count()
         })

@@ -5,9 +5,14 @@
 //! [`paper_config`] (24 h, full fleet) to regenerate the figures at paper
 //! scale. Both use the same code paths — only fleet size and horizon
 //! differ.
+//!
+//! Sweeps are expressed as [`ExperimentPlan`]s and executed through the
+//! parallel [`Runner`](mlora_sim::Runner); [`figure_sweep_plan`] is the
+//! shared gateway-density sweep behind Figs. 8, 9, 12 and 13.
 
 use mlora_core::Scheme;
-use mlora_sim::{Environment, SimConfig};
+use mlora_sim::{Environment, ExperimentPlan, Scenario, SimConfig};
+use mlora_simcore::SimDuration;
 
 /// The seed every harness run uses, so printed numbers are reproducible.
 pub const HARNESS_SEED: u64 = 2020;
@@ -17,19 +22,40 @@ pub const BENCH_GATEWAY_COUNTS: [usize; 3] = [40, 70, 100];
 
 /// The bench-scale configuration for a scheme/environment pair.
 pub fn bench_config(scheme: Scheme, environment: Environment) -> SimConfig {
-    SimConfig::bench_scale(scheme, environment)
+    Scenario::custom(environment)
+        .scheme(scheme)
+        .bench()
+        .build()
+        .expect("bench preset is valid")
 }
 
 /// The paper-scale configuration for a scheme/environment pair.
 pub fn paper_config(scheme: Scheme, environment: Environment) -> SimConfig {
-    SimConfig::paper_default(scheme, environment)
+    Scenario::custom(environment)
+        .scheme(scheme)
+        .build()
+        .expect("paper preset is valid")
 }
 
 /// A quick configuration for Criterion micro-runs that must iterate many
 /// times (sub-second per run).
 pub fn quick_config(scheme: Scheme, environment: Environment) -> SimConfig {
-    let mut cfg = SimConfig::smoke_test(scheme, environment);
-    cfg.horizon = mlora_simcore::SimDuration::from_mins(30);
-    cfg.network.horizon = cfg.horizon;
-    cfg
+    Scenario::custom(environment)
+        .scheme(scheme)
+        .smoke()
+        .duration(SimDuration::from_mins(30))
+        .build()
+        .expect("quick preset is valid")
+}
+
+/// The shared gateway-density sweep behind Figs. 8, 9, 12 and 13 over
+/// `base`: both environments × `gateway_counts` × every scheme. Callers
+/// choose the seed policy — `.fixed_seeds([seed])` for the paper's
+/// same-fleet-everywhere comparison, or `.seed(s).replicate(n)` for
+/// multi-seed confidence intervals.
+pub fn figure_sweep_plan(base: SimConfig, gateway_counts: &[usize]) -> ExperimentPlan {
+    ExperimentPlan::new(base)
+        .environments([Environment::Urban, Environment::Rural])
+        .gateway_counts(gateway_counts.iter().copied())
+        .schemes(Scheme::ALL)
 }

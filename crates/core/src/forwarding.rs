@@ -4,9 +4,7 @@ use mlora_phy::CapacityModel;
 use mlora_simcore::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    greedy_forward_rule, link_rca_etx, CaEtxEstimator, DonorLedger, RcaEtxEstimator, Rgq,
-};
+use crate::{greedy_forward_rule, link_rca_etx, CaEtxEstimator, DonorLedger, RcaEtxEstimator, Rgq};
 
 /// The three data-forwarding schemes the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -30,8 +28,12 @@ impl Scheme {
 
     /// The evaluated schemes plus the CA-ETX comparator, for the
     /// staleness ablation.
-    pub const WITH_CA_ETX: [Scheme; 4] =
-        [Scheme::NoRouting, Scheme::CaEtx, Scheme::RcaEtx, Scheme::Robc];
+    pub const WITH_CA_ETX: [Scheme; 4] = [
+        Scheme::NoRouting,
+        Scheme::CaEtx,
+        Scheme::RcaEtx,
+        Scheme::Robc,
+    ];
 
     /// The label used in the paper's figures.
     pub fn label(&self) -> &'static str {
@@ -265,8 +267,7 @@ impl RoutingState {
                 if weight <= 0.0 {
                     return ForwardDecision::Keep;
                 }
-                let delta =
-                    crate::robc_transfer_amount(queue_len, phi_x, beacon.queue_len, phi_y);
+                let delta = crate::robc_transfer_amount(queue_len, phi_x, beacon.queue_len, phi_y);
                 let count = delta.min(self.config.max_bundle);
                 if count == 0 {
                     ForwardDecision::Keep
@@ -308,7 +309,10 @@ mod tests {
             rca_etx: 0.001,
             queue_len: 0,
         };
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -80.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -80.0),
+            ForwardDecision::Keep
+        );
     }
 
     #[test]
@@ -338,7 +342,10 @@ mod tests {
             rca_etx: 5_000.0, // poorly connected neighbour
             queue_len: 3,
         };
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -85.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -85.0),
+            ForwardDecision::Keep
+        );
     }
 
     #[test]
@@ -351,7 +358,10 @@ mod tests {
             queue_len: 0,
         };
         // RSSI below γ_min: the link metric hits the ceiling.
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -140.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 5, &beacon, -140.0),
+            ForwardDecision::Keep
+        );
     }
 
     #[test]
@@ -363,7 +373,10 @@ mod tests {
             rca_etx: 0.5,
             queue_len: 0,
         };
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 0, &beacon, -70.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 0, &beacon, -70.0),
+            ForwardDecision::Keep
+        );
     }
 
     #[test]
@@ -392,7 +405,10 @@ mod tests {
             rca_etx: 5_000.0, // poorly connected, heavy queue
             queue_len: 50,
         };
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 2, &beacon, -85.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 2, &beacon, -85.0),
+            ForwardDecision::Keep
+        );
     }
 
     #[test]
@@ -405,7 +421,10 @@ mod tests {
             rca_etx: 0.5,
             queue_len: 0,
         };
-        assert_eq!(s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -85.0), ForwardDecision::Keep);
+        assert_eq!(
+            s.decide(SimTime::from_secs(1260), 0.0, 10, &beacon, -85.0),
+            ForwardDecision::Keep
+        );
         // The next sink slot clears the bar.
         s.on_sink_slot(SimTime::from_secs(10_000), None, 0.0);
         assert!(matches!(

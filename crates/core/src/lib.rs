@@ -8,7 +8,7 @@
 //! * [`ContactTracker`] — per-device bookkeeping of gateway contacts,
 //!   yielding the real-time packet service time (RPST) of Eq. 3.
 //! * [`RcaEtxEstimator`] — combines the two into the node-to-sink metric
-//!!  `RCA-ETX_{x,S}(t) = E[µ′_{x,S}(t)]`.
+//!   `RCA-ETX_{x,S}(t) = E[µ′_{x,S}(t)]`.
 //! * [`link_rca_etx`] — the device-to-device metric of Eq. 6 over the
 //!   Eq. 5 RSSI→capacity map.
 //! * [`greedy_forward_rule`] — the handover predicate of Eq. 1.

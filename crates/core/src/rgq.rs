@@ -72,7 +72,11 @@ impl Rgq {
     /// ceiling-capped metrics.
     pub fn phi(&self, rca_etx_s: f64) -> f64 {
         if !rca_etx_s.is_finite() || rca_etx_s <= 0.0 {
-            return if rca_etx_s <= 0.0 { self.phi_max } else { self.phi_min };
+            return if rca_etx_s <= 0.0 {
+                self.phi_max
+            } else {
+                self.phi_min
+            };
         }
         (1.0 / rca_etx_s).clamp(self.phi_min, self.phi_max)
     }

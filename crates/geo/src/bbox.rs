@@ -31,7 +31,10 @@ impl BBox {
     /// `max` on either axis.
     pub fn new(min: Point, max: Point) -> Self {
         assert!(min.is_finite() && max.is_finite(), "non-finite bbox corner");
-        assert!(min.x <= max.x && min.y <= max.y, "inverted bbox {min} .. {max}");
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "inverted bbox {min} .. {max}"
+        );
         BBox { min, max }
     }
 
@@ -82,7 +85,10 @@ impl BBox {
 
     /// Clamps `p` to the box.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Shrinks the box by `margin` metres on every side.

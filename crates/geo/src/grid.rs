@@ -87,12 +87,11 @@ impl<T: Copy> GridIndex<T> {
 
     /// The nearest item to `p` within `radius`, if any.
     pub fn nearest_within(&self, p: Point, radius: f64) -> Option<(T, Point)> {
-        self.within(p, radius)
-            .min_by(|a, b| {
-                a.1.distance_sq(p)
-                    .partial_cmp(&b.1.distance_sq(p))
-                    .expect("distances are finite")
-            })
+        self.within(p, radius).min_by(|a, b| {
+            a.1.distance_sq(p)
+                .partial_cmp(&b.1.distance_sq(p))
+                .expect("distances are finite")
+        })
     }
 }
 
@@ -105,7 +104,10 @@ mod tests {
         // Two points close together but in different grid cells.
         let items = [(1u32, Point::new(99.0, 0.0)), (2, Point::new(101.0, 0.0))];
         let grid = GridIndex::build(items.iter().copied(), 100.0);
-        let hits: Vec<u32> = grid.within(Point::new(100.0, 0.0), 5.0).map(|(i, _)| i).collect();
+        let hits: Vec<u32> = grid
+            .within(Point::new(100.0, 0.0), 5.0)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(hits.len(), 2);
     }
 
@@ -144,13 +146,19 @@ mod tests {
             .map(|i| {
                 (
                     i,
-                    Point::new(rng.gen_range_f64(0.0, 5000.0), rng.gen_range_f64(0.0, 5000.0)),
+                    Point::new(
+                        rng.gen_range_f64(0.0, 5000.0),
+                        rng.gen_range_f64(0.0, 5000.0),
+                    ),
                 )
             })
             .collect();
         let grid = GridIndex::build(items.iter().copied(), 500.0);
         for _ in 0..50 {
-            let c = Point::new(rng.gen_range_f64(0.0, 5000.0), rng.gen_range_f64(0.0, 5000.0));
+            let c = Point::new(
+                rng.gen_range_f64(0.0, 5000.0),
+                rng.gen_range_f64(0.0, 5000.0),
+            );
             let r = rng.gen_range_f64(10.0, 1500.0);
             let mut got: Vec<u32> = grid.within(c, r).map(|(i, _)| i).collect();
             got.sort_unstable();

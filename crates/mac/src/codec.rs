@@ -135,8 +135,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<UplinkFrame, DecodeError> {
         let off = 12 + i * MESSAGE_WIRE_BYTES;
         let id = u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
         let origin = u32::from_le_bytes(body[off + 8..off + 12].try_into().expect("4 bytes"));
-        let created =
-            u64::from_le_bytes(body[off + 12..off + 20].try_into().expect("8 bytes"));
+        let created = u64::from_le_bytes(body[off + 12..off + 20].try_into().expect("8 bytes"));
         messages.push(AppMessage::new(
             MessageId::new(id),
             NodeId::new(origin),
@@ -211,7 +210,7 @@ mod tests {
     fn bad_header_rejected_after_mic() {
         let mut bytes = encode_frame(&sample_frame(0));
         bytes[0] = 0x80; // confirmed data up — not ours
-        // Fix up the MIC so only the header check can fail.
+                         // Fix up the MIC so only the header check can fail.
         let body_len = bytes.len() - 4;
         let mic = crc32(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&mic.to_le_bytes());

@@ -100,7 +100,10 @@ mod tests {
         // Busy until 100 ms + 9 900 ms.
         assert!(!dc.can_transmit(SimTime::from_millis(9_999)));
         assert!(dc.can_transmit(SimTime::from_millis(10_000)));
-        assert_eq!(dc.next_opportunity(SimTime::ZERO), SimTime::from_millis(10_000));
+        assert_eq!(
+            dc.next_opportunity(SimTime::ZERO),
+            SimTime::from_millis(10_000)
+        );
     }
 
     #[test]
@@ -114,7 +117,10 @@ mod tests {
     fn accumulates_airtime_and_count() {
         let mut dc = DutyCycleTracker::new(0.01);
         dc.record_tx(SimTime::ZERO, SimDuration::from_millis(50));
-        dc.record_tx(dc.next_opportunity(SimTime::ZERO), SimDuration::from_millis(70));
+        dc.record_tx(
+            dc.next_opportunity(SimTime::ZERO),
+            SimDuration::from_millis(70),
+        );
         assert_eq!(dc.total_airtime(), SimDuration::from_millis(120));
         assert_eq!(dc.tx_count(), 2);
     }
@@ -133,7 +139,7 @@ mod tests {
                 break;
             }
             dc.record_tx(t, toa);
-            t = t + toa;
+            t += toa;
         }
         let share = dc.total_airtime().as_secs_f64() / 3600.0;
         assert!(share <= 0.0101, "duty share {share}");

@@ -36,7 +36,11 @@ pub struct AppMessage {
 impl AppMessage {
     /// Creates a message record.
     pub fn new(id: MessageId, origin: NodeId, created: SimTime) -> Self {
-        AppMessage { id, origin, created }
+        AppMessage {
+            id,
+            origin,
+            created,
+        }
     }
 }
 
@@ -105,7 +109,10 @@ mod tests {
         let msgs: Vec<AppMessage> = (0..MAX_BUNDLE as u64).map(msg).collect();
         let frame = UplinkFrame::new(NodeId::new(1), msgs, 10.0, 30);
         // 9 + 6 + 12*20 = 255, the LoRa PHY maximum exactly.
-        assert_eq!(frame.payload_bytes(), FRAME_HEADER_BYTES + METADATA_BYTES + 240);
+        assert_eq!(
+            frame.payload_bytes(),
+            FRAME_HEADER_BYTES + METADATA_BYTES + 240
+        );
         assert!(frame.payload_bytes() <= 255);
     }
 

@@ -124,7 +124,10 @@ mod tests {
             q.push(msg(i));
         }
         let popped = q.pop_front(3);
-        assert_eq!(popped.iter().map(|m| m.id.raw()).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(
+            popped.iter().map(|m| m.id.raw()).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
         assert_eq!(q.len(), 2);
     }
 

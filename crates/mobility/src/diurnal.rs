@@ -99,9 +99,8 @@ mod tests {
 
     #[test]
     fn interpolates_between_hours() {
-        let p = DiurnalProfile::from_hourly(
-            (0..24).map(|h| if h == 6 { 1.0 } else { 0.0 }).collect(),
-        );
+        let p =
+            DiurnalProfile::from_hourly((0..24).map(|h| if h == 6 { 1.0 } else { 0.0 }).collect());
         assert_eq!(p.level(SimTime::from_secs(6 * 3600)), 1.0);
         assert_eq!(p.level(SimTime::from_secs(5 * 3600 + 1800)), 0.5);
         assert_eq!(p.level(SimTime::from_secs(6 * 3600 + 1800)), 0.5);

@@ -75,7 +75,10 @@ impl BusNetworkConfig {
             self.min_speed_mps > 0.0 && self.min_speed_mps <= self.max_speed_mps,
             "bad speed range"
         );
-        assert!(self.min_legs >= 1 && self.min_legs <= self.max_legs, "bad leg range");
+        assert!(
+            self.min_legs >= 1 && self.min_legs <= self.max_legs,
+            "bad leg range"
+        );
         assert!(self.max_active_buses > 0, "need at least one bus");
         assert!(
             self.min_route_length_m < self.area_side_m * 2.0,
@@ -275,7 +278,8 @@ fn schedule_route(
         if t < 0.0 {
             continue;
         }
-        let legs = rng.gen_range_u64(u64::from(config.min_legs), u64::from(config.max_legs) + 1) as u32;
+        let legs =
+            rng.gen_range_u64(u64::from(config.min_legs), u64::from(config.max_legs) + 1) as u32;
         out.push(RawTrip {
             route_idx: route.id().index(),
             depart: SimTime::from_secs_f64(t),

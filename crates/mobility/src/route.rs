@@ -59,7 +59,11 @@ impl Route {
             "bad speed {speed_mps}"
         );
         assert!(path.length() > 0.0, "route path must have positive length");
-        Route { id, path, speed_mps }
+        Route {
+            id,
+            path,
+            speed_mps,
+        }
     }
 
     /// The route identifier.

@@ -115,11 +115,23 @@ mod tests {
     fn positions_along_legs() {
         let r = route();
         let t = Trip::new(NodeId::new(1), &r, SimTime::from_secs(0), 2);
-        assert_eq!(t.position(&r, SimTime::from_secs(50)), Point::new(500.0, 0.0));
-        assert_eq!(t.position(&r, SimTime::from_secs(100)), Point::new(1000.0, 0.0));
+        assert_eq!(
+            t.position(&r, SimTime::from_secs(50)),
+            Point::new(500.0, 0.0)
+        );
+        assert_eq!(
+            t.position(&r, SimTime::from_secs(100)),
+            Point::new(1000.0, 0.0)
+        );
         // Second leg runs back towards the start.
-        assert_eq!(t.position(&r, SimTime::from_secs(150)), Point::new(500.0, 0.0));
-        assert_eq!(t.position(&r, SimTime::from_secs(200)), Point::new(0.0, 0.0));
+        assert_eq!(
+            t.position(&r, SimTime::from_secs(150)),
+            Point::new(500.0, 0.0)
+        );
+        assert_eq!(
+            t.position(&r, SimTime::from_secs(200)),
+            Point::new(0.0, 0.0)
+        );
     }
 
     #[test]

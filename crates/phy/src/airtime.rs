@@ -35,7 +35,8 @@ pub fn time_on_air(payload_bytes: usize, params: &PhyParams) -> SimDuration {
 
     let numerator = 8 * payload_bytes as i64 - 4 * sf + 28 + 16 * crc - 20 * ih;
     let denominator = 4 * (sf - 2 * de);
-    let n_payload = 8 + (((numerator as f64) / (denominator as f64)).ceil() as i64 * (cr + 4)).max(0);
+    let n_payload =
+        8 + (((numerator as f64) / (denominator as f64)).ceil() as i64 * (cr + 4)).max(0);
 
     let t_preamble = (params.preamble_symbols as f64 + 4.25) * t_sym;
     let t_payload = n_payload as f64 * t_sym;

@@ -38,11 +38,7 @@ pub fn resolve_collision<T: Copy>(
     let (best_idx, &(tag, best_rssi)) = frames
         .iter()
         .enumerate()
-        .max_by(|a, b| {
-            a.1 .1
-                .partial_cmp(&b.1 .1)
-                .expect("RSSI values are finite")
-        })?;
+        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("RSSI values are finite"))?;
     if best_rssi < sensitivity_dbm {
         return None;
     }
@@ -62,12 +58,18 @@ mod tests {
 
     #[test]
     fn lone_frame_above_sensitivity_decodes() {
-        assert_eq!(resolve_collision(&[(1, -100.0)], SENS, CAPTURE_MARGIN_DB), Some(1));
+        assert_eq!(
+            resolve_collision(&[(1, -100.0)], SENS, CAPTURE_MARGIN_DB),
+            Some(1)
+        );
     }
 
     #[test]
     fn lone_frame_below_sensitivity_lost() {
-        assert_eq!(resolve_collision(&[(1, -130.0)], SENS, CAPTURE_MARGIN_DB), None);
+        assert_eq!(
+            resolve_collision(&[(1, -130.0)], SENS, CAPTURE_MARGIN_DB),
+            None
+        );
     }
 
     #[test]

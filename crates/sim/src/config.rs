@@ -103,21 +103,108 @@ pub struct SimConfig {
 }
 
 /// Error returned when a [`SimConfig`] is internally inconsistent.
+///
+/// Variants are typed so callers can react to the failure mode (and the
+/// offending field is always named); [`ConfigError::Invalid`] remains for
+/// constraints that do not fit the structured shapes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// A field failed validation; the message names it.
     Invalid(&'static str),
+    /// A field that must be positive was zero.
+    Zero {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A numeric field was NaN or infinite.
+    NotFinite {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A numeric field fell outside its legal interval.
+    OutOfRange {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive-or-exclusive lower bound, as documented on the field.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl ConfigError {
+    /// The name of the field that failed validation.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::Invalid(what) => what,
+            ConfigError::Zero { field }
+            | ConfigError::NotFinite { field, .. }
+            | ConfigError::OutOfRange { field, .. } => field,
+        }
+    }
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::Invalid(what) => write!(f, "invalid configuration: {what}"),
+            ConfigError::Zero { field } => {
+                write!(f, "invalid configuration: {field} must be positive")
+            }
+            ConfigError::NotFinite { field, value } => {
+                write!(
+                    f,
+                    "invalid configuration: {field} must be finite, got {value}"
+                )
+            }
+            ConfigError::OutOfRange {
+                field,
+                value,
+                lo,
+                hi,
+            } => {
+                if hi.is_infinite() {
+                    write!(
+                        f,
+                        "invalid configuration: {field} = {value} must be greater than {lo}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "invalid configuration: {field} = {value} outside ({lo}, {hi}]"
+                    )
+                }
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Validates that `value` is finite and within `(lo, hi]`.
+fn check_unit_interval(
+    field: &'static str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+) -> Result<(), ConfigError> {
+    if !value.is_finite() {
+        return Err(ConfigError::NotFinite { field, value });
+    }
+    if !(value > lo && value <= hi) {
+        return Err(ConfigError::OutOfRange {
+            field,
+            value,
+            lo,
+            hi,
+        });
+    }
+    Ok(())
+}
 
 impl SimConfig {
     /// The paper's §VII.A setting for a scheme/environment pair: 600 km²,
@@ -195,34 +282,54 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::Invalid`] naming the first offending field.
+    /// Returns the typed [`ConfigError`] variant
+    /// ([`Zero`](ConfigError::Zero), [`NotFinite`](ConfigError::NotFinite)
+    /// or [`OutOfRange`](ConfigError::OutOfRange)) naming the first
+    /// offending field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_gateways == 0 {
-            return Err(ConfigError::Invalid("num_gateways must be positive"));
+            return Err(ConfigError::Zero {
+                field: "num_gateways",
+            });
         }
-        if !(self.gateway_range_m.is_finite() && self.gateway_range_m > 0.0) {
-            return Err(ConfigError::Invalid("gateway_range_m must be positive"));
+        if !self.gateway_range_m.is_finite() {
+            return Err(ConfigError::NotFinite {
+                field: "gateway_range_m",
+                value: self.gateway_range_m,
+            });
         }
-        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
-            return Err(ConfigError::Invalid("alpha must be in (0, 1]"));
+        if self.gateway_range_m <= 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "gateway_range_m",
+                value: self.gateway_range_m,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            });
         }
+        check_unit_interval("alpha", self.alpha, 0.0, 1.0)?;
         if self.gen_interval.is_zero() {
-            return Err(ConfigError::Invalid("gen_interval must be positive"));
+            return Err(ConfigError::Zero {
+                field: "gen_interval",
+            });
         }
         if self.queue_capacity == 0 {
-            return Err(ConfigError::Invalid("queue_capacity must be positive"));
+            return Err(ConfigError::Zero {
+                field: "queue_capacity",
+            });
         }
-        if !(self.duty_cycle > 0.0 && self.duty_cycle <= 1.0) {
-            return Err(ConfigError::Invalid("duty_cycle must be in (0, 1]"));
-        }
+        check_unit_interval("duty_cycle", self.duty_cycle, 0.0, 1.0)?;
         if self.max_attempts == 0 {
-            return Err(ConfigError::Invalid("max_attempts must be positive"));
+            return Err(ConfigError::Zero {
+                field: "max_attempts",
+            });
         }
         if self.horizon.is_zero() {
-            return Err(ConfigError::Invalid("horizon must be positive"));
+            return Err(ConfigError::Zero { field: "horizon" });
         }
         if self.series_bucket.is_zero() {
-            return Err(ConfigError::Invalid("series_bucket must be positive"));
+            return Err(ConfigError::Zero {
+                field: "series_bucket",
+            });
         }
         Ok(())
     }
@@ -237,6 +344,23 @@ impl SimConfig {
     pub fn run(&self, seed: u64) -> Result<SimReport, ConfigError> {
         self.validate()?;
         Ok(crate::Engine::new(self.clone(), seed).run())
+    }
+
+    /// Runs the simulation with `seed`, streaming events to `observer`.
+    ///
+    /// The returned report is identical to [`SimConfig::run`] with the
+    /// same seed — observers never perturb the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn run_with_observer(
+        &self,
+        seed: u64,
+        observer: &mut dyn crate::SimObserver,
+    ) -> Result<SimReport, ConfigError> {
+        self.validate()?;
+        Ok(crate::Engine::new(self.clone(), seed).run_with_observer(observer))
     }
 }
 
@@ -272,15 +396,63 @@ mod tests {
 
         let mut c = base.clone();
         c.num_gateways = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Zero {
+                field: "num_gateways"
+            })
+        );
 
         let mut c = base.clone();
         c.alpha = 0.0;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "alpha",
+                value: 0.0,
+                lo: 0.0,
+                hi: 1.0
+            })
+        );
+
+        let mut c = base.clone();
+        c.alpha = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotFinite { field: "alpha", .. })
+        ));
+
+        let mut c = base.clone();
+        c.gateway_range_m = f64::INFINITY;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotFinite {
+                field: "gateway_range_m",
+                ..
+            })
+        ));
+
+        let mut c = base.clone();
+        c.gateway_range_m = -500.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "gateway_range_m",
+                value: -500.0,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            })
+        );
 
         let mut c = base.clone();
         c.duty_cycle = 2.0;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "duty_cycle",
+                ..
+            })
+        ));
 
         let mut c = base.clone();
         c.queue_capacity = 0;
@@ -288,12 +460,25 @@ mod tests {
 
         let mut c = base;
         c.horizon = SimDuration::ZERO;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "horizon" }));
     }
 
     #[test]
     fn config_error_displays() {
         let e = ConfigError::Invalid("x must be y");
         assert_eq!(e.to_string(), "invalid configuration: x must be y");
+        let e = ConfigError::Zero { field: "horizon" };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: horizon must be positive"
+        );
+        assert_eq!(e.field(), "horizon");
+        let e = ConfigError::OutOfRange {
+            field: "alpha",
+            value: 2.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+        assert!(e.to_string().contains("alpha"), "{e}");
     }
 }

@@ -18,6 +18,10 @@ use mlora_phy::{resolve_collision, time_on_air, CAPTURE_MARGIN_DB};
 use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
 use crate::metrics::Collector;
+use crate::observer::{
+    FrameTransmitted, HandoverAccepted, MessageDelivered, MessageGenerated, NullObserver,
+    SimObserver,
+};
 use crate::{place_gateways, DeviceClassChoice, SimConfig, SimReport};
 
 /// Discrete events driving the simulation.
@@ -151,10 +155,7 @@ impl Engine {
         };
         if stale || self.grid_dirty {
             let now = self.now;
-            let items = self
-                .active
-                .iter()
-                .map(|&n| (n, self.net.position(n, now)));
+            let items = self.active.iter().map(|&n| (n, self.net.position(n, now)));
             let cell = self.cfg.environment.d2d_range_m().max(200.0);
             self.grid = Some((now, mlora_geo::GridIndex::build(items, cell)));
             self.grid_dirty = false;
@@ -179,13 +180,23 @@ impl Engine {
     }
 
     /// Runs the simulation to the horizon and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_with_observer(&mut NullObserver)
+    }
+
+    /// Runs the simulation, streaming events to `observer`.
+    ///
+    /// Observers are passive: the event stream and the returned report
+    /// are identical to [`Engine::run`] for the same configuration and
+    /// seed.
+    pub fn run_with_observer(mut self, observer: &mut dyn SimObserver) -> SimReport {
         // Seed trip lifecycle events.
         for trip in self.net.trips() {
             if trip.depart() >= self.horizon {
                 continue;
             }
-            self.events.schedule(trip.depart(), Event::TripStart(trip.node()));
+            self.events
+                .schedule(trip.depart(), Event::TripStart(trip.node()));
             self.events
                 .schedule(trip.end().min(self.horizon), Event::TripEnd(trip.node()));
         }
@@ -198,9 +209,9 @@ impl Engine {
             match ev {
                 Event::TripStart(n) => self.on_trip_start(n),
                 Event::TripEnd(n) => self.on_trip_end(n),
-                Event::Generate(n) => self.on_generate(n),
-                Event::TxStart(n) => self.on_tx_start(n),
-                Event::TxEnd(id) => self.on_tx_end(id),
+                Event::Generate(n) => self.on_generate(n, observer),
+                Event::TxStart(n) => self.on_tx_start(n, observer),
+                Event::TxEnd(id) => self.on_tx_end(id, observer),
             }
         }
 
@@ -223,7 +234,9 @@ impl Engine {
         }
         self.collector.on_stranded(stranded.len() as u64);
 
-        self.collector.finish()
+        let report = self.collector.finish();
+        observer.on_run_end(&report);
+        report
     }
 
     fn device_class(&self) -> DeviceClass {
@@ -293,9 +306,7 @@ impl Engine {
         let rx = match dev.class {
             DeviceClass::ModifiedClassC | DeviceClass::ClassC => non_tx,
             DeviceClass::QueueBasedClassA => dev.rx_window_time.min(non_tx),
-            DeviceClass::ClassA => {
-                SimDuration::from_millis(320).min(non_tx) * dev.frames_sent
-            }
+            DeviceClass::ClassA => SimDuration::from_millis(320).min(non_tx) * dev.frames_sent,
             DeviceClass::ClassB { .. } => non_tx.mul_f64(0.01),
         };
         let sleep = non_tx.saturating_sub(rx);
@@ -307,7 +318,7 @@ impl Engine {
         self.collector.on_device_retired(energy, active_dur);
     }
 
-    fn on_generate(&mut self, n: NodeId) {
+    fn on_generate(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
         let gen_interval = self.cfg.gen_interval;
         let Some(dev) = self.devices.get_mut(&n) else {
             return;
@@ -315,22 +326,24 @@ impl Engine {
         if !dev.active {
             return;
         }
-        let msg = AppMessage::new(
-            mlora_simcore::MessageId::new(self.next_msg),
-            n,
-            self.now,
-        );
+        let msg = AppMessage::new(mlora_simcore::MessageId::new(self.next_msg), n, self.now);
         self.next_msg += 1;
         let drops_before = dev.queue.dropped();
         dev.queue.push(msg);
         let dropped = dev.queue.dropped() - drops_before;
         self.collector.on_generated();
+        observer.on_message_generated(&MessageGenerated {
+            time: self.now,
+            device: n,
+            message: msg.id,
+        });
         if dropped > 0 {
             self.collector.on_queue_drop(dropped);
         }
         // A new packet resets the retransmission counter (§VII.A.5).
         dev.retransmit.reset();
-        self.events.schedule(self.now + gen_interval, Event::Generate(n));
+        self.events
+            .schedule(self.now + gen_interval, Event::Generate(n));
         self.maybe_schedule_tx(n);
     }
 
@@ -343,8 +356,7 @@ impl Engine {
         if !dev.active || dev.tx_scheduled || dev.transmitting {
             return;
         }
-        let has_data = !dev.queue.is_empty()
-            || dev.pending_handover.map_or(false, |(_, c)| c > 0);
+        let has_data = !dev.queue.is_empty() || dev.pending_handover.is_some_and(|(_, c)| c > 0);
         if !has_data {
             return;
         }
@@ -353,7 +365,7 @@ impl Engine {
         self.events.schedule(t, Event::TxStart(n));
     }
 
-    fn on_tx_start(&mut self, n: NodeId) {
+    fn on_tx_start(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
         let phy = self.cfg.phy;
         let gen_interval = self.cfg.gen_interval;
         let queue_capacity = self.cfg.queue_capacity;
@@ -377,10 +389,7 @@ impl Engine {
         let mut target = None;
         let mut count = dev.queue.len().min(MAX_BUNDLE);
         if let Some((y, c)) = dev.pending_handover.take() {
-            let target_alive = self
-                .devices
-                .get(&y)
-                .map_or(false, |d| d.active);
+            let target_alive = self.devices.get(&y).is_some_and(|d| d.active);
             if target_alive {
                 let c = c.min(MAX_BUNDLE);
                 if c > 0 {
@@ -409,6 +418,13 @@ impl Engine {
             dev.rx_window_time += gen_interval.mul_f64(gamma);
         }
         self.collector.on_frame_sent(target.is_some(), frame.len());
+        observer.on_frame_tx(&FrameTransmitted {
+            time: self.now,
+            sender: n,
+            bundled: frame.len(),
+            airtime,
+            handover_target: target,
+        });
 
         let id = self.next_flight;
         self.next_flight += 1;
@@ -427,7 +443,7 @@ impl Engine {
         self.events.schedule(self.now + airtime, Event::TxEnd(id));
     }
 
-    fn on_tx_end(&mut self, id: u64) {
+    fn on_tx_end(&mut self, id: u64, observer: &mut dyn SimObserver) {
         let Some(flight) = self.flights.get(&id).cloned() else {
             return;
         };
@@ -450,11 +466,10 @@ impl Engine {
         overlaps.sort_unstable_by_key(|&(fid, _)| fid);
 
         let gateway_rssi = self.resolve_gateways(id, &flight, &overlaps);
-        let candidates =
-            self.neighbour_candidates(flight.pos, self.cfg.environment.d2d_range_m());
+        let candidates = self.neighbour_candidates(flight.pos, self.cfg.environment.d2d_range_m());
         let (accepted_by_target, to_schedule) =
-            self.resolve_neighbours(id, &flight, &overlaps, &candidates);
-        self.settle_sender(&flight, gateway_rssi, accepted_by_target);
+            self.resolve_neighbours(id, &flight, &overlaps, &candidates, observer);
+        self.settle_sender(&flight, gateway_rssi, accepted_by_target, observer);
         for n in to_schedule {
             self.maybe_schedule_tx(n);
         }
@@ -489,10 +504,11 @@ impl Engine {
                 if gw.distance(pos) > range {
                     continue;
                 }
-                let rssi =
-                    self.cfg
-                        .path_loss
-                        .sample_rssi_dbm(txp, gw.distance(pos), &mut self.channel_rng);
+                let rssi = self.cfg.path_loss.sample_rssi_dbm(
+                    txp,
+                    gw.distance(pos),
+                    &mut self.channel_rng,
+                );
                 if fid == flight_id {
                     flight_rssi = Some(rssi);
                 }
@@ -523,6 +539,7 @@ impl Engine {
         flight: &Flight,
         overlaps: &[(u64, Point)],
         candidates: &[NodeId],
+        observer: &mut dyn SimObserver,
     ) -> (bool, Vec<NodeId>) {
         let d2d = self.cfg.environment.d2d_range_m();
         let sens = self.cfg.phy.sensitivity_dbm();
@@ -603,6 +620,12 @@ impl Engine {
                 }
                 dev.routing.on_received_data(flight.sender);
                 self.collector.on_handover_accepted(&flight.frame.messages);
+                observer.on_forward(&HandoverAccepted {
+                    time: now,
+                    donor: flight.sender,
+                    acceptor: x,
+                    messages: flight.frame.messages.len(),
+                });
                 accepted = true;
                 // The acceptor holds the data until its own next slot
                 // (§V.B.2); it does not transmit reactively.
@@ -642,11 +665,20 @@ impl Engine {
         flight: &Flight,
         gateway_rssi: Option<f64>,
         accepted_by_target: bool,
+        observer: &mut dyn SimObserver,
     ) {
         // Deliver to the server first (instant backhaul).
         if gateway_rssi.is_some() {
             for msg in &flight.frame.messages {
-                self.collector.on_delivered(msg, self.now);
+                if let Some((delay, hops)) = self.collector.on_delivered(msg, self.now) {
+                    observer.on_delivery(&MessageDelivered {
+                        time: self.now,
+                        message: msg.id,
+                        origin: msg.origin,
+                        delay,
+                        hops,
+                    });
+                }
             }
         }
         let capacity = gateway_rssi.map(|r| self.cfg.capacity.capacity_bps(r));

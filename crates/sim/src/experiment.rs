@@ -1,13 +1,19 @@
-//! Experiment runners — one per figure of §VII (see DESIGN.md's index).
+//! Legacy per-figure experiment entry points.
 //!
-//! Each runner takes a base [`SimConfig`], applies the sweep the figure
-//! calls for, and returns structured results the report formatters (and
-//! EXPERIMENTS.md) consume. Runners never print; formatting lives in
-//! [`crate::report`].
+//! Every function here is a thin, deprecated wrapper over the
+//! declarative [`ExperimentPlan`](crate::ExperimentPlan) +
+//! [`Runner`](crate::Runner) API — new code should build plans directly
+//! (they compose axes freely, replicate over seeds and run across worker
+//! threads). The wrappers reproduce the historical behaviour exactly,
+//! including the same-seed-in-every-cell policy, and propagate
+//! configuration problems as [`RunnerError`] instead of panicking.
+
+#![allow(deprecated)]
 
 use mlora_core::Scheme;
 use serde::{Deserialize, Serialize};
 
+use crate::runner::{CellResult, ExperimentPlan, Runner, RunnerError};
 use crate::{DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimReport};
 
 /// One cell of the Fig. 8/9/12/13 sweeps: a (gateways, environment,
@@ -24,138 +30,199 @@ pub struct SweepPoint {
     pub report: SimReport,
 }
 
+impl SweepPoint {
+    /// Extracts sweep points (one per cell, first replicate) from runner
+    /// results — the bridge from the plan API to the per-figure
+    /// formatters in [`crate::report`].
+    pub fn from_cells(cells: &[CellResult]) -> Vec<SweepPoint> {
+        cells
+            .iter()
+            .map(|cell| SweepPoint {
+                gateways: cell.key.gateways,
+                environment: cell.key.environment,
+                scheme: cell.key.scheme,
+                report: cell.report.single().clone(),
+            })
+            .collect()
+    }
+}
+
+/// The paper's gateway counts: 40–100 in steps of 10.
+pub const PAPER_GATEWAY_COUNTS: [usize; 7] = [40, 50, 60, 70, 80, 90, 100];
+
 /// Runs the full gateway-density sweep behind Figs. 8, 9, 12 and 13:
 /// every `(gateways, environment, scheme)` combination on an otherwise
 /// fixed configuration.
 ///
 /// The same seed is reused across combinations so every cell sees the
 /// identical fleet and traffic; only deployment and scheme vary.
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] if any combination is invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExperimentPlan with environment/gateway/scheme axes and execute it with Runner"
+)]
 pub fn gateway_sweep(
     base: &SimConfig,
     gateway_counts: &[usize],
     environments: &[Environment],
     schemes: &[Scheme],
     seed: u64,
-) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
-    for &environment in environments {
-        for &gateways in gateway_counts {
-            for &scheme in schemes {
-                let mut cfg = base.clone();
-                cfg.environment = environment;
-                cfg.num_gateways = gateways;
-                cfg.scheme = scheme;
-                let report = cfg.run(seed).expect("sweep config is valid");
-                out.push(SweepPoint {
-                    gateways,
-                    environment,
-                    scheme,
-                    report,
-                });
-            }
-        }
-    }
-    out
+) -> Result<Vec<SweepPoint>, RunnerError> {
+    let plan = ExperimentPlan::new(base.clone())
+        .environments(environments.iter().copied())
+        .gateway_counts(gateway_counts.iter().copied())
+        .schemes(schemes.iter().copied())
+        .fixed_seeds([seed]);
+    let cells = Runner::new().run(&plan)?;
+    Ok(SweepPoint::from_cells(&cells))
 }
-
-/// The paper's gateway counts: 40–100 in steps of 10.
-pub const PAPER_GATEWAY_COUNTS: [usize; 7] = [40, 50, 60, 70, 80, 90, 100];
 
 /// Runs the Figs. 10–11 time-series experiment: one run per scheme at a
 /// fixed gateway count, returning the per-bucket unique-delivery series.
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] if any combination is invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExperimentPlan with a scheme axis (or attach a SeriesObserver) and execute it with Runner"
+)]
 pub fn time_series(
     base: &SimConfig,
     environment: Environment,
     gateways: usize,
     schemes: &[Scheme],
     seed: u64,
-) -> Vec<(Scheme, SimReport)> {
-    schemes
-        .iter()
-        .map(|&scheme| {
-            let mut cfg = base.clone();
-            cfg.environment = environment;
-            cfg.num_gateways = gateways;
-            cfg.scheme = scheme;
-            (scheme, cfg.run(seed).expect("series config is valid"))
-        })
-        .collect()
+) -> Result<Vec<(Scheme, SimReport)>, RunnerError> {
+    let plan = ExperimentPlan::new(base.clone())
+        .environments([environment])
+        .gateway_counts([gateways])
+        .schemes(schemes.iter().copied())
+        .fixed_seeds([seed]);
+    let cells = Runner::new().run(&plan)?;
+    Ok(cells
+        .into_iter()
+        .map(|cell| (cell.key.scheme, cell.report.into_runs().remove(0).1))
+        .collect())
 }
 
 /// Ablation A: sensitivity of the Eq. 4 EWMA factor α (§IV.B discusses
 /// the adaptivity/stability trade-off).
-pub fn alpha_sweep(base: &SimConfig, alphas: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
-    alphas
-        .iter()
-        .map(|&alpha| {
-            let mut cfg = base.clone();
-            cfg.alpha = alpha;
-            (alpha, cfg.run(seed).expect("alpha config is valid"))
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] if any α is invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExperimentPlan with an alpha axis and execute it with Runner"
+)]
+pub fn alpha_sweep(
+    base: &SimConfig,
+    alphas: &[f64],
+    seed: u64,
+) -> Result<Vec<(f64, SimReport)>, RunnerError> {
+    let plan = ExperimentPlan::new(base.clone())
+        .alphas(alphas.iter().copied())
+        .fixed_seeds([seed]);
+    let cells = Runner::new().run(&plan)?;
+    Ok(cells
+        .into_iter()
+        .map(|cell| (cell.key.alpha, cell.report.into_runs().remove(0).1))
+        .collect())
 }
 
 /// Ablation B (§VII.C): grid versus random gateway placement. Random
 /// placement is run with `random_layouts` different deployment seeds to
 /// expose the placement variance the paper reports.
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] if the configuration is invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "build ExperimentPlans with a placement axis (replicating the random plan over seeds) and execute them with Runner"
+)]
 pub fn placement_compare(
     base: &SimConfig,
     schemes: &[Scheme],
     random_layouts: u64,
     seed: u64,
-) -> Vec<(Scheme, GatewayPlacement, u64, SimReport)> {
+) -> Result<Vec<(Scheme, GatewayPlacement, u64, SimReport)>, RunnerError> {
+    let runner = Runner::new();
+    let grid = runner.run(
+        &ExperimentPlan::new(base.clone())
+            .schemes(schemes.iter().copied())
+            .placements([GatewayPlacement::Grid])
+            .fixed_seeds([seed]),
+    )?;
+    // With zero random layouts the historical behaviour is grid-only rows.
+    let random = if random_layouts == 0 {
+        Vec::new()
+    } else {
+        runner.run(
+            &ExperimentPlan::new(base.clone())
+                .schemes(schemes.iter().copied())
+                .placements([GatewayPlacement::Random])
+                .fixed_seeds((0..random_layouts).map(|layout| seed.wrapping_add(layout + 1))),
+        )?
+    };
     let mut out = Vec::new();
-    for &scheme in schemes {
-        let mut grid = base.clone();
-        grid.scheme = scheme;
-        grid.placement = GatewayPlacement::Grid;
-        out.push((
-            scheme,
-            GatewayPlacement::Grid,
-            seed,
-            grid.run(seed).expect("grid config is valid"),
-        ));
-        for layout in 0..random_layouts {
-            let mut rnd = base.clone();
-            rnd.scheme = scheme;
-            rnd.placement = GatewayPlacement::Random;
-            let s = seed.wrapping_add(layout + 1);
-            out.push((
-                scheme,
-                GatewayPlacement::Random,
-                s,
-                rnd.run(s).expect("random config is valid"),
-            ));
+    let mut random = random.into_iter();
+    for grid_cell in grid {
+        let scheme = grid_cell.key.scheme;
+        for (s, report) in grid_cell.report.into_runs() {
+            out.push((scheme, GatewayPlacement::Grid, s, report));
+        }
+        if let Some(random_cell) = random.next() {
+            for (s, report) in random_cell.report.into_runs() {
+                out.push((scheme, GatewayPlacement::Random, s, report));
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Ablation C (§VI, §VII.C): Modified Class-C versus Queue-based Class-A
 /// under the same scheme — delivery on par, energy lower.
-pub fn class_compare(base: &SimConfig, seed: u64) -> Vec<(DeviceClassChoice, SimReport)> {
-    [
-        DeviceClassChoice::ModifiedClassC,
-        DeviceClassChoice::QueueBasedClassA,
-    ]
-    .into_iter()
-    .map(|class| {
-        let mut cfg = base.clone();
-        cfg.device_class = class;
-        (class, cfg.run(seed).expect("class config is valid"))
-    })
-    .collect()
+///
+/// # Errors
+///
+/// Returns [`RunnerError`] if the configuration is invalid.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExperimentPlan with a device_classes axis and execute it with Runner"
+)]
+pub fn class_compare(
+    base: &SimConfig,
+    seed: u64,
+) -> Result<Vec<(DeviceClassChoice, SimReport)>, RunnerError> {
+    let plan = ExperimentPlan::new(base.clone())
+        .device_classes([
+            DeviceClassChoice::ModifiedClassC,
+            DeviceClassChoice::QueueBasedClassA,
+        ])
+        .fixed_seeds([seed]);
+    let cells = Runner::new().run(&plan)?;
+    Ok(cells
+        .into_iter()
+        .map(|cell| (cell.key.device_class, cell.report.into_runs().remove(0).1))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scenario;
 
     fn tiny() -> SimConfig {
-        let mut cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
-        cfg.horizon = mlora_simcore::SimDuration::from_mins(40);
-        cfg.network.horizon = cfg.horizon;
-        cfg
+        Scenario::urban()
+            .smoke()
+            .duration(mlora_simcore::SimDuration::from_mins(40))
+            .build()
+            .expect("tiny config is valid")
     }
 
     #[test]
@@ -166,7 +233,8 @@ mod tests {
             &[Environment::Urban, Environment::Rural],
             &Scheme::ALL,
             5,
-        );
+        )
+        .expect("sweep config is valid");
         assert_eq!(pts.len(), 2 * 2 * 3);
         assert!(pts.iter().all(|p| p.report.generated > 0));
         // Combinations are unique.
@@ -179,8 +247,29 @@ mod tests {
     }
 
     #[test]
+    fn sweep_matches_direct_runs() {
+        // The wrapper must reproduce exactly what a direct run of each
+        // cell produces — same config, same seed.
+        let base = tiny();
+        let pts = gateway_sweep(&base, &[4], &[Environment::Rural], &[Scheme::Robc], 9)
+            .expect("sweep config is valid");
+        let mut direct = base.clone();
+        direct.environment = Environment::Rural;
+        direct.num_gateways = 4;
+        direct.scheme = Scheme::Robc;
+        assert_eq!(pts[0].report, direct.run(9).unwrap());
+    }
+
+    #[test]
+    fn invalid_sweep_returns_error_not_panic() {
+        let result = gateway_sweep(&tiny(), &[0], &[Environment::Urban], &Scheme::ALL, 5);
+        assert!(result.is_err(), "zero gateways must be a RunnerError");
+    }
+
+    #[test]
     fn time_series_one_report_per_scheme() {
-        let rows = time_series(&tiny(), Environment::Urban, 9, &Scheme::ALL, 5);
+        let rows =
+            time_series(&tiny(), Environment::Urban, 9, &Scheme::ALL, 5).expect("valid config");
         assert_eq!(rows.len(), 3);
         for (_, r) in &rows {
             assert_eq!(
@@ -193,14 +282,14 @@ mod tests {
 
     #[test]
     fn alpha_sweep_runs_each_alpha() {
-        let rows = alpha_sweep(&tiny(), &[0.2, 0.5, 0.8], 5);
+        let rows = alpha_sweep(&tiny(), &[0.2, 0.5, 0.8], 5).expect("valid config");
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[1].0, 0.5);
     }
 
     #[test]
     fn placement_compare_has_grid_and_random_rows() {
-        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 2, 5);
+        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 2, 5).expect("valid config");
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].1, GatewayPlacement::Grid);
         assert_eq!(rows[1].1, GatewayPlacement::Random);
@@ -209,8 +298,15 @@ mod tests {
     }
 
     #[test]
+    fn placement_compare_zero_layouts_is_grid_only() {
+        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 0, 5).expect("valid config");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, GatewayPlacement::Grid);
+    }
+
+    #[test]
     fn class_compare_two_rows() {
-        let rows = class_compare(&tiny(), 5);
+        let rows = class_compare(&tiny(), 5).expect("valid config");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, DeviceClassChoice::ModifiedClassC);
     }

@@ -8,16 +8,52 @@
 //! on the configured [`Scheme`](mlora_core::Scheme) — opportunistically
 //! hand data to better-connected neighbours using RCA-ETX or ROBC.
 //!
+//! The public surface has three layers:
+//!
+//! * [`Scenario`] — a fluent builder producing validated [`SimConfig`]s
+//!   (`Scenario::urban().gateways(80).scheme(Scheme::Robc).duration_h(24)`).
+//! * [`SimObserver`] — streaming event hooks over a running simulation,
+//!   with built-in counters, time-series and CSV/JSON trace sinks, so one
+//!   run feeds any number of analyses.
+//! * [`ExperimentPlan`] + [`Runner`] — declarative sweeps over
+//!   environment/gateways/scheme/α/placement/class, replicated over
+//!   seeds and executed across worker threads into
+//!   [`ReplicatedReport`]s with mean/CI accessors.
+//!
 //! # Quick start
 //!
 //! ```
-//! use mlora_sim::{Environment, SimConfig};
 //! use mlora_core::Scheme;
+//! use mlora_sim::Scenario;
 //!
-//! let report = SimConfig::smoke_test(Scheme::Robc, Environment::Urban)
+//! let report = Scenario::urban()
+//!     .smoke() // the small, fast test preset
+//!     .scheme(Scheme::Robc)
 //!     .run(42)
-//!     .expect("valid configuration");
+//!     .expect("valid scenario");
 //! assert!(report.delivered > 0);
+//! ```
+//!
+//! # A parallel multi-seed sweep
+//!
+//! ```
+//! use mlora_core::Scheme;
+//! use mlora_sim::{ExperimentPlan, Runner, Scenario};
+//! use mlora_simcore::SimDuration;
+//!
+//! let base = Scenario::urban()
+//!     .smoke()
+//!     .duration(SimDuration::from_mins(40))
+//!     .build()?;
+//! let plan = ExperimentPlan::new(base)
+//!     .schemes([Scheme::NoRouting, Scheme::Robc])
+//!     .seed(2020)
+//!     .replicate(2);
+//! for cell in Runner::new().run(&plan)? {
+//!     let (lo, hi) = cell.report.ci95(|r| r.delivery_ratio());
+//!     println!("{:?}: delivery in [{lo:.2}, {hi:.2}]", cell.key.scheme);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![deny(missing_docs)]
@@ -27,9 +63,21 @@ mod deployment;
 mod engine;
 pub mod experiment;
 mod metrics;
+pub mod observer;
 pub mod report;
+mod runner;
+mod scenario;
 
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
 pub use engine::Engine;
+pub use experiment::{SweepPoint, PAPER_GATEWAY_COUNTS};
 pub use metrics::SimReport;
+pub use observer::{
+    EventCounter, FrameTransmitted, HandoverAccepted, MessageDelivered, MessageGenerated,
+    NullObserver, SeriesObserver, SimObserver, TraceFormat, TraceSink,
+};
+pub use runner::{
+    CellKey, CellResult, ExperimentPlan, PlanCell, ReplicatedReport, Runner, RunnerError,
+};
+pub use scenario::{Scenario, ScenarioBuilder};

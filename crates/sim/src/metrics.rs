@@ -52,9 +52,18 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Mean end-to-end delay over delivered messages, seconds.
+    /// Mean end-to-end delay over delivered messages, seconds, or `0.0`
+    /// when nothing was delivered.
+    ///
+    /// The zero-delivery case is guarded explicitly (like
+    /// [`SimReport::delivery_ratio`]) so empty-run reports print cleanly
+    /// regardless of how the underlying accumulator treats emptiness.
     pub fn mean_delay_s(&self) -> f64 {
-        self.delay.mean()
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delay.mean()
+        }
     }
 
     /// Standard error of the mean delay (the Fig. 8 error bars), seconds.
@@ -67,9 +76,14 @@ impl SimReport {
         self.delay.std_dev()
     }
 
-    /// Mean hop count over delivered messages (Fig. 12).
+    /// Mean hop count over delivered messages (Fig. 12), or `0.0` when
+    /// nothing was delivered.
     pub fn mean_hops(&self) -> f64 {
-        self.hops.mean()
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.hops.mean()
+        }
     }
 
     /// Largest hop count observed.
@@ -180,19 +194,27 @@ impl Collector {
     }
 
     /// Records server reception of a message; dedups by id.
-    pub(crate) fn on_delivered(&mut self, msg: &mlora_mac::AppMessage, now: SimTime) {
+    ///
+    /// Returns `Some((delay, hops))` on a first (unique) arrival and
+    /// `None` for duplicates, so the engine can surface exactly one
+    /// delivery event per delivered message.
+    pub(crate) fn on_delivered(
+        &mut self,
+        msg: &mlora_mac::AppMessage,
+        now: SimTime,
+    ) -> Option<(SimDuration, u32)> {
         if self.arrived.contains_key(&msg.id) {
             self.report.duplicates += 1;
-            return;
+            return None;
         }
         self.arrived.insert(msg.id, now);
         self.report.delivered += 1;
-        self.report
-            .delay
-            .push(now.saturating_since(msg.created).as_secs_f64());
+        let delay = now.saturating_since(msg.created);
+        self.report.delay.push(delay.as_secs_f64());
         let transfers = self.transfers.get(&msg.id).copied().unwrap_or(0);
         self.report.hops.push(f64::from(transfers) + 1.0);
         self.report.throughput_series.record(now);
+        Some((delay, transfers + 1))
     }
 
     pub(crate) fn on_stranded(&mut self, n: u64) {
@@ -221,7 +243,11 @@ mod tests {
     use mlora_simcore::NodeId;
 
     fn msg(i: u64, created_s: u64) -> AppMessage {
-        AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::from_secs(created_s))
+        AppMessage::new(
+            MessageId::new(i),
+            NodeId::new(0),
+            SimTime::from_secs(created_s),
+        )
     }
 
     fn collector() -> Collector {

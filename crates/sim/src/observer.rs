@@ -1,0 +1,492 @@
+//! Streaming observation of a running simulation.
+//!
+//! A [`SimObserver`] receives typed events as the engine executes —
+//! message generation, frame transmissions, device-to-device forwards and
+//! unique server deliveries — decoupling measurement from the engine the
+//! way an events-publisher does in large traffic simulators. One run can
+//! feed any number of analyses (the built-in [`EventCounter`],
+//! [`SeriesObserver`] and [`TraceSink`], or anything user-defined) instead
+//! of being re-run once per figure.
+//!
+//! Observers are strictly passive: the engine's event stream and final
+//! [`SimReport`] are byte-identical with or without one attached.
+//!
+//! # Example
+//!
+//! ```
+//! use mlora_core::Scheme;
+//! use mlora_sim::{EventCounter, Scenario};
+//!
+//! let config = Scenario::urban().smoke().scheme(Scheme::Robc).build()?;
+//! let mut counter = EventCounter::default();
+//! let report = config.run_with_observer(42, &mut counter)?;
+//! assert_eq!(counter.deliveries, report.delivered);
+//! # Ok::<(), mlora_sim::ConfigError>(())
+//! ```
+
+use std::io::Write;
+
+use mlora_simcore::stats::TimeSeries;
+use mlora_simcore::{MessageId, NodeId, SimDuration, SimTime};
+
+use crate::SimReport;
+
+/// A device generated one application message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageGenerated {
+    /// Simulation time of generation.
+    pub time: SimTime,
+    /// The generating device.
+    pub device: NodeId,
+    /// The new message's identifier.
+    pub message: MessageId,
+}
+
+/// A device began transmitting one uplink or handover frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTransmitted {
+    /// Simulation time at transmission start.
+    pub time: SimTime,
+    /// The transmitting device.
+    pub sender: NodeId,
+    /// Messages bundled into the frame.
+    pub bundled: usize,
+    /// Time on air.
+    pub airtime: SimDuration,
+    /// `Some(device)` when this frame is a directed handover.
+    pub handover_target: Option<NodeId>,
+}
+
+/// A handover frame was decoded and accepted by its target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoverAccepted {
+    /// Simulation time of acceptance (transmission end).
+    pub time: SimTime,
+    /// The device that handed its data over.
+    pub donor: NodeId,
+    /// The device now holding the data.
+    pub acceptor: NodeId,
+    /// Messages moved.
+    pub messages: usize,
+}
+
+/// A message reached the network server for the first time.
+///
+/// Exactly one such event fires per unique delivery — duplicates arriving
+/// later at other gateways are filtered, so counting these events always
+/// matches [`SimReport::delivered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageDelivered {
+    /// Simulation time of first arrival.
+    pub time: SimTime,
+    /// The delivered message.
+    pub message: MessageId,
+    /// The device that originally generated it.
+    pub origin: NodeId,
+    /// End-to-end delay from generation to first arrival.
+    pub delay: SimDuration,
+    /// Device-to-device transfers plus the final uplink (≥ 1).
+    pub hops: u32,
+}
+
+/// Receives the engine's event stream.
+///
+/// All hooks default to no-ops, so implementors override only what they
+/// need. Hooks take `&mut self`; the engine calls them synchronously in
+/// event order.
+pub trait SimObserver {
+    /// A device generated one application message.
+    fn on_message_generated(&mut self, _ev: &MessageGenerated) {}
+
+    /// A device began transmitting a frame.
+    fn on_frame_tx(&mut self, _ev: &FrameTransmitted) {}
+
+    /// A handover was accepted by its target device.
+    fn on_forward(&mut self, _ev: &HandoverAccepted) {}
+
+    /// A message reached the server for the first time.
+    fn on_delivery(&mut self, _ev: &MessageDelivered) {}
+
+    /// The run finished; `report` is the final immutable result.
+    fn on_run_end(&mut self, _report: &SimReport) {}
+}
+
+/// Observer that ignores everything (the default for [`crate::Engine::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Fans one event stream out to two observers.
+///
+/// Pairs nest, so any number of observers can ride one run:
+/// `(&mut a, (&mut b, &mut c))`.
+impl<A: SimObserver + ?Sized, B: SimObserver + ?Sized> SimObserver for (&mut A, &mut B) {
+    fn on_message_generated(&mut self, ev: &MessageGenerated) {
+        self.0.on_message_generated(ev);
+        self.1.on_message_generated(ev);
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        self.0.on_frame_tx(ev);
+        self.1.on_frame_tx(ev);
+    }
+
+    fn on_forward(&mut self, ev: &HandoverAccepted) {
+        self.0.on_forward(ev);
+        self.1.on_forward(ev);
+    }
+
+    fn on_delivery(&mut self, ev: &MessageDelivered) {
+        self.0.on_delivery(ev);
+        self.1.on_delivery(ev);
+    }
+
+    fn on_run_end(&mut self, report: &SimReport) {
+        self.0.on_run_end(report);
+        self.1.on_run_end(report);
+    }
+}
+
+/// Counts every event kind — the cheapest cross-check of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounter {
+    /// Messages generated.
+    pub generated: u64,
+    /// Frames transmitted (uplink and handover).
+    pub frames: u64,
+    /// Handover frames among [`EventCounter::frames`].
+    pub handover_frames: u64,
+    /// Accepted handovers.
+    pub forwards: u64,
+    /// Unique server deliveries.
+    pub deliveries: u64,
+}
+
+impl SimObserver for EventCounter {
+    fn on_message_generated(&mut self, _ev: &MessageGenerated) {
+        self.generated += 1;
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        self.frames += 1;
+        if ev.handover_target.is_some() {
+            self.handover_frames += 1;
+        }
+    }
+
+    fn on_forward(&mut self, _ev: &HandoverAccepted) {
+        self.forwards += 1;
+    }
+
+    fn on_delivery(&mut self, _ev: &MessageDelivered) {
+        self.deliveries += 1;
+    }
+}
+
+/// Per-bucket time series of generation, transmission and delivery
+/// activity, captured in a single run.
+///
+/// This subsumes the old rerun-per-figure pattern: the Figs. 10–11
+/// delivery series, an offered-load series and a channel-activity series
+/// all come from the same simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesObserver {
+    /// Messages generated per bucket.
+    pub generated: TimeSeries,
+    /// Frames transmitted per bucket.
+    pub frames: TimeSeries,
+    /// Messages moved by accepted handovers per bucket.
+    pub forwarded: TimeSeries,
+    /// Unique deliveries per bucket.
+    pub delivered: TimeSeries,
+}
+
+impl SeriesObserver {
+    /// Creates a series observer with `bucket`-wide bins over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration, horizon: SimDuration) -> Self {
+        SeriesObserver {
+            generated: TimeSeries::new(bucket, horizon),
+            frames: TimeSeries::new(bucket, horizon),
+            forwarded: TimeSeries::new(bucket, horizon),
+            delivered: TimeSeries::new(bucket, horizon),
+        }
+    }
+}
+
+impl SimObserver for SeriesObserver {
+    fn on_message_generated(&mut self, ev: &MessageGenerated) {
+        self.generated.record(ev.time);
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        self.frames.record(ev.time);
+    }
+
+    fn on_forward(&mut self, ev: &HandoverAccepted) {
+        self.forwarded.record_n(ev.time, ev.messages as u64);
+    }
+
+    fn on_delivery(&mut self, ev: &MessageDelivered) {
+        self.delivered.record(ev.time);
+    }
+}
+
+/// On-disk trace format for [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One comma-separated row per event, with a header line.
+    Csv,
+    /// One JSON object per line (JSON Lines).
+    JsonLines,
+}
+
+/// Streams every event to a writer as CSV or JSON Lines.
+///
+/// Rows share one schema across event kinds; fields that do not apply to
+/// a kind are left empty (CSV) or omitted (JSON). Write errors are
+/// remembered and surfaced by [`TraceSink::finish`]; after the first
+/// error the sink stops writing.
+#[derive(Debug)]
+pub struct TraceSink<W: Write> {
+    out: W,
+    format: TraceFormat,
+    header_written: bool,
+    events: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceSink<W> {
+    /// A CSV trace sink over `out`.
+    pub fn csv(out: W) -> Self {
+        TraceSink::new(out, TraceFormat::Csv)
+    }
+
+    /// A JSON Lines trace sink over `out`.
+    pub fn json_lines(out: W) -> Self {
+        TraceSink::new(out, TraceFormat::JsonLines)
+    }
+
+    /// A trace sink over `out` in the given format.
+    pub fn new(out: W, format: TraceFormat) -> Self {
+        TraceSink {
+            out,
+            format,
+            header_written: false,
+            events: 0,
+            error: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Writes one row; `fields` are `(key, value)` pairs after the common
+    /// `time_s` and `event` columns.
+    fn row(&mut self, time: SimTime, event: &str, fields: &[(&str, String)]) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = match self.format {
+            TraceFormat::Csv => {
+                let header = if self.header_written {
+                    Ok(())
+                } else {
+                    self.header_written = true;
+                    writeln!(
+                        self.out,
+                        "time_s,event,device,peer,message,count,delay_s,hops"
+                    )
+                };
+                header.and_then(|()| {
+                    let mut cols = ["", "", "", "", "", ""].map(String::from);
+                    for (key, value) in fields {
+                        let slot = match *key {
+                            "device" => 0,
+                            "peer" => 1,
+                            "message" => 2,
+                            "count" => 3,
+                            "delay_s" => 4,
+                            "hops" => 5,
+                            _ => unreachable!("unknown trace field {key}"),
+                        };
+                        cols[slot] = value.clone();
+                    }
+                    writeln!(
+                        self.out,
+                        "{:.3},{event},{}",
+                        time.as_secs_f64(),
+                        cols.join(",")
+                    )
+                })
+            }
+            TraceFormat::JsonLines => {
+                let mut line = format!(
+                    "{{\"time_s\":{:.3},\"event\":\"{event}\"",
+                    time.as_secs_f64()
+                );
+                for (key, value) in fields {
+                    line.push_str(&format!(",\"{key}\":{value}"));
+                }
+                line.push('}');
+                writeln!(self.out, "{line}")
+            }
+        };
+        match result {
+            Ok(()) => self.events += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> SimObserver for TraceSink<W> {
+    fn on_message_generated(&mut self, ev: &MessageGenerated) {
+        self.row(
+            ev.time,
+            "generated",
+            &[
+                ("device", ev.device.raw().to_string()),
+                ("message", ev.message.raw().to_string()),
+            ],
+        );
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        let mut fields = vec![
+            ("device", ev.sender.raw().to_string()),
+            ("count", ev.bundled.to_string()),
+        ];
+        if let Some(target) = ev.handover_target {
+            fields.push(("peer", target.raw().to_string()));
+        }
+        self.row(ev.time, "frame_tx", &fields);
+    }
+
+    fn on_forward(&mut self, ev: &HandoverAccepted) {
+        self.row(
+            ev.time,
+            "forward",
+            &[
+                ("device", ev.donor.raw().to_string()),
+                ("peer", ev.acceptor.raw().to_string()),
+                ("count", ev.messages.to_string()),
+            ],
+        );
+    }
+
+    fn on_delivery(&mut self, ev: &MessageDelivered) {
+        self.row(
+            ev.time,
+            "delivery",
+            &[
+                ("device", ev.origin.raw().to_string()),
+                ("message", ev.message.raw().to_string()),
+                ("delay_s", format!("{:.3}", ev.delay.as_secs_f64())),
+                ("hops", ev.hops.to_string()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivered(t: u64) -> MessageDelivered {
+        MessageDelivered {
+            time: SimTime::from_secs(t),
+            message: MessageId::new(t),
+            origin: NodeId::new(1),
+            delay: SimDuration::from_secs(30),
+            hops: 2,
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = EventCounter::default();
+        c.on_message_generated(&MessageGenerated {
+            time: SimTime::ZERO,
+            device: NodeId::new(0),
+            message: MessageId::new(0),
+        });
+        c.on_frame_tx(&FrameTransmitted {
+            time: SimTime::ZERO,
+            sender: NodeId::new(0),
+            bundled: 3,
+            airtime: SimDuration::from_millis(300),
+            handover_target: Some(NodeId::new(2)),
+        });
+        c.on_delivery(&delivered(5));
+        assert_eq!(c.generated, 1);
+        assert_eq!(c.frames, 1);
+        assert_eq!(c.handover_frames, 1);
+        assert_eq!(c.deliveries, 1);
+    }
+
+    #[test]
+    fn pair_observer_fans_out() {
+        let mut a = EventCounter::default();
+        let mut b = EventCounter::default();
+        {
+            let mut pair = (&mut a, &mut b);
+            pair.on_delivery(&delivered(1));
+        }
+        assert_eq!(a.deliveries, 1);
+        assert_eq!(b.deliveries, 1);
+    }
+
+    #[test]
+    fn series_observer_buckets() {
+        let mut s = SeriesObserver::new(SimDuration::from_mins(10), SimDuration::from_hours(1));
+        s.on_delivery(&delivered(30));
+        s.on_delivery(&delivered(700));
+        assert_eq!(s.delivered.counts()[0], 1);
+        assert_eq!(s.delivered.counts()[1], 1);
+    }
+
+    #[test]
+    fn csv_trace_rows() {
+        let mut sink = TraceSink::csv(Vec::new());
+        sink.on_delivery(&delivered(10));
+        assert_eq!(sink.events(), 1);
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next(),
+            Some("time_s,event,device,peer,message,count,delay_s,hops")
+        );
+        assert_eq!(lines.next(), Some("10.000,delivery,1,,10,,30.000,2"));
+    }
+
+    #[test]
+    fn json_trace_rows() {
+        let mut sink = TraceSink::json_lines(Vec::new());
+        sink.on_forward(&HandoverAccepted {
+            time: SimTime::from_secs(1),
+            donor: NodeId::new(3),
+            acceptor: NodeId::new(4),
+            messages: 5,
+        });
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(
+            out.trim(),
+            "{\"time_s\":1.000,\"event\":\"forward\",\"device\":3,\"peer\":4,\"count\":5}"
+        );
+    }
+}

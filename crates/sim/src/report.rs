@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 use mlora_core::Scheme;
 
 use crate::experiment::SweepPoint;
+use crate::runner::CellResult;
 use crate::{Environment, SimReport};
 
 /// Formats the Fig. 8 table: mean end-to-end delay ± standard error per
@@ -23,6 +24,45 @@ pub fn fig9_throughput_table(points: &[SweepPoint]) -> String {
     })
 }
 
+/// Formats a replicated sweep: per-cell mean ± 95 % CI of a metric over
+/// the cell's replicate seeds, one row per `(env, gateways, scheme)`.
+pub fn replicated_table(
+    cells: &[CellResult],
+    title: &str,
+    metric: impl Fn(&SimReport) -> f64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title} (mean ± 95% CI over replicate seeds)");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>12} {:>5} {:>21}",
+        "env", "gws", "scheme", "n", "value"
+    );
+    let mut sorted = cells.to_vec();
+    sorted.sort_by_key(|c| {
+        (
+            c.key.environment.label(),
+            c.key.gateways,
+            c.key.scheme.label(),
+        )
+    });
+    for cell in &sorted {
+        let mean = cell.report.mean(&metric);
+        let (lo, hi) = cell.report.ci95(&metric);
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>12} {:>5} {:>12.1} ±{:>7.1}",
+            cell.key.environment.label(),
+            cell.key.gateways,
+            cell.key.scheme.label(),
+            cell.report.n(),
+            mean,
+            (hi - lo) / 2.0,
+        );
+    }
+    s
+}
+
 /// Formats the Fig. 12 table: mean hop count of delivered messages.
 pub fn fig12_hops_table(points: &[SweepPoint]) -> String {
     metric_table(points, "mean hops per delivered message", |r| {
@@ -35,7 +75,11 @@ pub fn fig12_hops_table(points: &[SweepPoint]) -> String {
 pub fn fig13_overhead_table(points: &[SweepPoint]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "# mean messages sent per node (overhead vs LoRaWAN)");
-    let _ = writeln!(s, "{:>6} {:>6} {:>12} {:>16}", "env", "gws", "scheme", "msgs/node");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>12} {:>16}",
+        "env", "gws", "scheme", "msgs/node"
+    );
     let mut sorted = points.to_vec();
     sorted.sort_by_key(|p| (p.environment.label(), p.gateways, p.scheme.label()));
     for p in &sorted {
@@ -98,14 +142,14 @@ pub fn time_series_table(rows: &[(Scheme, SimReport)], environment: Environment)
 }
 
 /// Generic sweep-table formatter used by the per-figure functions.
-fn metric_table(
-    points: &[SweepPoint],
-    title: &str,
-    cell: impl Fn(&SimReport) -> String,
-) -> String {
+fn metric_table(points: &[SweepPoint], title: &str, cell: impl Fn(&SimReport) -> String) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "# {title}");
-    let _ = writeln!(s, "{:>6} {:>6} {:>12} {:>18}", "env", "gws", "scheme", "value");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>12} {:>18}",
+        "env", "gws", "scheme", "value"
+    );
     let mut sorted = points.to_vec();
     sorted.sort_by_key(|p| (p.environment.label(), p.gateways, p.scheme.label()));
     for p in &sorted {
@@ -122,21 +166,22 @@ fn metric_table(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::SimConfig;
+    use crate::{Scenario, SimConfig};
+
+    fn base() -> SimConfig {
+        Scenario::urban()
+            .smoke()
+            .duration(mlora_simcore::SimDuration::from_mins(30))
+            .build()
+            .expect("valid config")
+    }
 
     fn points() -> Vec<SweepPoint> {
-        let mut cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
-        cfg.horizon = mlora_simcore::SimDuration::from_mins(30);
-        cfg.network.horizon = cfg.horizon;
-        crate::experiment::gateway_sweep(
-            &cfg,
-            &[4],
-            &[Environment::Urban],
-            &Scheme::ALL,
-            3,
-        )
+        crate::experiment::gateway_sweep(&base(), &[4], &[Environment::Urban], &Scheme::ALL, 3)
+            .expect("valid sweep")
     }
 
     #[test]
@@ -160,18 +205,16 @@ mod tests {
     #[test]
     fn overhead_table_reports_ratio() {
         let table = fig13_overhead_table(&points());
-        assert!(table.contains("1.00x"), "baseline row should be 1.00x:\n{table}");
+        assert!(
+            table.contains("1.00x"),
+            "baseline row should be 1.00x:\n{table}"
+        );
     }
 
     #[test]
     fn series_table_has_bucket_rows() {
-        let cfg = {
-            let mut c = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
-            c.horizon = mlora_simcore::SimDuration::from_mins(30);
-            c.network.horizon = c.horizon;
-            c
-        };
-        let rows = crate::experiment::time_series(&cfg, Environment::Urban, 4, &Scheme::ALL, 3);
+        let rows = crate::experiment::time_series(&base(), Environment::Urban, 4, &Scheme::ALL, 3)
+            .expect("valid series");
         let table = time_series_table(&rows, Environment::Urban);
         // 30 min / 10 min buckets = 3 data lines + 2 header lines.
         assert_eq!(table.lines().count(), 5, "table:\n{table}");

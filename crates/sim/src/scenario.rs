@@ -1,0 +1,332 @@
+//! Fluent scenario construction.
+//!
+//! [`Scenario`] is the front door of the simulator: it names an
+//! environment, [`ScenarioBuilder`] tweaks whatever the experiment needs,
+//! and [`ScenarioBuilder::build`] validates eagerly into a ready
+//! [`SimConfig`]. The builder subsumes the older ad-hoc constructors
+//! (`SimConfig::paper_default` / `smoke_test` / `bench_scale`), which
+//! remain as thin presets behind [`ScenarioBuilder::smoke`] and
+//! [`ScenarioBuilder::bench`].
+//!
+//! The builder also removes the paired-field footgun of raw
+//! [`SimConfig`]: the simulation horizon and the mobility-schedule
+//! horizon are always set together.
+//!
+//! # Example
+//!
+//! ```
+//! use mlora_core::Scheme;
+//! use mlora_sim::Scenario;
+//!
+//! let config = Scenario::urban()
+//!     .gateways(80)
+//!     .scheme(Scheme::Robc)
+//!     .duration_h(24)
+//!     .build()?;
+//! assert_eq!(config.num_gateways, 80);
+//! # Ok::<(), mlora_sim::ConfigError>(())
+//! ```
+
+use mlora_core::Scheme;
+use mlora_simcore::SimDuration;
+
+use crate::{
+    ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimObserver,
+    SimReport,
+};
+
+/// Entry points for building simulation scenarios.
+///
+/// Each constructor yields a [`ScenarioBuilder`] seeded with the paper's
+/// §VII.A configuration for that environment (600 km², 24 h, 60 grid
+/// gateways, ROBC disabled until a scheme is chosen — the default scheme
+/// is [`Scheme::NoRouting`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario;
+
+impl Scenario {
+    /// An urban scenario: buildings block signals, 500 m device-to-device
+    /// range.
+    pub fn urban() -> ScenarioBuilder {
+        Scenario::custom(Environment::Urban)
+    }
+
+    /// A rural scenario: open terrain, 1 km device-to-device range.
+    pub fn rural() -> ScenarioBuilder {
+        Scenario::custom(Environment::Rural)
+    }
+
+    /// A scenario for an explicit environment.
+    pub fn custom(environment: Environment) -> ScenarioBuilder {
+        ScenarioBuilder {
+            config: SimConfig::paper_default(Scheme::NoRouting, environment),
+        }
+    }
+}
+
+/// Fluent builder over [`SimConfig`].
+///
+/// Setters are chainable and order-independent; [`ScenarioBuilder::build`]
+/// validates the result eagerly and returns a typed [`ConfigError`] naming
+/// the first offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBuilder {
+    config: SimConfig,
+}
+
+impl ScenarioBuilder {
+    /// Applies the small, fast smoke-test preset (100 km², 2 h, ~40
+    /// buses, 9 gateways) used by unit and integration tests.
+    ///
+    /// Scale presets overwrite area, fleet, horizon and gateway-count
+    /// fields (environment and scheme are kept), so apply them *before*
+    /// per-field setters.
+    pub fn smoke(mut self) -> Self {
+        self.config = SimConfig::smoke_test(self.config.scheme, self.config.environment);
+        self
+    }
+
+    /// Applies the mid-scale bench preset (full 600 km² area, 6 h
+    /// spanning the morning ramp, ~800-bus peak).
+    ///
+    /// Scale presets overwrite area, fleet, horizon and gateway-count
+    /// fields (environment and scheme are kept), so apply them *before*
+    /// per-field setters.
+    pub fn bench(mut self) -> Self {
+        self.config = SimConfig::bench_scale(self.config.scheme, self.config.environment);
+        self
+    }
+
+    /// Sets the radio environment (device-to-device range follows).
+    pub fn environment(mut self, environment: Environment) -> Self {
+        self.config.environment = environment;
+        self
+    }
+
+    /// Sets the number of gateways (the paper sweeps 40–100).
+    pub fn gateways(mut self, count: usize) -> Self {
+        self.config.num_gateways = count;
+        self
+    }
+
+    /// Sets the gateway placement strategy.
+    pub fn placement(mut self, placement: GatewayPlacement) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Sets the device-to-gateway range, metres (paper: 1 km).
+    pub fn gateway_range_m(mut self, range_m: f64) -> Self {
+        self.config.gateway_range_m = range_m;
+        self
+    }
+
+    /// Sets the forwarding scheme under test.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor α of Eq. 4 (paper: 0.5).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the device class for the whole fleet.
+    pub fn device_class(mut self, class: DeviceClassChoice) -> Self {
+        self.config.device_class = class;
+        self
+    }
+
+    /// Sets the simulated horizon in whole hours.
+    ///
+    /// Keeps the mobility schedule horizon in lock-step — the two fields
+    /// that had to be updated together on a raw [`SimConfig`].
+    pub fn duration_h(self, hours: u64) -> Self {
+        self.duration(SimDuration::from_hours(hours))
+    }
+
+    /// Sets the simulated horizon.
+    pub fn duration(mut self, horizon: SimDuration) -> Self {
+        self.config.horizon = horizon;
+        self.config.network.horizon = horizon;
+        self
+    }
+
+    /// Sets the application message generation interval (paper: 3 min).
+    pub fn gen_interval(mut self, interval: SimDuration) -> Self {
+        self.config.gen_interval = interval;
+        self
+    }
+
+    /// Sets the per-device application queue capacity, messages.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the duty-cycle cap (paper: 1 %).
+    pub fn duty_cycle(mut self, fraction: f64) -> Self {
+        self.config.duty_cycle = fraction;
+        self
+    }
+
+    /// Sets the maximum transmissions per frame (paper: 8).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.config.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the width of the throughput time-series buckets.
+    pub fn series_bucket(mut self, bucket: SimDuration) -> Self {
+        self.config.series_bucket = bucket;
+        self
+    }
+
+    /// Sets the side of the square simulation area, metres.
+    pub fn area_side_m(mut self, side_m: f64) -> Self {
+        self.config.network.area_side_m = side_m;
+        self
+    }
+
+    /// Sets the peak number of simultaneously active buses.
+    pub fn buses(mut self, peak: usize) -> Self {
+        self.config.network.max_active_buses = peak;
+        self
+    }
+
+    /// Sets the number of bus routes.
+    pub fn routes(mut self, routes: usize) -> Self {
+        self.config.network.num_routes = routes;
+        self
+    }
+
+    /// Applies an arbitrary tweak to the underlying [`SimConfig`] — the
+    /// escape hatch for fields without a dedicated setter.
+    pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] naming the first offending field
+    /// (zero gateways, NaN ranges, α ∉ (0, 1], …).
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Builds and runs with `seed` in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the scenario is invalid.
+    pub fn run(self, seed: u64) -> Result<SimReport, ConfigError> {
+        self.build()?.run(seed)
+    }
+
+    /// Builds and runs with `seed`, streaming events to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the scenario is invalid.
+    pub fn run_with_observer(
+        self,
+        seed: u64,
+        observer: &mut dyn SimObserver,
+    ) -> Result<SimReport, ConfigError> {
+        self.build()?.run_with_observer(seed, observer)
+    }
+}
+
+impl From<SimConfig> for ScenarioBuilder {
+    /// Wraps an existing configuration for further fluent adjustment.
+    fn from(config: SimConfig) -> Self {
+        ScenarioBuilder { config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_paper_default() {
+        let built = Scenario::urban()
+            .scheme(Scheme::Robc)
+            .build()
+            .expect("paper defaults are valid");
+        assert_eq!(
+            built,
+            SimConfig::paper_default(Scheme::Robc, Environment::Urban)
+        );
+    }
+
+    #[test]
+    fn smoke_preset_matches_constructor() {
+        let built = Scenario::rural()
+            .scheme(Scheme::RcaEtx)
+            .smoke()
+            .build()
+            .unwrap();
+        assert_eq!(
+            built,
+            SimConfig::smoke_test(Scheme::RcaEtx, Environment::Rural)
+        );
+    }
+
+    #[test]
+    fn duration_keeps_network_horizon_in_sync() {
+        let cfg = Scenario::urban().duration_h(6).build().unwrap();
+        assert_eq!(cfg.horizon, SimDuration::from_hours(6));
+        assert_eq!(cfg.network.horizon, cfg.horizon);
+    }
+
+    #[test]
+    fn build_rejects_invalid_scenarios_eagerly() {
+        assert_eq!(
+            Scenario::urban().gateways(0).build(),
+            Err(ConfigError::Zero {
+                field: "num_gateways"
+            })
+        );
+        assert!(matches!(
+            Scenario::urban().alpha(1.5).build(),
+            Err(ConfigError::OutOfRange { field: "alpha", .. })
+        ));
+        assert!(matches!(
+            Scenario::urban().gateway_range_m(f64::NAN).build(),
+            Err(ConfigError::NotFinite {
+                field: "gateway_range_m",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn builder_run_equals_config_run() {
+        let seed = 77;
+        let by_builder = Scenario::urban()
+            .smoke()
+            .scheme(Scheme::Robc)
+            .run(seed)
+            .unwrap();
+        let by_config = SimConfig::smoke_test(Scheme::Robc, Environment::Urban)
+            .run(seed)
+            .unwrap();
+        assert_eq!(by_builder, by_config);
+    }
+
+    #[test]
+    fn tweak_reaches_any_field() {
+        let cfg = Scenario::urban()
+            .tweak(|c| c.network.center_bias = 0.9)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.network.center_bias, 0.9);
+    }
+}

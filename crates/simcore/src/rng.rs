@@ -79,7 +79,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         self.inner.gen_range(lo..hi)
     }
 

@@ -297,11 +297,11 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(SimDuration::from_secs(10) * 3, SimDuration::from_secs(30));
         assert_eq!(
-            SimDuration::from_secs(10) * 3,
-            SimDuration::from_secs(30)
+            SimDuration::from_secs(10) / 4,
+            SimDuration::from_millis(2500)
         );
-        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_millis(2500));
     }
 
     #[test]

@@ -4,35 +4,41 @@
 //! opens its receive window only in proportion to its RGQ-corrected
 //! backlog (Eq. 11), trading a little forwarding opportunity for energy.
 //! The paper reports on-par delivery with under 20 % energy saving; this
-//! example reproduces that comparison.
+//! example reproduces that comparison through a device-class plan axis.
 //!
 //! ```sh
 //! cargo run --release --example class_comparison
 //! ```
 
 use mlora::core::Scheme;
-use mlora::sim::{experiment, DeviceClassChoice, Environment, SimConfig};
+use mlora::sim::{DeviceClassChoice, ExperimentPlan, Runner, Scenario};
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = {
-        let mut cfg = SimConfig::paper_default(Scheme::Robc, Environment::Urban);
-        cfg.network.area_side_m = 15_000.0;
-        cfg.network.num_routes = 30;
-        cfg.network.max_active_buses = 150;
-        cfg.num_gateways = 16;
-        cfg.horizon = SimDuration::from_hours(4);
-        cfg.network.horizon = cfg.horizon;
-        cfg
-    };
+    let base = Scenario::urban()
+        .scheme(Scheme::Robc)
+        .area_side_m(15_000.0)
+        .routes(30)
+        .buses(150)
+        .gateways(16)
+        .duration(SimDuration::from_hours(4))
+        .build()?;
+
+    let plan = ExperimentPlan::new(base)
+        .device_classes([
+            DeviceClassChoice::ModifiedClassC,
+            DeviceClassChoice::QueueBasedClassA,
+        ])
+        .fixed_seeds([3]);
+    let cells = Runner::new().run(&plan)?;
 
     println!("Device-class comparison under ROBC (16 gateways, urban)");
     println!();
     println!("class              delivery%  delay(s)  hops  energy/node(J)");
-    let rows = experiment::class_compare(&base, 3);
     let mut energies = Vec::new();
-    for (class, report) in &rows {
-        let label = match class {
+    for cell in &cells {
+        let report = cell.report.single();
+        let label = match cell.key.device_class {
             DeviceClassChoice::ModifiedClassC => "Modified Class-C",
             DeviceClassChoice::QueueBasedClassA => "Queue-based Cl-A",
         };

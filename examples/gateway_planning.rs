@@ -3,48 +3,60 @@
 //!
 //! Compares the paper's uniform grid against several random layouts at
 //! the same density, quantifying the placement variance the authors
-//! highlight as future work.
+//! highlight as future work. Both plans run their cells in parallel
+//! through the experiment [`Runner`].
 //!
 //! ```sh
 //! cargo run --release --example gateway_planning
 //! ```
 
 use mlora::core::Scheme;
-use mlora::sim::{experiment, Environment, GatewayPlacement, SimConfig};
+use mlora::sim::{ExperimentPlan, GatewayPlacement, Runner, Scenario};
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = {
-        let mut cfg = SimConfig::paper_default(Scheme::Robc, Environment::Urban);
-        cfg.network.area_side_m = 15_000.0;
-        cfg.network.num_routes = 30;
-        cfg.network.max_active_buses = 150;
-        cfg.num_gateways = 16;
-        cfg.horizon = SimDuration::from_hours(4);
-        cfg.network.horizon = cfg.horizon;
-        cfg
-    };
+    let base = Scenario::urban()
+        .scheme(Scheme::Robc)
+        .area_side_m(15_000.0)
+        .routes(30)
+        .buses(150)
+        .gateways(16)
+        .duration(SimDuration::from_hours(4))
+        .build()?;
+
+    let runner = Runner::new();
+    let grid = runner.run(
+        &ExperimentPlan::new(base.clone())
+            .placements([GatewayPlacement::Grid])
+            .fixed_seeds([11]),
+    )?;
+    let random = runner.run(
+        &ExperimentPlan::new(base)
+            .placements([GatewayPlacement::Random])
+            .fixed_seeds((1..=4).map(|layout| 11 + layout)),
+    )?;
 
     println!("Grid vs random gateway placement (16 gateways, ROBC, urban)");
     println!();
     println!("placement  layout  delivery%  mean-delay(s)");
-    let rows = experiment::placement_compare(&base, &[Scheme::Robc], 4, 11);
     let mut random_ratios = Vec::new();
-    for (_, placement, seed, report) in &rows {
-        let label = match placement {
+    for cell in grid.iter().chain(&random) {
+        let label = match cell.key.placement {
             GatewayPlacement::Grid => "grid",
             GatewayPlacement::Random => "random",
         };
-        if *placement == GatewayPlacement::Random {
-            random_ratios.push(report.delivery_ratio());
+        for (seed, report) in cell.report.runs() {
+            if cell.key.placement == GatewayPlacement::Random {
+                random_ratios.push(report.delivery_ratio());
+            }
+            println!(
+                "{:10} {:6} {:8.1}% {:14.1}",
+                label,
+                seed,
+                100.0 * report.delivery_ratio(),
+                report.mean_delay_s(),
+            );
         }
-        println!(
-            "{:10} {:6} {:8.1}% {:14.1}",
-            label,
-            seed,
-            100.0 * report.delivery_ratio(),
-            report.mean_delay_s(),
-        );
     }
     let lo = random_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = random_ratios.iter().cloned().fold(0.0f64, f64::max);

@@ -5,46 +5,44 @@
 //! ROBC to push condition reports through better-connected vehicles.
 //! This example sweeps gateway density and reports how forwarding changes
 //! delivery ratio and stranding — the metrics a logistics operator
-//! actually cares about.
+//! actually cares about. The whole 3 × 2 sweep is one experiment plan.
 //!
 //! ```sh
 //! cargo run --release --example logistics_tracking
 //! ```
 
 use mlora::core::Scheme;
-use mlora::sim::{Environment, SimConfig};
+use mlora::sim::{ExperimentPlan, Runner, Scenario};
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mid-size deployment: 225 km², four simulated hours, ~120 vehicles.
-    let base = {
-        let mut cfg = SimConfig::paper_default(Scheme::NoRouting, Environment::Urban);
-        cfg.network.area_side_m = 15_000.0;
-        cfg.network.num_routes = 30;
-        cfg.network.max_active_buses = 120;
-        cfg.horizon = SimDuration::from_hours(4);
-        cfg.network.horizon = cfg.horizon;
-        cfg
-    };
+    let base = Scenario::urban()
+        .area_side_m(15_000.0)
+        .routes(30)
+        .buses(120)
+        .duration(SimDuration::from_hours(4))
+        .build()?;
+
+    let plan = ExperimentPlan::new(base)
+        .gateway_counts([6, 12, 24])
+        .schemes([Scheme::NoRouting, Scheme::Robc])
+        .fixed_seeds([7]);
+    let cells = Runner::new().run(&plan)?;
 
     println!("Parcel tracking over a 225 km² city, 4 h of service");
     println!();
     println!("gateways scheme     delivery%  mean-delay(s)  stranded");
-    for gateways in [6usize, 12, 24] {
-        for scheme in [Scheme::NoRouting, Scheme::Robc] {
-            let mut cfg = base.clone();
-            cfg.num_gateways = gateways;
-            cfg.scheme = scheme;
-            let r = cfg.run(7)?;
-            println!(
-                "{:8} {:10} {:8.1}% {:14.1} {:9}",
-                gateways,
-                scheme.label(),
-                100.0 * r.delivery_ratio(),
-                r.mean_delay_s(),
-                r.stranded,
-            );
-        }
+    for cell in &cells {
+        let r = cell.report.single();
+        println!(
+            "{:8} {:10} {:8.1}% {:14.1} {:9}",
+            cell.key.gateways,
+            cell.key.scheme.label(),
+            100.0 * r.delivery_ratio(),
+            r.mean_delay_s(),
+            r.stranded,
+        );
     }
     println!();
     println!("Fewer stranded reports means fewer parcels going dark between");

@@ -6,16 +6,15 @@
 //! ```
 
 use mlora::core::Scheme;
-use mlora::sim::{Environment, SimConfig};
+use mlora::sim::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down urban MLoRa-SS network: 100 km², two simulated hours,
-    // a few dozen buses, nine grid gateways. Swap in
-    // `SimConfig::paper_default` for the full 600 km² / 24 h setting.
+    // a few dozen buses, nine grid gateways. Drop the `.smoke()` preset
+    // for the full 600 km² / 24 h paper setting.
     println!("scheme     delivered  generated  delay(s)   hops  msgs/node");
     for scheme in Scheme::ALL {
-        let config = SimConfig::smoke_test(scheme, Environment::Urban);
-        let report = config.run(42)?;
+        let report = Scenario::urban().smoke().scheme(scheme).run(42)?;
         println!(
             "{:10} {:9} {:10} {:9.1} {:6.2} {:10.1}",
             scheme.label(),

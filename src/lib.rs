@@ -17,14 +17,18 @@
 //!
 //! # Quick start
 //!
-//! Run one urban ROBC simulation and inspect the headline metrics:
+//! Build an urban ROBC scenario with the fluent builder and inspect the
+//! headline metrics:
 //!
 //! ```
 //! use mlora::core::Scheme;
-//! use mlora::sim::{Environment, SimConfig};
+//! use mlora::sim::Scenario;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let report = SimConfig::smoke_test(Scheme::Robc, Environment::Urban).run(42)?;
+//! let report = Scenario::urban()
+//!     .smoke() // the small, fast test preset; drop for paper scale
+//!     .scheme(Scheme::Robc)
+//!     .run(42)?;
 //! println!(
 //!     "delivered {} of {} messages, mean delay {:.1}s, {:.1} hops",
 //!     report.delivered,
@@ -32,6 +36,37 @@
 //!     report.mean_delay_s(),
 //!     report.mean_hops()
 //! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Sweeps
+//!
+//! Evaluation-style grids are declarative: an
+//! [`ExperimentPlan`](sim::ExperimentPlan) names the axes, and a
+//! [`Runner`](sim::Runner) fans the cells out across worker threads,
+//! replicates each over seeds, and aggregates means and confidence
+//! intervals:
+//!
+//! ```
+//! use mlora::core::Scheme;
+//! use mlora::sim::{ExperimentPlan, Runner, Scenario};
+//! use mlora::simcore::SimDuration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = Scenario::urban()
+//!     .smoke()
+//!     .duration(SimDuration::from_mins(40))
+//!     .build()?;
+//! let plan = ExperimentPlan::new(base)
+//!     .schemes([Scheme::NoRouting, Scheme::Robc])
+//!     .gateway_counts([4, 9])
+//!     .replicate(2);
+//! for cell in Runner::new().run(&plan)? {
+//!     let (lo, hi) = cell.report.ci95(|r| r.delivery_ratio());
+//!     println!("{:?}/{} gws: delivery in [{lo:.2}, {hi:.2}]",
+//!              cell.key.scheme, cell.key.gateways);
+//! }
 //! # Ok(())
 //! # }
 //! ```

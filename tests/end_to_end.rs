@@ -6,7 +6,9 @@ use mlora::sim::{Environment, SimConfig};
 use mlora::simcore::SimDuration;
 
 fn smoke(scheme: Scheme, env: Environment, seed: u64) -> mlora::sim::SimReport {
-    SimConfig::smoke_test(scheme, env).run(seed).expect("valid config")
+    SimConfig::smoke_test(scheme, env)
+        .run(seed)
+        .expect("valid config")
 }
 
 #[test]
@@ -59,10 +61,7 @@ fn delays_are_physical() {
         // No message can be delivered before the shortest possible airtime
         // nor after the 2 h horizon.
         assert!(r.mean_delay_s() > 0.0, "{scheme}: zero delay");
-        assert!(
-            r.mean_delay_s() < 7_200.0,
-            "{scheme}: delay beyond horizon"
-        );
+        assert!(r.mean_delay_s() < 7_200.0, "{scheme}: delay beyond horizon");
     }
 }
 

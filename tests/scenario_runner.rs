@@ -1,0 +1,163 @@
+//! Integration tests for the redesigned public API: the `Scenario`
+//! builder, streaming `SimObserver`s and the parallel multi-seed
+//! experiment `Runner`, exercised through the facade.
+
+use mlora::core::Scheme;
+use mlora::sim::{
+    ConfigError, Environment, EventCounter, ExperimentPlan, Runner, Scenario, SeriesObserver,
+    SimConfig, TraceSink,
+};
+use mlora::simcore::SimDuration;
+
+fn tiny() -> SimConfig {
+    Scenario::urban()
+        .smoke()
+        .duration(SimDuration::from_mins(40))
+        .build()
+        .expect("tiny scenario is valid")
+}
+
+#[test]
+fn builder_rejects_invalid_scenarios() {
+    assert_eq!(
+        Scenario::urban().gateways(0).build(),
+        Err(ConfigError::Zero {
+            field: "num_gateways"
+        })
+    );
+    assert!(matches!(
+        Scenario::rural().alpha(0.0).build(),
+        Err(ConfigError::OutOfRange { field: "alpha", .. })
+    ));
+    assert!(matches!(
+        Scenario::rural().alpha(1.5).build(),
+        Err(ConfigError::OutOfRange { field: "alpha", .. })
+    ));
+    assert!(matches!(
+        Scenario::urban().gateway_range_m(f64::NAN).build(),
+        Err(ConfigError::NotFinite {
+            field: "gateway_range_m",
+            ..
+        })
+    ));
+    assert!(matches!(
+        Scenario::urban().duration(SimDuration::ZERO).build(),
+        Err(ConfigError::Zero { field: "horizon" })
+    ));
+}
+
+#[test]
+fn builder_reproduces_legacy_constructors() {
+    assert_eq!(
+        Scenario::urban().scheme(Scheme::Robc).build().unwrap(),
+        SimConfig::paper_default(Scheme::Robc, Environment::Urban)
+    );
+    assert_eq!(
+        Scenario::rural()
+            .scheme(Scheme::RcaEtx)
+            .smoke()
+            .build()
+            .unwrap(),
+        SimConfig::smoke_test(Scheme::RcaEtx, Environment::Rural)
+    );
+    assert_eq!(
+        Scenario::urban().bench().build().unwrap(),
+        SimConfig::bench_scale(Scheme::NoRouting, Environment::Urban)
+    );
+}
+
+#[test]
+fn observer_sees_exactly_the_reported_deliveries() {
+    for scheme in Scheme::ALL {
+        let mut counter = EventCounter::default();
+        let report = Scenario::urban()
+            .smoke()
+            .scheme(scheme)
+            .run_with_observer(42, &mut counter)
+            .expect("valid scenario");
+        assert!(report.delivered > 0, "{scheme}: nothing delivered");
+        assert_eq!(
+            counter.deliveries, report.delivered,
+            "{scheme}: observer delivery count diverged from the report"
+        );
+        assert_eq!(counter.generated, report.generated);
+        assert_eq!(counter.frames, report.frames_sent);
+        assert_eq!(counter.handover_frames, report.handover_frames);
+    }
+}
+
+#[test]
+fn observers_do_not_perturb_the_simulation() {
+    let config = tiny();
+    let silent = config.run(7).unwrap();
+    let mut counter = EventCounter::default();
+    let mut series = SeriesObserver::new(config.series_bucket, config.horizon);
+    let mut sink = TraceSink::csv(Vec::new());
+    let mut tail = (&mut series, &mut sink);
+    let observed = config
+        .run_with_observer(7, &mut (&mut counter, &mut tail))
+        .unwrap();
+    assert_eq!(silent, observed, "observers changed the simulation");
+    // The series observer reproduces the report's delivery series from
+    // events alone.
+    assert_eq!(
+        series.delivered.counts(),
+        observed.throughput_series.counts()
+    );
+    assert!(sink.events() > 0);
+    let csv = String::from_utf8(sink.finish().unwrap()).unwrap();
+    assert!(csv.starts_with("time_s,event,"), "missing CSV header");
+}
+
+#[test]
+fn runner_output_is_independent_of_worker_count() {
+    // The ISSUE acceptance shape: the Fig. 9 gateway sweep — 2
+    // environments × 7 gateway counts × 2 schemes — replicated over
+    // seeds, multi-threaded, must match the single-threaded run exactly.
+    let plan = ExperimentPlan::new(tiny())
+        .environments([Environment::Urban, Environment::Rural])
+        .gateway_counts([2, 3, 4, 5, 6, 8, 9])
+        .schemes([Scheme::NoRouting, Scheme::Robc])
+        .seed(2020)
+        .replicate(2);
+    let serial = Runner::single_threaded().run(&plan).expect("valid plan");
+    for workers in [2, 8] {
+        let parallel = Runner::new()
+            .workers(workers)
+            .run(&plan)
+            .expect("valid plan");
+        assert_eq!(
+            serial, parallel,
+            "{workers}-worker run diverged from single-threaded"
+        );
+    }
+    assert_eq!(serial.len(), 2 * 7 * 2);
+    for cell in &serial {
+        assert_eq!(cell.report.n(), 2, "every cell replicates over 2 seeds");
+        let (lo, hi) = cell.report.ci95(|r| r.delivered as f64);
+        assert!(lo <= cell.report.delivered_mean());
+        assert!(cell.report.delivered_mean() <= hi);
+    }
+}
+
+#[test]
+fn replicated_cells_use_distinct_derived_seeds() {
+    let plan = ExperimentPlan::new(tiny()).seed(9).replicate(3);
+    let cells = Runner::new().run(&plan).expect("valid plan");
+    let runs = cells[0].report.runs();
+    assert_eq!(runs.len(), 3);
+    // Seeds differ, and so do the resulting reports.
+    assert!(runs.windows(2).all(|w| w[0].0 != w[1].0));
+    assert_ne!(runs[0].1, runs[1].1);
+    // Re-running the same plan reproduces the cell bit-for-bit.
+    let again = Runner::new().run(&plan).expect("valid plan");
+    assert_eq!(cells, again);
+}
+
+#[test]
+fn runner_reports_invalid_cells_instead_of_panicking() {
+    let plan = ExperimentPlan::new(tiny()).alphas([0.5, f64::NAN]);
+    let err = Runner::new().run(&plan).expect_err("NaN alpha must fail");
+    let message = err.to_string();
+    assert!(message.contains("alpha"), "unhelpful error: {message}");
+}

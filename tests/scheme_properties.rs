@@ -7,7 +7,7 @@ use mlora::core::{
 };
 use mlora::mac::{queue_based_window_fraction, AppMessage, DataQueue};
 use mlora::phy::{duty_cycle_wait, time_on_air, CapacityModel, PhyParams};
-use mlora::simcore::{MessageId, NodeId, SimDuration, SimTime};
+use mlora::simcore::{MessageId, NodeId, SimTime};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,10 @@
+//! Vendored stub of `serde`.
+//!
+//! The workspace only ever writes `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]`; no code serializes anything.
+//! This stub re-exports the no-op derive macros so those sources compile
+//! unchanged without registry access.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

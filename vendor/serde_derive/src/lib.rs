@@ -1,0 +1,19 @@
+//! Vendored no-op implementations of serde's derive macros.
+//!
+//! Nothing in this workspace performs actual serialization — the derives
+//! exist so type definitions stay source-compatible with the real serde.
+//! Each derive expands to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
