@@ -1,0 +1,49 @@
+//! Engine throughput measurement: events per second at fleet scale.
+//!
+//! Runs the `micro_engine` scenarios (200- and 2000-bus fleets on a flat
+//! activity profile, see [`mlora_bench::engine_throughput_config`]) and
+//! prints one JSON object per scenario with the processed-event count,
+//! wall-clock time and events/sec. The repo-level `BENCH_engine.json`
+//! baseline/after pair is recorded with this binary.
+//!
+//! Usage: `cargo run --release -p mlora-bench --bin engine_events [runs]`
+
+use std::time::Instant;
+
+use mlora_bench::{engine_throughput_config, HARNESS_SEED};
+use mlora_sim::Engine;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("[");
+    for (i, buses) in [200usize, 2000].into_iter().enumerate() {
+        let cfg = engine_throughput_config(buses);
+        // One warm-up, then the timed runs; report the best (least-noise)
+        // run, which is the standard wall-clock benching convention.
+        let mut best_s = f64::INFINITY;
+        let mut setup_s = f64::INFINITY;
+        let mut events = 0u64;
+        let _ = Engine::new(cfg.clone(), HARNESS_SEED).run_instrumented();
+        for _ in 0..runs {
+            let start = Instant::now();
+            let engine = Engine::new(cfg.clone(), HARNESS_SEED);
+            setup_s = setup_s.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let (_, stats) = engine.run_instrumented();
+            let elapsed = start.elapsed().as_secs_f64();
+            events = stats.events_processed;
+            best_s = best_s.min(elapsed);
+        }
+        let eps = events as f64 / best_s;
+        let comma = if i == 0 { "," } else { "" };
+        println!(
+            "  {{\"scenario\": \"{buses}_buses\", \"events\": {events}, \
+             \"setup_wall_s\": {setup_s:.4}, \"best_wall_s\": {best_s:.4}, \
+             \"events_per_sec\": {eps:.0}}}{comma}"
+        );
+    }
+    println!("]");
+}

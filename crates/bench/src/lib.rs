@@ -37,6 +37,20 @@ pub fn paper_config(scheme: Scheme, environment: Environment) -> SimConfig {
         .expect("paper preset is valid")
 }
 
+/// The engine-throughput scenario behind `micro_engine` and the
+/// `engine_events` binary: a `buses`-vehicle fleet on the full 600 km²
+/// area with a *flat* activity profile (the whole fleet stays in service,
+/// so event density is constant) over a 1-hour horizon, running ROBC in
+/// the urban environment.
+pub fn engine_throughput_config(buses: usize) -> SimConfig {
+    let mut cfg = bench_config(Scheme::Robc, Environment::Urban);
+    cfg.network.max_active_buses = buses;
+    cfg.network.profile = mlora_mobility::DiurnalProfile::flat(1.0);
+    cfg.network.horizon = SimDuration::from_hours(1);
+    cfg.horizon = SimDuration::from_hours(1);
+    cfg
+}
+
 /// A quick configuration for Criterion micro-runs that must iterate many
 /// times (sub-second per run).
 pub fn quick_config(scheme: Scheme, environment: Environment) -> SimConfig {

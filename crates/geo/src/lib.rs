@@ -6,9 +6,11 @@
 //!
 //! * [`Point`] — a position in metres.
 //! * [`BBox`] — an axis-aligned bounding box (the simulation area).
-//! * [`Polyline`] — a bus route with O(log n) arc-length interpolation.
-//! * [`GridIndex`] — a uniform spatial hash grid answering "who is within
-//!   radius r of p?" queries, the backbone of neighbour discovery.
+//! * [`Polyline`] — a bus route with O(log n) arc-length interpolation
+//!   (O(1) amortised through a segment cursor for monotone queries).
+//! * [`GridIndex`] — an incrementally maintained uniform spatial grid
+//!   answering "who is within radius r of p?" queries into caller
+//!   scratch, the backbone of neighbour discovery.
 
 #![deny(missing_docs)]
 

@@ -99,6 +99,39 @@ impl Polyline {
         let d = distance.clamp(0.0, self.length());
         // Find the segment containing d: first index with cum[i] >= d.
         let i = self.cum.partition_point(|&c| c < d);
+        self.interpolate(i, d)
+    }
+
+    /// [`Polyline::point_at`] with a segment cursor.
+    ///
+    /// `hint` is an opaque cursor (start it at 0) remembering the segment
+    /// the previous query landed on; when consecutive distances are close
+    /// — a vehicle advancing along its route — the containing segment is
+    /// found by a short local walk instead of a binary search, making
+    /// repeated position queries O(1) amortised.
+    ///
+    /// The returned point is bit-identical to [`Polyline::point_at`] for
+    /// any `hint` value (out-of-range hints are clamped).
+    pub fn point_at_hinted(&self, distance: f64, hint: &mut u32) -> Point {
+        let d = distance.clamp(0.0, self.length());
+        // Walk the cursor to the first index with cum[i] >= d — the same
+        // index `point_at`'s partition_point finds.
+        let mut i = (*hint as usize).min(self.cum.len() - 1);
+        while self.cum[i] < d {
+            i += 1;
+        }
+        while i > 0 && self.cum[i - 1] >= d {
+            i -= 1;
+        }
+        *hint = i as u32;
+        self.interpolate(i, d)
+    }
+
+    /// Interpolates within segment `i` (the first index with
+    /// `cum[i] >= d`) — the shared arithmetic behind
+    /// [`Polyline::point_at`] and [`Polyline::point_at_hinted`], so the
+    /// two stay bit-identical by construction.
+    fn interpolate(&self, i: usize, d: f64) -> Point {
         if i == 0 {
             return self.points[0];
         }
@@ -176,6 +209,34 @@ mod tests {
             Polyline::new(vec![Point::ORIGIN, Point::new(f64::NAN, 0.0)]).unwrap_err(),
             PolylineError::NonFinitePoint
         );
+    }
+
+    #[test]
+    fn hinted_matches_point_at_bitwise() {
+        // A path with a zero-length segment and uneven spacing.
+        let p = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 37.5),
+            Point::new(-4.0, 37.5),
+        ])
+        .unwrap();
+        let mut hint = 0u32;
+        // Monotone forward, then jumps backwards, then out-of-range hint.
+        let mut ds: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.37).collect();
+        ds.extend((0..50).map(|i| 40.0 - f64::from(i)));
+        ds.extend([0.0, p.length(), -3.0, 1e9]);
+        for d in ds {
+            let want = p.point_at(d);
+            let got = p.point_at_hinted(d, &mut hint);
+            assert_eq!(want.x.to_bits(), got.x.to_bits(), "x differs at d={d}");
+            assert_eq!(want.y.to_bits(), got.y.to_bits(), "y differs at d={d}");
+        }
+        // A stale hint far past the end is clamped.
+        let mut bad = 999u32;
+        assert_eq!(p.point_at_hinted(5.0, &mut bad), p.point_at(5.0));
+        assert!(bad <= 4);
     }
 
     #[test]

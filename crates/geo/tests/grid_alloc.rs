@@ -1,0 +1,92 @@
+//! Allocation accounting for the grid hot path: steady-state
+//! `within_into` queries and `relocate` churn must not touch the heap.
+//!
+//! Uses a counting wrapper around the system allocator; the counter is a
+//! process-wide total, so each assertion brackets exactly the code under
+//! test and nothing else runs concurrently (integration tests in this
+//! binary run on one thread: there is only one test).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mlora_geo::{GridIndex, Point};
+use mlora_simcore::SimRng;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_queries_and_relocates_do_not_allocate() {
+    let mut rng = SimRng::new(7);
+    let side = 10_000.0;
+    let cell = 500.0;
+    let items: Vec<(u32, Point)> = (0..2_000)
+        .map(|i| {
+            (
+                i,
+                Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)),
+            )
+        })
+        .collect();
+    let mut grid = GridIndex::build(items.iter().copied(), cell);
+    let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
+    let mut scratch: Vec<(u32, Point)> = Vec::new();
+    let probes: Vec<Point> = (0..64)
+        .map(|_| Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)))
+        .collect();
+
+    // One full cycle: every item crosses one cell per step and returns to
+    // its start after `side / cell` steps, so the set of touched cells and
+    // the per-cell occupancy maxima repeat exactly cycle over cycle.
+    let mut cycle = |grid: &mut GridIndex<u32>, positions: &mut Vec<Point>| {
+        for _ in 0..(side / cell) as usize {
+            for (i, pos) in positions.iter_mut().enumerate() {
+                let next = Point::new((pos.x + cell) % side, pos.y);
+                assert!(grid.relocate(i as u32, *pos, next));
+                *pos = next;
+            }
+            for &c in &probes {
+                grid.within_into(c, 620.0, &mut scratch);
+            }
+        }
+    };
+
+    // Warm-up settles every bucket and the scratch vector at the cycle's
+    // maximum capacity.
+    cycle(&mut grid, &mut positions);
+
+    // Steady state: the identical churn pattern must be allocation-free.
+    let before = allocations();
+    cycle(&mut grid, &mut positions);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "grid hot path allocated {} times in steady state",
+        after - before
+    );
+}

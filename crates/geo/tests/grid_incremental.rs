@@ -1,0 +1,87 @@
+//! Property test: an incrementally maintained [`GridIndex`] is
+//! indistinguishable from one rebuilt from scratch, after *arbitrary*
+//! interleavings of insert / remove / relocate — same membership, same
+//! query results, same canonical iteration order.
+
+use mlora_geo::{GridIndex, Point};
+use mlora_simcore::SimRng;
+use proptest::prelude::*;
+
+const AREA: f64 = 5_000.0;
+
+fn random_point(rng: &mut SimRng) -> Point {
+    Point::new(rng.gen_range_f64(0.0, AREA), rng.gen_range_f64(0.0, AREA))
+}
+
+proptest! {
+    /// Applies a random op sequence to one incremental index while
+    /// mirroring the membership in a plain `Vec` model, then checks the
+    /// incremental index against a from-scratch rebuild of the model at
+    /// several probe points — exact equality, order included.
+    #[test]
+    fn incremental_agrees_with_rebuild(
+        seed in 0u64..1_000_000,
+        n_ops in 20usize..240,
+        cell in 40.0f64..900.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut grid: GridIndex<u32> = GridIndex::new(cell);
+        let mut model: Vec<(u32, Point)> = Vec::new();
+        let mut next_id = 0u32;
+
+        for _ in 0..n_ops {
+            match rng.gen_range_u64(0, 3) {
+                // Insert a fresh item.
+                0 => {
+                    let pos = random_point(&mut rng);
+                    grid.insert(next_id, pos);
+                    model.push((next_id, pos));
+                    next_id += 1;
+                }
+                // Remove a random live item.
+                1 if !model.is_empty() => {
+                    let at = rng.gen_range_u64(0, model.len() as u64) as usize;
+                    let (id, pos) = model.swap_remove(at);
+                    prop_assert!(grid.remove(id, pos), "remove lost item {id}");
+                }
+                // Relocate a random live item.
+                2 if !model.is_empty() => {
+                    let at = rng.gen_range_u64(0, model.len() as u64) as usize;
+                    let new_pos = random_point(&mut rng);
+                    let (id, old_pos) = model[at];
+                    prop_assert!(
+                        grid.relocate(id, old_pos, new_pos),
+                        "relocate lost item {id}"
+                    );
+                    model[at].1 = new_pos;
+                }
+                _ => {}
+            }
+        }
+
+        prop_assert_eq!(grid.len(), model.len());
+        let rebuilt = GridIndex::build(model.iter().copied(), cell);
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for _ in 0..8 {
+            let center = random_point(&mut rng);
+            let radius = rng.gen_range_f64(10.0, 1_800.0);
+            grid.within_into(center, radius, &mut got);
+            rebuilt.within_into(center, radius, &mut want);
+            // Canonical (cell key, id) order: membership-equal indices
+            // answer queries identically, element for element.
+            prop_assert_eq!(&got, &want, "divergence at {} r={}", center, radius);
+
+            // And both agree with brute force on membership.
+            let mut brute: Vec<u32> = model
+                .iter()
+                .filter(|(_, p)| p.distance_sq(center) <= radius * radius)
+                .map(|&(id, _)| id)
+                .collect();
+            brute.sort_unstable();
+            let mut ids: Vec<u32> = got.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, brute);
+        }
+    }
+}

@@ -179,6 +179,21 @@ impl BusNetwork {
         trip.position(self.route(trip.route()), t)
     }
 
+    /// [`BusNetwork::position`] with a per-device segment cursor.
+    ///
+    /// `hint` is the opaque cursor for `node` (start at 0, keep one per
+    /// device); results are bit-identical to [`BusNetwork::position`] and
+    /// O(1) amortised when each device's queries advance monotonically in
+    /// time — the access pattern of a discrete-event hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network.
+    pub fn position_hinted(&self, node: NodeId, t: SimTime, hint: &mut u32) -> Point {
+        let trip = self.trip(node);
+        trip.position_hinted(self.route(trip.route()), t, hint)
+    }
+
     /// Trips in service at time `t`.
     pub fn active_trips(&self, t: SimTime) -> impl Iterator<Item = &Trip> + '_ {
         self.trips.iter().filter(move |trip| trip.is_active(t))
@@ -369,6 +384,24 @@ mod tests {
         for trip in net.active_trips(t) {
             let p = net.position(trip.node(), t);
             assert!(net.area().contains(p), "bus at {p} outside area");
+        }
+    }
+
+    #[test]
+    fn hinted_positions_match_bitwise() {
+        use mlora_simcore::SimRng;
+        let net = BusNetwork::generate(&small_config(), 11);
+        let mut rng = SimRng::new(5);
+        let mut hints = vec![0u32; net.trips().len()];
+        // Per-device monotone time sweeps with occasional cross-device
+        // interleaving — the engine's access pattern.
+        for step in 0..2_000u64 {
+            let t = SimTime::from_millis(step * 7_321);
+            let node = NodeId::new(rng.gen_range_u64(0, net.trips().len() as u64) as u32);
+            let want = net.position(node, t);
+            let got = net.position_hinted(node, t, &mut hints[node.index()]);
+            assert_eq!(want.x.to_bits(), got.x.to_bits(), "x at {t} for {node}");
+            assert_eq!(want.y.to_bits(), got.y.to_bits(), "y at {t} for {node}");
         }
     }
 

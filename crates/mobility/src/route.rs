@@ -94,12 +94,26 @@ impl Route {
     /// Position after travelling `travelled_m` metres from the start,
     /// ping-ponging at the terminals.
     pub fn position_after(&self, travelled_m: f64) -> Point {
+        self.path.point_at(self.fold_distance(travelled_m))
+    }
+
+    /// [`Route::position_after`] with a segment cursor (see
+    /// [`Polyline::point_at_hinted`]): bit-identical results, O(1)
+    /// amortised when consecutive queries are close in time.
+    pub fn position_after_hinted(&self, travelled_m: f64, hint: &mut u32) -> Point {
+        self.path
+            .point_at_hinted(self.fold_distance(travelled_m), hint)
+    }
+
+    /// Folds a raw travelled distance onto the out-and-back path: the
+    /// shared ping-pong arithmetic behind both position queries.
+    fn fold_distance(&self, travelled_m: f64) -> f64 {
         let len = self.length_m();
         let d = travelled_m.max(0.0) % (2.0 * len);
         if d <= len {
-            self.path.point_at(d)
+            d
         } else {
-            self.path.point_at(2.0 * len - d)
+            2.0 * len - d
         }
     }
 }

@@ -82,10 +82,27 @@ impl Trip {
     ///
     /// Panics if `route` is not the route this trip serves.
     pub fn position(&self, route: &Route, t: SimTime) -> mlora_geo::Point {
+        route.position_after(self.travelled_m(route, t))
+    }
+
+    /// [`Trip::position`] with a per-trip segment cursor: bit-identical
+    /// results, O(1) amortised when `t` advances monotonically (see
+    /// [`mlora_geo::Polyline::point_at_hinted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is not the route this trip serves.
+    pub fn position_hinted(&self, route: &Route, t: SimTime, hint: &mut u32) -> mlora_geo::Point {
+        route.position_after_hinted(self.travelled_m(route, t), hint)
+    }
+
+    /// Distance travelled along the route at time `t` (clamped to the
+    /// service window): the shared arithmetic behind both position
+    /// queries.
+    fn travelled_m(&self, route: &Route, t: SimTime) -> f64 {
         assert_eq!(route.id(), self.route, "position queried with wrong route");
         let t = t.max(self.depart).min(self.end());
-        let elapsed = (t - self.depart).as_secs_f64();
-        route.position_after(route.speed_mps() * elapsed)
+        route.speed_mps() * (t - self.depart).as_secs_f64()
     }
 }
 

@@ -5,17 +5,26 @@
 //! All physics (ranges, RSSI, collisions) resolve at transmission end;
 //! positions are computed analytically from the mobility substrate, so
 //! there is no per-tick stepping anywhere.
-
-use std::collections::HashMap;
+//!
+//! # Hot-path layout
+//!
+//! Per-event state is dense and index-addressed: devices live in a
+//! [`DenseMap`] keyed by their already-dense [`NodeId`], frames in
+//! flight live in a generational [`Slab`], the neighbour grid is
+//! maintained incrementally (insert on trip start, remove on retirement,
+//! periodic drift relocation — never a from-scratch rebuild), and every
+//! query writes into scratch buffers owned by the engine. In steady
+//! state the event loop performs no per-event heap allocation on the
+//! neighbour-resolution path.
 
 use mlora_core::{Beacon, ForwardDecision, RoutingState};
-use mlora_geo::Point;
+use mlora_geo::{GridIndex, Point};
 use mlora_mac::{
     AppMessage, DataQueue, DeviceClass, DutyCycleTracker, EnergyAccount, EnergyModel, RadioState,
     RetransmitPolicy, UplinkFrame, MAX_BUNDLE,
 };
 use mlora_phy::{resolve_collision, time_on_air, CAPTURE_MARGIN_DB};
-use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
+use mlora_simcore::{DenseMap, EventQueue, NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey};
 
 use crate::metrics::Collector;
 use crate::observer::{
@@ -36,12 +45,16 @@ enum Event {
     /// A device begins a transmission (uplink or handover).
     TxStart(NodeId),
     /// A transmission completes; receptions resolve.
-    TxEnd(u64),
+    TxEnd(SlabKey),
 }
 
 /// A frame in the air.
 #[derive(Debug, Clone)]
 struct Flight {
+    /// Creation sequence number: slab slots are recycled, so canonical
+    /// frame ordering (collision candidate lists, RNG draw order) sorts
+    /// by this monotone counter, never by storage index.
+    seq: u64,
     sender: NodeId,
     frame: UplinkFrame,
     /// `Some(y)` for a handover aimed at device `y`.
@@ -77,6 +90,16 @@ struct Device {
     rx_window_time: SimDuration,
     /// Uplink frames sent (for Class-A RX-window energy).
     frames_sent: u64,
+    /// The position this device is filed under in the neighbour grid.
+    grid_pos: Point,
+}
+
+/// Execution statistics of one engine run, returned by
+/// [`Engine::run_instrumented`] for throughput benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Discrete events processed by the main loop.
+    pub events_processed: u64,
 }
 
 /// The simulation engine. Construct with [`Engine::new`], execute with
@@ -87,28 +110,52 @@ pub struct Engine {
     net: mlora_mobility::BusNetwork,
     gateways: Vec<Point>,
     events: EventQueue<Event>,
-    devices: HashMap<NodeId, Device>,
+    devices: DenseMap<NodeId, Device>,
     /// Device ids currently in service, kept sorted for determinism.
     active: Vec<NodeId>,
-    flights: HashMap<u64, Flight>,
-    next_flight: u64,
+    flights: Slab<Flight>,
+    /// Monotone frame creation counter (see [`Flight::seq`]).
+    next_flight_seq: u64,
     next_msg: u64,
     channel_rng: SimRng,
     collector: Collector,
     now: SimTime,
     horizon: SimTime,
-    /// Cached spatial index over active-device positions, rebuilt when
-    /// stale or when the active set changes.
-    grid: Option<(SimTime, mlora_geo::GridIndex<NodeId>)>,
-    grid_dirty: bool,
+    /// Incrementally maintained spatial index over active devices.
+    grid: GridIndex<NodeId>,
+    /// Static spatial index over gateway positions (by gateway index).
+    gateway_grid: GridIndex<u32>,
+    /// When the next periodic drift-relocation sweep is due.
+    grid_refresh_due: SimTime,
+    /// Sweep period: chosen so no stored position can drift more than
+    /// [`GRID_MARGIN_M`] between sweeps at the fleet's top speed.
+    grid_refresh_every: SimDuration,
+    /// How long an ended flight stays in the slab: at least the
+    /// worst-case frame airtime under the configured PHY, so any frame
+    /// still in the air finds every time-overlapping interferer in the
+    /// collision scan.
+    flight_retention: SimDuration,
+    /// Per-device polyline segment cursors for O(1) position queries.
+    pos_hints: Vec<u32>,
+    /// Scratch: time-overlapping flights as `(seq, position)`.
+    scratch_overlaps: Vec<(u64, Point)>,
+    /// Scratch: raw grid query output.
+    scratch_within: Vec<(NodeId, Point)>,
+    /// Scratch: sorted neighbour-candidate ids.
+    scratch_candidates: Vec<NodeId>,
+    /// Scratch: per-receiver collision candidates as `(seq, rssi)`.
+    scratch_rssi: Vec<(u64, f64)>,
+    /// Scratch: devices needing a transmission opportunity scheduled.
+    scratch_schedule: Vec<NodeId>,
+    /// Scratch: raw gateway-grid query output.
+    scratch_within_gw: Vec<(u32, Point)>,
+    /// Scratch: indices of gateways near a sender.
+    scratch_gateways: Vec<u32>,
 }
 
-/// How long a cached neighbour grid stays valid. At ≤10.4 m/s a device
-/// drifts ≤52 m per side in this window, covered by the query margin.
-const GRID_TTL: SimDuration = SimDuration::from_secs(5);
-
-/// Query-radius slack absorbing position drift of both endpoints over
-/// [`GRID_TTL`]; exact distances are re-checked on the candidates.
+/// Query-radius slack absorbing stored-position drift in the neighbour
+/// grid; exact distances are re-checked on the candidates, so the grid
+/// only has to stay a superset of the truly-in-range set.
 const GRID_MARGIN_M: f64 = 120.0;
 
 impl Engine {
@@ -127,46 +174,86 @@ impl Engine {
         let gateways = place_gateways(net.area(), cfg.num_gateways, cfg.placement, &mut deploy_rng);
         let collector = Collector::new(cfg.series_bucket, cfg.horizon);
         let horizon = SimTime::ZERO + cfg.horizon;
+        let num_trips = net.trips().len();
+        let cell = cfg.environment.d2d_range_m().max(200.0);
+        // Sweep early enough that drift at the fastest service speed stays
+        // inside the query margin (0.95: headroom for rounding to ms).
+        let grid_refresh_every =
+            SimDuration::from_secs_f64(GRID_MARGIN_M / cfg.network.max_speed_mps * 0.95);
+        let gateway_grid = GridIndex::build(
+            gateways.iter().enumerate().map(|(i, &p)| (i as u32, p)),
+            cfg.gateway_range_m.max(200.0),
+        );
+        // The 2 s floor keeps the historical window at fast spreading
+        // factors; slow SFs (≳4 s airtime for a full bundle) need the
+        // whole worst-case airtime or concurrent frames would be pruned
+        // before their interference resolves.
+        let flight_retention = time_on_air(255, &cfg.phy).max(SimDuration::from_secs(2));
         Engine {
             net,
             gateways,
             events: EventQueue::with_capacity(1 << 16),
-            devices: HashMap::new(),
+            devices: DenseMap::with_capacity(num_trips),
             active: Vec::new(),
-            flights: HashMap::new(),
-            next_flight: 0,
+            flights: Slab::new(),
+            next_flight_seq: 0,
             next_msg: 0,
             channel_rng: root.fork(12),
             collector,
             now: SimTime::ZERO,
             horizon,
+            grid: GridIndex::new(cell),
+            gateway_grid,
+            grid_refresh_due: SimTime::ZERO,
+            grid_refresh_every,
+            flight_retention,
+            pos_hints: vec![0; num_trips],
+            scratch_overlaps: Vec::new(),
+            scratch_within: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_rssi: Vec::new(),
+            scratch_schedule: Vec::new(),
+            scratch_within_gw: Vec::new(),
+            scratch_gateways: Vec::new(),
             cfg,
-            grid: None,
-            grid_dirty: true,
         }
     }
 
-    /// Active devices possibly within `radius` of `pos`, via the cached
-    /// spatial index (sorted; callers must re-check exact distances).
-    fn neighbour_candidates(&mut self, pos: Point, radius: f64) -> Vec<NodeId> {
-        let stale = match &self.grid {
-            Some((built, _)) => self.now.saturating_since(*built) > GRID_TTL,
-            None => true,
-        };
-        if stale || self.grid_dirty {
-            let now = self.now;
-            let items = self.active.iter().map(|&n| (n, self.net.position(n, now)));
-            let cell = self.cfg.environment.d2d_range_m().max(200.0);
-            self.grid = Some((now, mlora_geo::GridIndex::build(items, cell)));
-            self.grid_dirty = false;
+    /// The device's position at `self.now`, through its segment cursor.
+    fn position_now(&mut self, n: NodeId) -> Point {
+        self.net
+            .position_hinted(n, self.now, &mut self.pos_hints[n.index()])
+    }
+
+    /// Relocates every active device's grid entry to its current
+    /// position when the periodic drift sweep is due. Relocation is a
+    /// no-op for devices that stayed within their cell.
+    fn refresh_grid_if_due(&mut self) {
+        if self.now < self.grid_refresh_due {
+            return;
         }
-        let (_, grid) = self.grid.as_ref().expect("grid built above");
-        let mut out: Vec<NodeId> = grid
-            .within(pos, radius + GRID_MARGIN_M)
-            .map(|(n, _)| n)
-            .collect();
+        self.grid_refresh_due = self.now + self.grid_refresh_every;
+        for i in 0..self.active.len() {
+            let n = self.active[i];
+            let pos = self.position_now(n);
+            let dev = self.devices.get_mut(n).expect("active device exists");
+            let moved = self.grid.relocate(n, dev.grid_pos, pos);
+            debug_assert!(moved, "active device missing from grid");
+            dev.grid_pos = pos;
+        }
+    }
+
+    /// Writes the sorted ids of active devices possibly within `radius`
+    /// of `pos` into `out` (callers must re-check exact distances).
+    fn neighbour_candidates(&mut self, pos: Point, radius: f64, out: &mut Vec<NodeId>) {
+        self.refresh_grid_if_due();
+        let mut within = std::mem::take(&mut self.scratch_within);
+        self.grid
+            .within_into(pos, radius + GRID_MARGIN_M, &mut within);
+        out.clear();
+        out.extend(within.iter().map(|&(n, _)| n));
         out.sort_unstable();
-        out
+        self.scratch_within = within;
     }
 
     /// The gateway positions in use.
@@ -184,12 +271,25 @@ impl Engine {
         self.run_with_observer(&mut NullObserver)
     }
 
+    /// Runs the simulation and additionally returns execution statistics
+    /// (processed-event counts) for throughput benchmarking.
+    ///
+    /// The report is identical to [`Engine::run`] for the same
+    /// configuration and seed.
+    pub fn run_instrumented(self) -> (SimReport, EngineStats) {
+        self.execute(&mut NullObserver)
+    }
+
     /// Runs the simulation, streaming events to `observer`.
     ///
     /// Observers are passive: the event stream and the returned report
     /// are identical to [`Engine::run`] for the same configuration and
     /// seed.
-    pub fn run_with_observer(mut self, observer: &mut dyn SimObserver) -> SimReport {
+    pub fn run_with_observer(self, observer: &mut dyn SimObserver) -> SimReport {
+        self.execute(observer).0
+    }
+
+    fn execute(mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
         // Seed trip lifecycle events.
         for trip in self.net.trips() {
             if trip.depart() >= self.horizon {
@@ -201,17 +301,19 @@ impl Engine {
                 .schedule(trip.end().min(self.horizon), Event::TripEnd(trip.node()));
         }
 
+        let mut events_processed: u64 = 0;
         while let Some((t, ev)) = self.events.pop() {
             if t > self.horizon {
                 break;
             }
             self.now = t;
+            events_processed += 1;
             match ev {
                 Event::TripStart(n) => self.on_trip_start(n),
                 Event::TripEnd(n) => self.on_trip_end(n),
                 Event::Generate(n) => self.on_generate(n, observer),
                 Event::TxStart(n) => self.on_tx_start(n, observer),
-                Event::TxEnd(id) => self.on_tx_end(id, observer),
+                Event::TxEnd(key) => self.on_tx_end(key, observer),
             }
         }
 
@@ -236,7 +338,7 @@ impl Engine {
 
         let report = self.collector.finish();
         observer.on_run_end(&report);
-        report
+        (report, EngineStats { events_processed })
     }
 
     fn device_class(&self) -> DeviceClass {
@@ -247,6 +349,7 @@ impl Engine {
     }
 
     fn on_trip_start(&mut self, n: NodeId) {
+        let pos = self.position_now(n);
         let device = Device {
             active: true,
             activated_at: self.now,
@@ -265,12 +368,13 @@ impl Engine {
             tx_time: SimDuration::ZERO,
             rx_window_time: SimDuration::ZERO,
             frames_sent: 0,
+            grid_pos: pos,
         };
         self.devices.insert(n, device);
         if let Err(i) = self.active.binary_search(&n) {
             self.active.insert(i, n);
         }
-        self.grid_dirty = true;
+        self.grid.insert(n, pos);
         // First reading arrives after a per-device phase so the fleet does
         // not transmit in lockstep.
         let phase_ms = self
@@ -287,7 +391,7 @@ impl Engine {
     }
 
     fn retire(&mut self, n: NodeId) {
-        let Some(dev) = self.devices.get_mut(&n) else {
+        let Some(dev) = self.devices.get_mut(n) else {
             return;
         };
         if dev.retired_at.is_some() {
@@ -298,8 +402,10 @@ impl Engine {
         if let Ok(i) = self.active.binary_search(&n) {
             self.active.remove(i);
         }
-        self.grid_dirty = true;
+        let removed = self.grid.remove(n, dev.grid_pos);
+        debug_assert!(removed, "retired device missing from grid");
         // Energy: time-in-state reconstruction for the whole service window.
+        let dev = self.devices.get_mut(n).expect("checked above");
         let active_dur = self.now.saturating_since(dev.activated_at);
         let tx = dev.tx_time.min(active_dur);
         let non_tx = active_dur.saturating_sub(tx);
@@ -320,7 +426,7 @@ impl Engine {
 
     fn on_generate(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
         let gen_interval = self.cfg.gen_interval;
-        let Some(dev) = self.devices.get_mut(&n) else {
+        let Some(dev) = self.devices.get_mut(n) else {
             return;
         };
         if !dev.active {
@@ -350,7 +456,7 @@ impl Engine {
     /// Schedules the next transmission opportunity for `n`, if one is
     /// needed and none is pending.
     fn maybe_schedule_tx(&mut self, n: NodeId) {
-        let Some(dev) = self.devices.get_mut(&n) else {
+        let Some(dev) = self.devices.get_mut(n) else {
             return;
         };
         if !dev.active || dev.tx_scheduled || dev.transmitting {
@@ -369,7 +475,7 @@ impl Engine {
         let phy = self.cfg.phy;
         let gen_interval = self.cfg.gen_interval;
         let queue_capacity = self.cfg.queue_capacity;
-        let Some(dev) = self.devices.get_mut(&n) else {
+        let Some(dev) = self.devices.get_mut(n) else {
             return;
         };
         dev.tx_scheduled = false;
@@ -389,7 +495,7 @@ impl Engine {
         let mut target = None;
         let mut count = dev.queue.len().min(MAX_BUNDLE);
         if let Some((y, c)) = dev.pending_handover.take() {
-            let target_alive = self.devices.get(&y).is_some_and(|d| d.active);
+            let target_alive = self.devices.get(y).is_some_and(|d| d.active);
             if target_alive {
                 let c = c.min(MAX_BUNDLE);
                 if c > 0 {
@@ -398,7 +504,7 @@ impl Engine {
                 }
             }
         }
-        let dev = self.devices.get_mut(&n).expect("checked above");
+        let dev = self.devices.get_mut(n).expect("checked above");
         let count = count.min(dev.queue.len());
         if count == 0 {
             return;
@@ -426,96 +532,124 @@ impl Engine {
             handover_target: target,
         });
 
-        let id = self.next_flight;
-        self.next_flight += 1;
-        let pos = self.net.position(n, self.now);
-        self.flights.insert(
-            id,
-            Flight {
-                sender: n,
-                frame,
-                target,
-                start: self.now,
-                end: self.now + airtime,
-                pos,
-            },
-        );
-        self.events.schedule(self.now + airtime, Event::TxEnd(id));
+        let seq = self.next_flight_seq;
+        self.next_flight_seq += 1;
+        let pos = self.position_now(n);
+        let key = self.flights.insert(Flight {
+            seq,
+            sender: n,
+            frame,
+            target,
+            start: self.now,
+            end: self.now + airtime,
+            pos,
+        });
+        self.events.schedule(self.now + airtime, Event::TxEnd(key));
     }
 
-    fn on_tx_end(&mut self, id: u64, observer: &mut dyn SimObserver) {
-        let Some(flight) = self.flights.get(&id).cloned() else {
+    fn on_tx_end(&mut self, key: SlabKey, observer: &mut dyn SimObserver) {
+        // Prune flights that can no longer overlap anything before
+        // scanning; vacated slab slots are recycled by later
+        // transmissions. (The subject flight ends exactly now, so it
+        // always survives the cutoff.)
+        let cutoff = self.now;
+        let retention = self.flight_retention;
+        self.flights.retain(|_, f| f.end + retention >= cutoff);
+
+        // Take the flight table out of `self` so the subject flight can be
+        // borrowed across the resolution calls without cloning its frame.
+        let flights = std::mem::take(&mut self.flights);
+        let Some(flight) = flights.get(key) else {
+            self.flights = flights;
             return;
         };
         let sender = flight.sender;
 
         // Sender leaves the transmit state.
-        if let Some(dev) = self.devices.get_mut(&sender) {
+        if let Some(dev) = self.devices.get_mut(sender) {
             dev.transmitting = false;
             dev.last_tx_end = Some(self.now);
         }
 
-        // Frames overlapping this one in time (including itself), sorted
-        // by id: HashMap order must not leak into RNG draw order.
-        let mut overlaps: Vec<(u64, Point)> = self
-            .flights
-            .iter()
-            .filter(|(_, f)| f.start < flight.end && f.end > flight.start)
-            .map(|(&fid, f)| (fid, f.pos))
-            .collect();
-        overlaps.sort_unstable_by_key(|&(fid, _)| fid);
+        // Frames overlapping this one in time (including itself), in
+        // creation order: storage order must not leak into RNG draw order.
+        let mut overlaps = std::mem::take(&mut self.scratch_overlaps);
+        overlaps.clear();
+        overlaps.extend(
+            flights
+                .iter()
+                .filter(|(_, f)| f.start < flight.end && f.end > flight.start)
+                .map(|(_, f)| (f.seq, f.pos)),
+        );
+        overlaps.sort_unstable_by_key(|&(seq, _)| seq);
 
-        let gateway_rssi = self.resolve_gateways(id, &flight, &overlaps);
-        let candidates = self.neighbour_candidates(flight.pos, self.cfg.environment.d2d_range_m());
-        let (accepted_by_target, to_schedule) =
-            self.resolve_neighbours(id, &flight, &overlaps, &candidates, observer);
-        self.settle_sender(&flight, gateway_rssi, accepted_by_target, observer);
-        for n in to_schedule {
+        let gateway_rssi = self.resolve_gateways(flight, &overlaps);
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        self.neighbour_candidates(
+            flight.pos,
+            self.cfg.environment.d2d_range_m(),
+            &mut candidates,
+        );
+        let mut to_schedule = std::mem::take(&mut self.scratch_schedule);
+        to_schedule.clear();
+        let accepted_by_target =
+            self.resolve_neighbours(flight, &overlaps, &candidates, &mut to_schedule, observer);
+        self.settle_sender(flight, gateway_rssi, accepted_by_target, observer);
+        for &n in &to_schedule {
             self.maybe_schedule_tx(n);
         }
 
-        // Prune flights that can no longer overlap anything.
-        let cutoff = self.now;
-        self.flights
-            .retain(|_, f| f.end + SimDuration::from_secs(2) >= cutoff);
+        self.scratch_schedule = to_schedule;
+        self.scratch_candidates = candidates;
+        self.scratch_overlaps = overlaps;
+        self.flights = flights;
     }
 
     /// Resolves reception at every gateway; returns the best RSSI among
     /// gateways that decoded this flight, if any.
-    fn resolve_gateways(
-        &mut self,
-        flight_id: u64,
-        flight: &Flight,
-        overlaps: &[(u64, Point)],
-    ) -> Option<f64> {
+    fn resolve_gateways(&mut self, flight: &Flight, overlaps: &[(u64, Point)]) -> Option<f64> {
         let range = self.cfg.gateway_range_m;
         let sens = self.cfg.phy.sensitivity_dbm();
         let txp = self.cfg.phy.tx_power_dbm;
         let mut best: Option<f64> = None;
         let gateways = std::mem::take(&mut self.gateways);
-        for gw in &gateways {
+        let mut candidates = std::mem::take(&mut self.scratch_rssi);
+        // Gateways are static: the grid narrows the scan to the cells
+        // around the sender. Grid order is (cell key, id) — id-sorted
+        // only *within* each cell — so the explicit sort below restores
+        // the historical full-scan iteration order (and the exact range
+        // check re-applies); RNG draw order matches a full scan bit for
+        // bit. Do not remove the sort.
+        let mut nearby = std::mem::take(&mut self.scratch_gateways);
+        self.gateway_grid
+            .within_into(flight.pos, range + 1.0, &mut self.scratch_within_gw);
+        nearby.clear();
+        nearby.extend(self.scratch_within_gw.iter().map(|&(i, _)| i));
+        nearby.sort_unstable();
+        for &gi in &nearby {
+            let gw = &gateways[gi as usize];
             if gw.distance(flight.pos) > range {
                 continue;
             }
             // Candidate frames audible at this gateway.
-            let mut candidates: Vec<(u64, f64)> = Vec::new();
+            candidates.clear();
             let mut flight_rssi = None;
-            for &(fid, pos) in overlaps {
-                if gw.distance(pos) > range {
+            for &(seq, pos) in overlaps {
+                let dist = gw.distance(pos);
+                if dist > range {
                     continue;
                 }
-                let rssi = self.cfg.path_loss.sample_rssi_dbm(
-                    txp,
-                    gw.distance(pos),
-                    &mut self.channel_rng,
-                );
-                if fid == flight_id {
+                let rssi = self
+                    .cfg
+                    .path_loss
+                    .sample_rssi_dbm(txp, dist, &mut self.channel_rng);
+                if seq == flight.seq {
                     flight_rssi = Some(rssi);
                 }
-                candidates.push((fid, rssi));
+                candidates.push((seq, rssi));
             }
             match resolve_collision(&candidates, sens, CAPTURE_MARGIN_DB) {
-                Some(winner) if winner == flight_id => {
+                Some(winner) if winner == flight.seq => {
                     let rssi = flight_rssi.expect("winner has an RSSI");
                     best = Some(best.map_or(rssi, |b: f64| b.max(rssi)));
                 }
@@ -526,21 +660,23 @@ impl Engine {
                 }
             }
         }
+        self.scratch_gateways = nearby;
+        self.scratch_rssi = candidates;
         self.gateways = gateways;
         best
     }
 
     /// Resolves overhearing at every active neighbour. Returns whether the
-    /// handover target decoded the frame, plus the devices that need a new
-    /// transmission opportunity scheduled.
+    /// handover target decoded the frame; devices that need a new
+    /// transmission opportunity are appended to `to_schedule`.
     fn resolve_neighbours(
         &mut self,
-        flight_id: u64,
         flight: &Flight,
         overlaps: &[(u64, Point)],
         candidates: &[NodeId],
+        to_schedule: &mut Vec<NodeId>,
         observer: &mut dyn SimObserver,
-    ) -> (bool, Vec<NodeId>) {
+    ) -> bool {
         let d2d = self.cfg.environment.d2d_range_m();
         let sens = self.cfg.phy.sensitivity_dbm();
         let txp = self.cfg.phy.tx_power_dbm;
@@ -548,17 +684,17 @@ impl Engine {
         let now = self.now;
 
         let mut accepted = false;
-        let mut to_schedule = Vec::new();
+        let mut audible = std::mem::take(&mut self.scratch_rssi);
 
         for &x in candidates {
             if x == flight.sender {
                 continue;
             }
-            let pos_x = self.net.position(x, now);
+            let pos_x = self.position_now(x);
             if pos_x.distance(flight.pos) > d2d {
                 continue;
             }
-            let Some(dev) = self.devices.get(&x) else {
+            let Some(dev) = self.devices.get(x) else {
                 continue;
             };
             if !dev.active {
@@ -578,28 +714,28 @@ impl Engine {
                 continue;
             }
             // Collision resolution at x.
-            let mut candidates: Vec<(u64, f64)> = Vec::new();
+            audible.clear();
             let mut flight_rssi = None;
-            for &(fid, pos) in overlaps {
-                if pos_x.distance(pos) > d2d {
+            for &(seq, pos) in overlaps {
+                let dist = pos_x.distance(pos);
+                if dist > d2d {
                     continue;
                 }
-                let rssi = self.cfg.path_loss.sample_rssi_dbm(
-                    txp,
-                    pos_x.distance(pos),
-                    &mut self.channel_rng,
-                );
-                if fid == flight_id {
+                let rssi = self
+                    .cfg
+                    .path_loss
+                    .sample_rssi_dbm(txp, dist, &mut self.channel_rng);
+                if seq == flight.seq {
                     flight_rssi = Some(rssi);
                 }
-                candidates.push((fid, rssi));
+                audible.push((seq, rssi));
             }
             let decoded = matches!(
-                resolve_collision(&candidates, sens, CAPTURE_MARGIN_DB),
-                Some(w) if w == flight_id
+                resolve_collision(&audible, sens, CAPTURE_MARGIN_DB),
+                Some(w) if w == flight.seq
             );
             if !decoded {
-                if candidates.len() > 1 && flight_rssi.is_some() {
+                if audible.len() > 1 && flight_rssi.is_some() {
                     self.collector.on_collision();
                 }
                 continue;
@@ -609,7 +745,7 @@ impl Engine {
             if flight.target == Some(x) {
                 // Accept the handover: enqueue, bar the donor, try to move
                 // the data onwards.
-                let dev = self.devices.get_mut(&x).expect("neighbour exists");
+                let dev = self.devices.get_mut(x).expect("neighbour exists");
                 let drops_before = dev.queue.dropped();
                 for msg in &flight.frame.messages {
                     dev.queue.push(*msg);
@@ -637,7 +773,7 @@ impl Engine {
                     rca_etx: flight.frame.rca_etx,
                     queue_len: flight.frame.queue_len,
                 };
-                let dev = self.devices.get_mut(&x).expect("neighbour exists");
+                let dev = self.devices.get_mut(x).expect("neighbour exists");
                 let wait_s = dev
                     .duty
                     .next_opportunity(now)
@@ -654,7 +790,8 @@ impl Engine {
                 }
             }
         }
-        (accepted, to_schedule)
+        self.scratch_rssi = audible;
+        accepted
     }
 
     /// Applies the transmission outcome to the sender: queue updates,
@@ -683,7 +820,7 @@ impl Engine {
         }
         let capacity = gateway_rssi.map(|r| self.cfg.capacity.capacity_bps(r));
         let sender = flight.sender;
-        let Some(dev) = self.devices.get_mut(&sender) else {
+        let Some(dev) = self.devices.get_mut(sender) else {
             return;
         };
         let wait_s = dev
@@ -824,6 +961,18 @@ mod tests {
         for gw in engine.gateways() {
             assert!(engine.network().area().contains(*gw));
         }
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        let cfg = SimConfig::smoke_test(Scheme::Robc, Environment::Urban);
+        let plain = Engine::new(cfg.clone(), 7).run();
+        let (report, stats) = Engine::new(cfg, 7).run_instrumented();
+        assert_eq!(plain, report);
+        assert!(
+            stats.events_processed > report.generated + report.frames_sent,
+            "loop must process at least one event per message and frame"
+        );
     }
 
     #[test]

@@ -1,20 +1,18 @@
-//! Legacy per-figure experiment entry points.
+//! Figure-oriented views over experiment results.
 //!
-//! Every function here is a thin, deprecated wrapper over the
-//! declarative [`ExperimentPlan`](crate::ExperimentPlan) +
-//! [`Runner`](crate::Runner) API — new code should build plans directly
-//! (they compose axes freely, replicate over seeds and run across worker
-//! threads). The wrappers reproduce the historical behaviour exactly,
-//! including the same-seed-in-every-cell policy, and propagate
-//! configuration problems as [`RunnerError`] instead of panicking.
-
-#![allow(deprecated)]
+//! Sweeps themselves are expressed as
+//! [`ExperimentPlan`](crate::ExperimentPlan)s and executed by the
+//! parallel [`Runner`](crate::Runner); this module keeps the small
+//! figure-shaped bridge types the per-figure formatters in
+//! [`crate::report`] consume. (The deprecated free-function sweep
+//! wrappers that used to live here were removed once every caller had
+//! migrated to the plan API.)
 
 use mlora_core::Scheme;
 use serde::{Deserialize, Serialize};
 
-use crate::runner::{CellResult, ExperimentPlan, Runner, RunnerError};
-use crate::{DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimReport};
+use crate::runner::CellResult;
+use crate::{Environment, SimReport};
 
 /// One cell of the Fig. 8/9/12/13 sweeps: a (gateways, environment,
 /// scheme) combination and its simulation report.
@@ -50,172 +48,10 @@ impl SweepPoint {
 /// The paper's gateway counts: 40–100 in steps of 10.
 pub const PAPER_GATEWAY_COUNTS: [usize; 7] = [40, 50, 60, 70, 80, 90, 100];
 
-/// Runs the full gateway-density sweep behind Figs. 8, 9, 12 and 13:
-/// every `(gateways, environment, scheme)` combination on an otherwise
-/// fixed configuration.
-///
-/// The same seed is reused across combinations so every cell sees the
-/// identical fleet and traffic; only deployment and scheme vary.
-///
-/// # Errors
-///
-/// Returns [`RunnerError`] if any combination is invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an ExperimentPlan with environment/gateway/scheme axes and execute it with Runner"
-)]
-pub fn gateway_sweep(
-    base: &SimConfig,
-    gateway_counts: &[usize],
-    environments: &[Environment],
-    schemes: &[Scheme],
-    seed: u64,
-) -> Result<Vec<SweepPoint>, RunnerError> {
-    let plan = ExperimentPlan::new(base.clone())
-        .environments(environments.iter().copied())
-        .gateway_counts(gateway_counts.iter().copied())
-        .schemes(schemes.iter().copied())
-        .fixed_seeds([seed]);
-    let cells = Runner::new().run(&plan)?;
-    Ok(SweepPoint::from_cells(&cells))
-}
-
-/// Runs the Figs. 10–11 time-series experiment: one run per scheme at a
-/// fixed gateway count, returning the per-bucket unique-delivery series.
-///
-/// # Errors
-///
-/// Returns [`RunnerError`] if any combination is invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an ExperimentPlan with a scheme axis (or attach a SeriesObserver) and execute it with Runner"
-)]
-pub fn time_series(
-    base: &SimConfig,
-    environment: Environment,
-    gateways: usize,
-    schemes: &[Scheme],
-    seed: u64,
-) -> Result<Vec<(Scheme, SimReport)>, RunnerError> {
-    let plan = ExperimentPlan::new(base.clone())
-        .environments([environment])
-        .gateway_counts([gateways])
-        .schemes(schemes.iter().copied())
-        .fixed_seeds([seed]);
-    let cells = Runner::new().run(&plan)?;
-    Ok(cells
-        .into_iter()
-        .map(|cell| (cell.key.scheme, cell.report.into_runs().remove(0).1))
-        .collect())
-}
-
-/// Ablation A: sensitivity of the Eq. 4 EWMA factor α (§IV.B discusses
-/// the adaptivity/stability trade-off).
-///
-/// # Errors
-///
-/// Returns [`RunnerError`] if any α is invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an ExperimentPlan with an alpha axis and execute it with Runner"
-)]
-pub fn alpha_sweep(
-    base: &SimConfig,
-    alphas: &[f64],
-    seed: u64,
-) -> Result<Vec<(f64, SimReport)>, RunnerError> {
-    let plan = ExperimentPlan::new(base.clone())
-        .alphas(alphas.iter().copied())
-        .fixed_seeds([seed]);
-    let cells = Runner::new().run(&plan)?;
-    Ok(cells
-        .into_iter()
-        .map(|cell| (cell.key.alpha, cell.report.into_runs().remove(0).1))
-        .collect())
-}
-
-/// Ablation B (§VII.C): grid versus random gateway placement. Random
-/// placement is run with `random_layouts` different deployment seeds to
-/// expose the placement variance the paper reports.
-///
-/// # Errors
-///
-/// Returns [`RunnerError`] if the configuration is invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "build ExperimentPlans with a placement axis (replicating the random plan over seeds) and execute them with Runner"
-)]
-pub fn placement_compare(
-    base: &SimConfig,
-    schemes: &[Scheme],
-    random_layouts: u64,
-    seed: u64,
-) -> Result<Vec<(Scheme, GatewayPlacement, u64, SimReport)>, RunnerError> {
-    let runner = Runner::new();
-    let grid = runner.run(
-        &ExperimentPlan::new(base.clone())
-            .schemes(schemes.iter().copied())
-            .placements([GatewayPlacement::Grid])
-            .fixed_seeds([seed]),
-    )?;
-    // With zero random layouts the historical behaviour is grid-only rows.
-    let random = if random_layouts == 0 {
-        Vec::new()
-    } else {
-        runner.run(
-            &ExperimentPlan::new(base.clone())
-                .schemes(schemes.iter().copied())
-                .placements([GatewayPlacement::Random])
-                .fixed_seeds((0..random_layouts).map(|layout| seed.wrapping_add(layout + 1))),
-        )?
-    };
-    let mut out = Vec::new();
-    let mut random = random.into_iter();
-    for grid_cell in grid {
-        let scheme = grid_cell.key.scheme;
-        for (s, report) in grid_cell.report.into_runs() {
-            out.push((scheme, GatewayPlacement::Grid, s, report));
-        }
-        if let Some(random_cell) = random.next() {
-            for (s, report) in random_cell.report.into_runs() {
-                out.push((scheme, GatewayPlacement::Random, s, report));
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Ablation C (§VI, §VII.C): Modified Class-C versus Queue-based Class-A
-/// under the same scheme — delivery on par, energy lower.
-///
-/// # Errors
-///
-/// Returns [`RunnerError`] if the configuration is invalid.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an ExperimentPlan with a device_classes axis and execute it with Runner"
-)]
-pub fn class_compare(
-    base: &SimConfig,
-    seed: u64,
-) -> Result<Vec<(DeviceClassChoice, SimReport)>, RunnerError> {
-    let plan = ExperimentPlan::new(base.clone())
-        .device_classes([
-            DeviceClassChoice::ModifiedClassC,
-            DeviceClassChoice::QueueBasedClassA,
-        ])
-        .fixed_seeds([seed]);
-    let cells = Runner::new().run(&plan)?;
-    Ok(cells
-        .into_iter()
-        .map(|cell| (cell.key.device_class, cell.report.into_runs().remove(0).1))
-        .collect())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scenario;
+    use crate::{ExperimentPlan, Runner, Scenario, SimConfig};
 
     fn tiny() -> SimConfig {
         Scenario::urban()
@@ -226,34 +62,40 @@ mod tests {
     }
 
     #[test]
-    fn sweep_covers_grid_of_combinations() {
-        let pts = gateway_sweep(
-            &tiny(),
-            &[4, 9],
-            &[Environment::Urban, Environment::Rural],
-            &Scheme::ALL,
-            5,
-        )
-        .expect("sweep config is valid");
+    fn sweep_points_cover_plan_cells_in_order() {
+        let plan = ExperimentPlan::new(tiny())
+            .environments([Environment::Urban, Environment::Rural])
+            .gateway_counts([4, 9])
+            .schemes(Scheme::ALL)
+            .fixed_seeds([5]);
+        let cells = Runner::new().run(&plan).expect("valid plan");
+        let pts = SweepPoint::from_cells(&cells);
         assert_eq!(pts.len(), 2 * 2 * 3);
         assert!(pts.iter().all(|p| p.report.generated > 0));
-        // Combinations are unique.
+        // Combinations are unique and follow plan order.
         let mut keys: Vec<_> = pts
             .iter()
             .map(|p| (p.gateways, p.environment, p.scheme))
             .collect();
         keys.dedup();
         assert_eq!(keys.len(), 12);
+        for (pt, cell) in pts.iter().zip(&cells) {
+            assert_eq!(pt.report, *cell.report.single());
+        }
     }
 
     #[test]
-    fn sweep_matches_direct_runs() {
-        // The wrapper must reproduce exactly what a direct run of each
-        // cell produces — same config, same seed.
+    fn sweep_point_matches_direct_run() {
+        // A plan cell must reproduce exactly what a direct run of the
+        // same configuration produces — same config, same seed.
         let base = tiny();
-        let pts = gateway_sweep(&base, &[4], &[Environment::Rural], &[Scheme::Robc], 9)
-            .expect("sweep config is valid");
-        let mut direct = base.clone();
+        let plan = ExperimentPlan::new(base.clone())
+            .environments([Environment::Rural])
+            .gateway_counts([4])
+            .schemes([Scheme::Robc])
+            .fixed_seeds([9]);
+        let pts = SweepPoint::from_cells(&Runner::new().run(&plan).expect("valid plan"));
+        let mut direct = base;
         direct.environment = Environment::Rural;
         direct.num_gateways = 4;
         direct.scheme = Scheme::Robc;
@@ -261,53 +103,9 @@ mod tests {
     }
 
     #[test]
-    fn invalid_sweep_returns_error_not_panic() {
-        let result = gateway_sweep(&tiny(), &[0], &[Environment::Urban], &Scheme::ALL, 5);
-        assert!(result.is_err(), "zero gateways must be a RunnerError");
-    }
-
-    #[test]
-    fn time_series_one_report_per_scheme() {
-        let rows =
-            time_series(&tiny(), Environment::Urban, 9, &Scheme::ALL, 5).expect("valid config");
-        assert_eq!(rows.len(), 3);
-        for (_, r) in &rows {
-            assert_eq!(
-                r.throughput_series.total(),
-                r.delivered,
-                "series total must equal unique deliveries"
-            );
-        }
-    }
-
-    #[test]
-    fn alpha_sweep_runs_each_alpha() {
-        let rows = alpha_sweep(&tiny(), &[0.2, 0.5, 0.8], 5).expect("valid config");
-        assert_eq!(rows.len(), 3);
-        assert_eq!(rows[1].0, 0.5);
-    }
-
-    #[test]
-    fn placement_compare_has_grid_and_random_rows() {
-        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 2, 5).expect("valid config");
-        assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0].1, GatewayPlacement::Grid);
-        assert_eq!(rows[1].1, GatewayPlacement::Random);
-        // Different layouts give different results.
-        assert_ne!(rows[1].3, rows[2].3);
-    }
-
-    #[test]
-    fn placement_compare_zero_layouts_is_grid_only() {
-        let rows = placement_compare(&tiny(), &[Scheme::NoRouting], 0, 5).expect("valid config");
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].1, GatewayPlacement::Grid);
-    }
-
-    #[test]
-    fn class_compare_two_rows() {
-        let rows = class_compare(&tiny(), 5).expect("valid config");
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].0, DeviceClassChoice::ModifiedClassC);
+    fn paper_gateway_counts_shape() {
+        assert_eq!(PAPER_GATEWAY_COUNTS.len(), 7);
+        assert_eq!(PAPER_GATEWAY_COUNTS[0], 40);
+        assert_eq!(PAPER_GATEWAY_COUNTS[6], 100);
     }
 }

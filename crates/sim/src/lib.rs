@@ -70,7 +70,7 @@ mod scenario;
 
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
-pub use engine::Engine;
+pub use engine::{Engine, EngineStats};
 pub use experiment::{SweepPoint, PAPER_GATEWAY_COUNTS};
 pub use metrics::SimReport;
 pub use observer::{

@@ -1,9 +1,7 @@
 //! Metric collection and the simulation report.
 
-use std::collections::HashMap;
-
 use mlora_simcore::stats::{TimeSeries, Welford};
-use mlora_simcore::{MessageId, SimDuration, SimTime};
+use mlora_simcore::{DenseMap, MessageId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Everything a run measures — the inputs to every figure in §VII.B.
@@ -134,10 +132,11 @@ impl SimReport {
 #[derive(Debug, Clone)]
 pub(crate) struct Collector {
     report: SimReport,
-    /// First-arrival times, for dedup.
-    arrived: HashMap<MessageId, SimTime>,
+    /// First-arrival times, for dedup (message ids are sequential, so a
+    /// dense map makes the per-delivery bookkeeping an array access).
+    arrived: DenseMap<MessageId, SimTime>,
     /// Device-to-device transfer counts per message (hops − 1).
-    transfers: HashMap<MessageId, u32>,
+    transfers: DenseMap<MessageId, u32>,
 }
 
 impl Collector {
@@ -161,8 +160,8 @@ impl Collector {
                 total_energy_mj: 0.0,
                 total_active_s: 0.0,
             },
-            arrived: HashMap::new(),
-            transfers: HashMap::new(),
+            arrived: DenseMap::new(),
+            transfers: DenseMap::new(),
         }
     }
 
@@ -181,7 +180,12 @@ impl Collector {
     pub(crate) fn on_handover_accepted(&mut self, messages: &[mlora_mac::AppMessage]) {
         self.report.handover_messages += messages.len() as u64;
         for m in messages {
-            *self.transfers.entry(m.id).or_insert(0) += 1;
+            match self.transfers.get_mut(m.id) {
+                Some(count) => *count += 1,
+                None => {
+                    self.transfers.insert(m.id, 1);
+                }
+            }
         }
     }
 
@@ -203,7 +207,7 @@ impl Collector {
         msg: &mlora_mac::AppMessage,
         now: SimTime,
     ) -> Option<(SimDuration, u32)> {
-        if self.arrived.contains_key(&msg.id) {
+        if self.arrived.contains_key(msg.id) {
             self.report.duplicates += 1;
             return None;
         }
@@ -211,7 +215,7 @@ impl Collector {
         self.report.delivered += 1;
         let delay = now.saturating_since(msg.created);
         self.report.delay.push(delay.as_secs_f64());
-        let transfers = self.transfers.get(&msg.id).copied().unwrap_or(0);
+        let transfers = self.transfers.get(msg.id).copied().unwrap_or(0);
         self.report.hops.push(f64::from(transfers) + 1.0);
         self.report.throughput_series.record(now);
         Some((delay, transfers + 1))
@@ -228,7 +232,7 @@ impl Collector {
     }
 
     pub(crate) fn was_delivered(&self, id: MessageId) -> bool {
-        self.arrived.contains_key(&id)
+        self.arrived.contains_key(id)
     }
 
     pub(crate) fn finish(self) -> SimReport {

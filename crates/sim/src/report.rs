@@ -166,10 +166,9 @@ fn metric_table(points: &[SweepPoint], title: &str, cell: impl Fn(&SimReport) ->
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::{Scenario, SimConfig};
+    use crate::{ExperimentPlan, Runner, Scenario, SimConfig};
 
     fn base() -> SimConfig {
         Scenario::urban()
@@ -180,8 +179,12 @@ mod tests {
     }
 
     fn points() -> Vec<SweepPoint> {
-        crate::experiment::gateway_sweep(&base(), &[4], &[Environment::Urban], &Scheme::ALL, 3)
-            .expect("valid sweep")
+        let plan = ExperimentPlan::new(base())
+            .environments([Environment::Urban])
+            .gateway_counts([4])
+            .schemes(Scheme::ALL)
+            .fixed_seeds([3]);
+        SweepPoint::from_cells(&Runner::new().run(&plan).expect("valid sweep"))
     }
 
     #[test]
@@ -213,8 +216,17 @@ mod tests {
 
     #[test]
     fn series_table_has_bucket_rows() {
-        let rows = crate::experiment::time_series(&base(), Environment::Urban, 4, &Scheme::ALL, 3)
-            .expect("valid series");
+        let plan = ExperimentPlan::new(base())
+            .environments([Environment::Urban])
+            .gateway_counts([4])
+            .schemes(Scheme::ALL)
+            .fixed_seeds([3]);
+        let rows: Vec<(Scheme, SimReport)> = Runner::new()
+            .run(&plan)
+            .expect("valid series")
+            .into_iter()
+            .map(|cell| (cell.key.scheme, cell.report.into_runs().remove(0).1))
+            .collect();
         let table = time_series_table(&rows, Environment::Urban);
         // 30 min / 10 min buckets = 3 data lines + 2 header lines.
         assert_eq!(table.lines().count(), 5, "table:\n{table}");

@@ -1,8 +1,5 @@
 //! Timestamped event queue with deterministic FIFO tie-breaking.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::SimTime;
 
 /// A priority queue of timestamped events.
@@ -10,6 +7,12 @@ use crate::SimTime;
 /// Events pop in non-decreasing time order. Events scheduled for the same
 /// instant pop in insertion order (FIFO), which keeps simulation runs
 /// deterministic regardless of heap internals.
+///
+/// Internally this is a hand-rolled binary min-heap over a flat `Vec`
+/// whose priority is a single packed `(time, sequence)` `u128`: one
+/// integer comparison per sift step instead of a two-field lexicographic
+/// compare, and pops reuse the buffer's capacity, so a queue at its
+/// steady-state size allocates nothing.
 ///
 /// # Example
 ///
@@ -28,43 +31,27 @@ use crate::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Min-heap of `(packed priority, event)`; `heap[0]` is the earliest.
+    heap: Vec<(u128, E)>,
     seq: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// Packs `(time, seq)` into one ordered priority word: the millisecond
+/// timestamp in the high 64 bits, the insertion sequence in the low 64,
+/// so `u128` ordering is exactly lexicographic `(time, seq)` ordering.
+fn pack(time: SimTime, seq: u64) -> u128 {
+    (u128::from(time.as_millis()) << 64) | u128::from(seq)
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_millis((key >> 64) as u64)
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
         }
     }
@@ -72,26 +59,33 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            heap: Vec::with_capacity(capacity),
             seq: 0,
         }
     }
 
     /// Schedules `event` to fire at `time`.
     pub fn schedule(&mut self, time: SimTime, event: E) {
-        let seq = self.seq;
+        let key = pack(time, self.seq);
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.heap.push((key, event));
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let (key, event) = self.heap.pop().expect("len checked above");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((unpack_time(key), event))
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.first().map(|&(key, _)| unpack_time(key))
     }
 
     /// Number of pending events.
@@ -104,9 +98,41 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events, keeping the allocated capacity.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].0 <= self.heap[i].0 {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let smaller = if right < n && self.heap[right].0 < self.heap[left].0 {
+                right
+            } else {
+                left
+            };
+            if self.heap[i].0 <= self.heap[smaller].0 {
+                break;
+            }
+            self.heap.swap(i, smaller);
+            i = smaller;
+        }
     }
 }
 
@@ -165,5 +191,39 @@ mod tests {
         q.schedule(SimTime::from_secs(15), "c");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn steady_state_pops_keep_capacity() {
+        let mut q = EventQueue::with_capacity(8);
+        for round in 0..50u64 {
+            for i in 0..8 {
+                q.schedule(SimTime::from_secs(round * 10 + i), i);
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(q.heap.capacity() >= 8, "capacity must be retained");
+    }
+
+    #[test]
+    fn randomized_order_matches_sorted_reference() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(99);
+        let mut q = EventQueue::new();
+        let mut want: Vec<(u64, u64)> = Vec::new();
+        for i in 0..1000 {
+            let t = rng.gen_range_u64(0, 500);
+            q.schedule(SimTime::from_millis(t), i);
+            want.push((t, i));
+        }
+        // Stable sort by time preserves insertion order on ties — exactly
+        // the queue's contract.
+        want.sort_by_key(|&(t, _)| t);
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_millis(), e))).collect();
+        assert_eq!(got, want);
     }
 }

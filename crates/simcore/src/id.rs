@@ -39,6 +39,12 @@ macro_rules! id_type {
             }
         }
 
+        impl crate::DenseKey for $name {
+            fn dense_index(self) -> usize {
+                self.index()
+            }
+        }
+
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, concat!($prefix, "{}"), self.0)

@@ -9,6 +9,9 @@
 //!   timestamped events; the heart of the discrete-event loop.
 //! * [`SimRng`] — a seeded, fork-able random number generator so that a
 //!   single `u64` seed reproduces an entire simulation run bit-for-bit.
+//! * [`Slab`] / [`DenseMap`] — dense, index-addressed storage for hot
+//!   per-entity state (generational arena and flat id-keyed map), so the
+//!   inner event loop never hashes.
 //! * [`stats`] — streaming statistics (Welford accumulator, histograms,
 //!   time-bucketed series) used by the metric collectors.
 //!
@@ -33,10 +36,12 @@
 mod event;
 mod id;
 mod rng;
+mod slab;
 pub mod stats;
 mod time;
 
 pub use event::EventQueue;
 pub use id::{GatewayId, MessageId, NodeId};
 pub use rng::SimRng;
+pub use slab::{DenseKey, DenseMap, Slab, SlabKey};
 pub use time::{SimDuration, SimTime};

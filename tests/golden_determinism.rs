@@ -1,0 +1,273 @@
+//! Golden determinism fixtures.
+//!
+//! These fingerprints were recorded from the engine *before* the dense
+//! hot-path refactor (slab storage, incremental grid, scratch buffers)
+//! and pin the simulation down bit-for-bit: every counter is compared
+//! exactly and every floating-point statistic is compared by its IEEE-754
+//! bit pattern. Any change to RNG draw order, event ordering, or float
+//! evaluation order fails these tests.
+//!
+//! To regenerate after an *intentional* behaviour change, run
+//!
+//! ```text
+//! cargo test --test golden_determinism -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `FIXTURES`.
+
+use mlora::core::Scheme;
+use mlora::sim::{Environment, SimConfig, SimReport};
+
+/// The seed every fixture run uses.
+const GOLDEN_SEED: u64 = 4242;
+
+/// Width of one fingerprint: 11 exact counters, 6 float bit patterns and
+/// a bucket-weighted series checksum.
+const FP_LEN: usize = 18;
+
+/// The fixture scenarios: all four schemes × both environments.
+fn scenarios() -> Vec<(Scheme, Environment)> {
+    let mut out = Vec::new();
+    for scheme in Scheme::WITH_CA_ETX {
+        for env in [Environment::Urban, Environment::Rural] {
+            out.push((scheme, env));
+        }
+    }
+    out
+}
+
+/// A bit-exact digest of everything a [`SimReport`] contains.
+fn fingerprint(r: &SimReport) -> [u64; FP_LEN] {
+    // Position-weighted checksum so a permutation of bucket counts cannot
+    // cancel out.
+    let series: u64 = r
+        .throughput_series
+        .counts()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c.wrapping_mul(i as u64 + 1))
+        .fold(0, u64::wrapping_add);
+    [
+        r.generated,
+        r.delivered,
+        r.duplicates,
+        r.stranded,
+        r.queue_drops,
+        r.frames_sent,
+        r.messages_sent,
+        r.handover_frames,
+        r.handover_messages,
+        r.collisions,
+        r.devices_seen,
+        r.mean_delay_s().to_bits(),
+        r.delay_std_error_s().to_bits(),
+        r.mean_hops().to_bits(),
+        r.max_hops().to_bits(),
+        r.total_energy_mj.to_bits(),
+        r.total_active_s.to_bits(),
+        series,
+    ]
+}
+
+fn run(scheme: Scheme, env: Environment) -> SimReport {
+    SimConfig::smoke_test(scheme, env)
+        .run(GOLDEN_SEED)
+        .expect("smoke config is valid")
+}
+
+/// Recorded on the pre-refactor engine (seed 4242, smoke scale).
+const FIXTURES: [[u64; FP_LEN]; 8] = [
+    // NoRouting / Urban
+    [
+        297,
+        232,
+        0,
+        65,
+        0,
+        1625,
+        4285,
+        0,
+        0,
+        0,
+        28,
+        4642453487001557604,
+        4625946806998997411,
+        4607182418800017408,
+        4607182418800017408,
+        4701912839961370533,
+        4677510462630633931,
+        1626,
+    ],
+    // NoRouting / Rural
+    [
+        299,
+        236,
+        0,
+        63,
+        0,
+        1633,
+        4324,
+        0,
+        0,
+        2,
+        28,
+        4642668370156137099,
+        4626021376476001841,
+        4607182418800017408,
+        4607182418800017408,
+        4701913996425123646,
+        4677510462630633931,
+        1661,
+    ],
+    // CaEtx / Urban
+    [
+        295,
+        250,
+        0,
+        45,
+        0,
+        1548,
+        4076,
+        16,
+        28,
+        0,
+        28,
+        4643475978852268532,
+        4626542757275065566,
+        4607668807559773423,
+        4611686018427387904,
+        4701905349352004727,
+        4677510462630633931,
+        1748,
+    ],
+    // CaEtx / Rural
+    [
+        293,
+        237,
+        2,
+        56,
+        0,
+        1460,
+        3938,
+        37,
+        66,
+        0,
+        28,
+        4643312304008738346,
+        4626783881861341023,
+        4607847507352582675,
+        4613937818241073152,
+        4701899064189635055,
+        4677510462630633931,
+        1656,
+    ],
+    // RcaEtx / Urban
+    [
+        296,
+        250,
+        0,
+        46,
+        0,
+        1566,
+        4139,
+        18,
+        35,
+        0,
+        28,
+        4643641591058371973,
+        4626668481929480468,
+        4607812922747849281,
+        4613937818241073152,
+        4701907381391226778,
+        4677510462630633931,
+        1751,
+    ],
+    // RcaEtx / Rural
+    [
+        293,
+        255,
+        0,
+        38,
+        0,
+        1470,
+        3821,
+        42,
+        91,
+        0,
+        28,
+        4644206739138192291,
+        4627207192997398038,
+        4608736602200835462,
+        4613937818241073152,
+        4701896823971630181,
+        4677510462630633931,
+        1800,
+    ],
+    // Robc / Urban
+    [
+        290,
+        245,
+        0,
+        45,
+        0,
+        1604,
+        4140,
+        15,
+        28,
+        0,
+        28,
+        4643595152282724534,
+        4626683479658253214,
+        4607641969782402152,
+        4616189618054758400,
+        4701908811854995521,
+        4677510462630633931,
+        1714,
+    ],
+    // Robc / Rural
+    [
+        295,
+        246,
+        0,
+        49,
+        0,
+        1622,
+        4322,
+        39,
+        56,
+        1,
+        28,
+        4643747482931489248,
+        4627032426575528336,
+        4608116091893496657,
+        4616189618054758400,
+        4701913621397169295,
+        4677510462630633931,
+        1713,
+    ],
+];
+
+#[test]
+fn engine_reproduces_golden_fixtures() {
+    for ((scheme, env), want) in scenarios().into_iter().zip(FIXTURES) {
+        let got = fingerprint(&run(scheme, env));
+        assert_eq!(
+            got, want,
+            "fingerprint drift for {scheme:?}/{env:?} at seed {GOLDEN_SEED}"
+        );
+    }
+}
+
+/// Regeneration helper: prints the `FIXTURES` table for pasting.
+#[test]
+#[ignore = "generator: prints the fixture table"]
+fn print_golden_fixtures() {
+    println!("const FIXTURES: [[u64; FP_LEN]; 8] = [");
+    for (scheme, env) in scenarios() {
+        let fp = fingerprint(&run(scheme, env));
+        let row: Vec<String> = fp.iter().map(|v| format!("{v}")).collect();
+        println!("    // {scheme:?} / {env:?}");
+        println!("    [{}],", row.join(", "));
+    }
+    println!("];");
+}
