@@ -147,6 +147,46 @@ mod tests {
     }
 
     #[test]
+    fn window_boundary_is_inclusive() {
+        // The first legal instant after a transmission is exactly
+        // `t + airtime + wait`: one millisecond earlier is refused, the
+        // boundary itself is accepted, and transmitting at the boundary
+        // does not trip the debug-mode violation check.
+        let mut dc = DutyCycleTracker::new(0.01);
+        let t0 = SimTime::from_secs(10);
+        dc.record_tx(t0, SimDuration::from_millis(100));
+        let boundary = t0 + SimDuration::from_millis(10_000);
+        assert!(!dc.can_transmit(boundary - SimDuration::from_millis(1)));
+        assert!(dc.can_transmit(boundary));
+        assert_eq!(dc.next_opportunity(boundary), boundary);
+        // A query from beyond the boundary never moves backwards in time.
+        let later = boundary + SimDuration::from_secs(5);
+        assert_eq!(dc.next_opportunity(later), later);
+        dc.record_tx(boundary, SimDuration::from_millis(100));
+        assert_eq!(dc.tx_count(), 2);
+    }
+
+    #[test]
+    fn zero_airtime_leaves_window_open() {
+        // A degenerate zero-length transmission consumes no budget: the
+        // device may transmit again at the same instant.
+        let mut dc = DutyCycleTracker::new(0.01);
+        let t0 = SimTime::from_secs(3);
+        dc.record_tx(t0, SimDuration::ZERO);
+        assert!(dc.can_transmit(t0));
+        assert_eq!(dc.next_opportunity(t0), t0);
+        assert_eq!(dc.total_airtime(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fresh_tracker_allows_time_zero() {
+        let dc = DutyCycleTracker::new(0.01);
+        assert!(dc.can_transmit(SimTime::ZERO));
+        assert_eq!(dc.next_opportunity(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(dc.tx_count(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "duty cycle")]
     fn invalid_duty_cycle_rejected() {
         let _ = DutyCycleTracker::new(1.5);

@@ -99,6 +99,37 @@ mod tests {
     }
 
     #[test]
+    fn failures_past_exhaustion_stay_denied() {
+        // Once the budget is spent, further failures keep reporting
+        // "give up" (the engine may race one more settle in) and the
+        // policy stays exhausted until an explicit reset.
+        let mut rt = RetransmitPolicy::new(3);
+        while rt.record_failure() {}
+        assert!(rt.exhausted());
+        for _ in 0..4 {
+            assert!(!rt.record_failure());
+            assert!(rt.exhausted());
+        }
+        assert_eq!(rt.attempts(), 7); // 3 to exhaust + 4 denied
+    }
+
+    #[test]
+    fn single_attempt_policy_exhausts_immediately() {
+        let mut rt = RetransmitPolicy::new(1);
+        assert!(!rt.exhausted());
+        assert!(!rt.record_failure()); // the only attempt fails: give up
+        assert!(rt.exhausted());
+    }
+
+    #[test]
+    fn accessors_track_configuration() {
+        let rt = RetransmitPolicy::paper_default();
+        assert_eq!(rt.max_attempts(), 8);
+        assert_eq!(rt.attempts(), 0);
+        assert!(!rt.exhausted());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
         let _ = RetransmitPolicy::new(0);

@@ -194,6 +194,17 @@ impl BusNetwork {
         trip.position_hinted(self.route(trip.route()), t, hint)
     }
 
+    /// Withdraws `node`'s trip from service at `at` (see
+    /// [`Trip::withdraw`]): the service window truncates to `at` and the
+    /// vehicle parks at its withdrawal position for all later queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network.
+    pub fn withdraw(&mut self, node: NodeId, at: SimTime) {
+        self.trips[node.index()].withdraw(at);
+    }
+
     /// Trips in service at time `t`.
     pub fn active_trips(&self, t: SimTime) -> impl Iterator<Item = &Trip> + '_ {
         self.trips.iter().filter(move |trip| trip.is_active(t))
@@ -403,6 +414,20 @@ mod tests {
             assert_eq!(want.x.to_bits(), got.x.to_bits(), "x at {t} for {node}");
             assert_eq!(want.y.to_bits(), got.y.to_bits(), "y at {t} for {node}");
         }
+    }
+
+    #[test]
+    fn withdraw_removes_bus_from_active_set() {
+        let mut net = BusNetwork::generate(&small_config(), 9);
+        let t = SimTime::from_secs(10 * 3600);
+        let node = net.active_trips(t).next().expect("daytime bus").node();
+        let before = net.active_trips(t).count();
+        let pos = net.position(node, t);
+        net.withdraw(node, t);
+        assert_eq!(net.active_trips(t).count(), before - 1);
+        assert!(!net.trip(node).is_active(t));
+        // Position queries stay valid and pinned to the parking spot.
+        assert_eq!(net.position(node, t + SimDuration::from_hours(1)), pos);
     }
 
     #[test]

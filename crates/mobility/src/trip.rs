@@ -68,6 +68,37 @@ impl Trip {
         self.depart + self.duration
     }
 
+    /// Withdraws the vehicle from service at `at`, truncating the
+    /// service window in place.
+    ///
+    /// After withdrawal the trip ends at `at` (clamped into the original
+    /// window, so a withdrawal before departure leaves a zero-length
+    /// window and one after the scheduled end is a no-op), and position
+    /// queries for any later instant clamp to the withdrawal point — the
+    /// roadside where the vehicle parked. The scheduled leg count is kept
+    /// for bookkeeping; only the cached duration shrinks.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_geo::{Point, Polyline};
+    /// use mlora_mobility::{Route, RouteId, Trip};
+    /// use mlora_simcore::{NodeId, SimTime};
+    ///
+    /// let path = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]).unwrap();
+    /// let route = Route::new(RouteId::new(0), path, 10.0);
+    /// let mut trip = Trip::new(NodeId::new(1), &route, SimTime::ZERO, 2);
+    /// trip.withdraw(SimTime::from_secs(50));
+    /// assert_eq!(trip.end(), SimTime::from_secs(50));
+    /// assert!(!trip.is_active(SimTime::from_secs(60)));
+    /// // The bus stays parked where it was withdrawn.
+    /// assert_eq!(trip.position(&route, SimTime::from_secs(90)), Point::new(500.0, 0.0));
+    /// ```
+    pub fn withdraw(&mut self, at: SimTime) {
+        let at = at.max(self.depart).min(self.end());
+        self.duration = at - self.depart;
+    }
+
     /// True if the vehicle is in service at `t`.
     pub fn is_active(&self, t: SimTime) -> bool {
         t >= self.depart && t < self.end()
@@ -160,6 +191,42 @@ mod tests {
             t.position(&r, SimTime::from_secs(10_000)),
             Point::new(1000.0, 0.0)
         );
+    }
+
+    #[test]
+    fn withdraw_truncates_window_and_parks() {
+        let r = route();
+        let mut t = Trip::new(NodeId::new(1), &r, SimTime::from_secs(100), 3);
+        t.withdraw(SimTime::from_secs(250));
+        assert_eq!(t.end(), SimTime::from_secs(250));
+        assert_eq!(t.duration(), SimDuration::from_secs(150));
+        assert!(t.is_active(SimTime::from_secs(249)));
+        assert!(!t.is_active(SimTime::from_secs(250)));
+        // 150 s into the trip: one full leg out (100 s) plus 50 s back.
+        let parked = t.position(&r, SimTime::from_secs(250));
+        assert_eq!(parked, Point::new(500.0, 0.0));
+        // Later queries keep returning the parking spot.
+        assert_eq!(t.position(&r, SimTime::from_secs(10_000)), parked);
+        // Leg count is bookkeeping, not the live window.
+        assert_eq!(t.legs(), 3);
+    }
+
+    #[test]
+    fn withdraw_clamps_to_service_window() {
+        let r = route();
+        // Before departure: zero-length window at the origin terminal.
+        let mut early = Trip::new(NodeId::new(1), &r, SimTime::from_secs(100), 1);
+        early.withdraw(SimTime::from_secs(10));
+        assert_eq!(early.end(), early.depart());
+        assert!(!early.is_active(early.depart()));
+        assert_eq!(
+            early.position(&r, SimTime::from_secs(500)),
+            Point::new(0.0, 0.0)
+        );
+        // After the scheduled end: a no-op.
+        let mut late = Trip::new(NodeId::new(1), &r, SimTime::from_secs(100), 1);
+        late.withdraw(SimTime::from_secs(9_999));
+        assert_eq!(late.end(), SimTime::from_secs(200));
     }
 
     #[test]

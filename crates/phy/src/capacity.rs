@@ -129,6 +129,40 @@ mod tests {
     }
 
     #[test]
+    fn boundary_rssi_values_are_exact() {
+        let m = CapacityModel::paper_default();
+        // Exactly at γ_min the linear branch evaluates to exactly zero…
+        assert_eq!(m.capacity_bps(m.gamma_min_dbm()), 0.0);
+        // …and exactly at γ_max to exactly c_max (no rounding slop at
+        // either end of the piecewise map).
+        assert_eq!(m.capacity_bps(m.gamma_max_dbm()), m.max_capacity_bps());
+    }
+
+    #[test]
+    fn extreme_rssi_saturates_cleanly() {
+        let m = CapacityModel::paper_default();
+        // A dead channel (no audible devices at all) and an arbitrarily
+        // strong one both stay finite and bounded.
+        assert_eq!(m.capacity_bps(f64::NEG_INFINITY), 0.0);
+        assert_eq!(m.capacity_bps(f64::INFINITY), m.max_capacity_bps());
+        assert_eq!(m.capacity_bps(f64::MIN), 0.0);
+        assert_eq!(m.capacity_bps(f64::MAX), m.max_capacity_bps());
+    }
+
+    #[test]
+    fn degenerate_narrow_interval_still_interpolates() {
+        // A model whose linear region is a sliver: values inside stay
+        // within [0, c_max] and the midpoint lands at half capacity.
+        let m = CapacityModel::new(-100.0, -100.0 + 1e-9, 1_000.0);
+        let mid = m.capacity_bps(-100.0 + 5e-10);
+        // The sliver-wide division loses a few ulps; only the order of
+        // magnitude is meaningful here.
+        assert!((mid - 500.0).abs() < 1.0, "midpoint {mid}");
+        assert_eq!(m.capacity_bps(-100.0), 0.0);
+        assert_eq!(m.capacity_bps(-100.0 + 1e-9), 1_000.0);
+    }
+
+    #[test]
     #[should_panic(expected = "γ_min < γ_max")]
     fn inverted_thresholds_rejected() {
         let _ = CapacityModel::new(-80.0, -120.0, 100.0);

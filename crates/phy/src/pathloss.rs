@@ -82,6 +82,37 @@ impl LogDistanceModel {
         self.mean_rssi_dbm(tx_power_dbm, distance_m) + shadow
     }
 
+    /// [`LogDistanceModel::sample_rssi_dbm`] with an additional channel
+    /// impairment of `extra_loss_db` subtracted from the result — the
+    /// hook regional noise bursts (a raised noise floor inside a disc)
+    /// use to degrade reception at affected receivers.
+    ///
+    /// Draws exactly one shadowing sample from `rng` regardless of
+    /// `extra_loss_db`, and with `extra_loss_db = 0.0` the result is
+    /// bit-identical to [`LogDistanceModel::sample_rssi_dbm`], so an
+    /// undisrupted channel is unchanged down to the RNG stream.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_phy::LogDistanceModel;
+    /// use mlora_simcore::SimRng;
+    ///
+    /// let model = LogDistanceModel::paper_default();
+    /// let clean = model.sample_rssi_dbm(14.0, 500.0, &mut SimRng::new(7));
+    /// let noisy = model.sample_rssi_dbm_attenuated(14.0, 500.0, 12.0, &mut SimRng::new(7));
+    /// assert_eq!(noisy, clean - 12.0);
+    /// ```
+    pub fn sample_rssi_dbm_attenuated(
+        &self,
+        tx_power_dbm: f64,
+        distance_m: f64,
+        extra_loss_db: f64,
+        rng: &mut SimRng,
+    ) -> f64 {
+        self.sample_rssi_dbm(tx_power_dbm, distance_m, rng) - extra_loss_db
+    }
+
     /// The distance at which mean RSSI falls to `sensitivity_dbm`, in
     /// metres — the nominal communication range.
     pub fn range_for_sensitivity_m(&self, tx_power_dbm: f64, sensitivity_dbm: f64) -> f64 {
@@ -154,6 +185,23 @@ mod tests {
             m.sample_rssi_dbm(14.0, 500.0, &mut rng),
             m.mean_rssi_dbm(14.0, 500.0)
         );
+    }
+
+    #[test]
+    fn attenuated_sampling_shifts_by_exact_offset() {
+        let m = LogDistanceModel::paper_default();
+        // Same seed, same single draw: the only difference is the offset.
+        let clean = m.sample_rssi_dbm(14.0, 700.0, &mut SimRng::new(21));
+        let noisy = m.sample_rssi_dbm_attenuated(14.0, 700.0, 9.5, &mut SimRng::new(21));
+        assert_eq!(noisy, clean - 9.5);
+    }
+
+    #[test]
+    fn zero_attenuation_is_bit_identical() {
+        let m = LogDistanceModel::paper_default();
+        let clean = m.sample_rssi_dbm(14.0, 700.0, &mut SimRng::new(22));
+        let noisy = m.sample_rssi_dbm_attenuated(14.0, 700.0, 0.0, &mut SimRng::new(22));
+        assert_eq!(clean.to_bits(), noisy.to_bits());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use mlora_phy::{CapacityModel, LogDistanceModel, PhyParams};
 use mlora_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::disruption::DisruptionPlan;
 use crate::metrics::SimReport;
 
 /// Radio environment, setting the device-to-device range (§VII.A.6).
@@ -100,6 +101,10 @@ pub struct SimConfig {
     pub horizon: SimDuration,
     /// Width of the throughput time-series buckets (paper: 10 min).
     pub series_bucket: SimDuration,
+    /// Scripted world disruptions (gateway outages, fleet withdrawals,
+    /// noise bursts). Empty by default; an empty plan is bit-identical
+    /// to a run without the subsystem.
+    pub disruptions: DisruptionPlan,
 }
 
 /// Error returned when a [`SimConfig`] is internally inconsistent.
@@ -186,7 +191,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Validates that `value` is finite and within `(lo, hi]`.
-fn check_unit_interval(
+pub(crate) fn check_unit_interval(
     field: &'static str,
     value: f64,
     lo: f64,
@@ -229,6 +234,7 @@ impl SimConfig {
             capacity: CapacityModel::paper_default(),
             horizon: SimDuration::from_hours(24),
             series_bucket: SimDuration::from_mins(10),
+            disruptions: DisruptionPlan::default(),
         }
     }
 
@@ -331,6 +337,7 @@ impl SimConfig {
                 field: "series_bucket",
             });
         }
+        self.disruptions.validate(self.num_gateways)?;
         Ok(())
     }
 
@@ -461,6 +468,23 @@ mod tests {
         let mut c = base;
         c.horizon = SimDuration::ZERO;
         assert_eq!(c.validate(), Err(ConfigError::Zero { field: "horizon" }));
+    }
+
+    #[test]
+    fn validation_covers_disruption_plan() {
+        let mut c = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        // An outage naming a gateway the scenario does not deploy.
+        c.disruptions.outages.push(crate::GatewayOutage {
+            gateway: c.num_gateways,
+            start: mlora_simcore::SimTime::ZERO,
+            duration: None,
+        });
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "disruptions.outages.gateway"
+        );
+        c.disruptions.outages[0].gateway = 0;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

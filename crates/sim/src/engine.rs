@@ -26,10 +26,11 @@ use mlora_mac::{
 use mlora_phy::{resolve_collision, time_on_air, CAPTURE_MARGIN_DB};
 use mlora_simcore::{DenseMap, EventQueue, NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey};
 
+use crate::disruption::DisruptionEvent;
 use crate::metrics::Collector;
 use crate::observer::{
-    FrameTransmitted, HandoverAccepted, MessageDelivered, MessageGenerated, NullObserver,
-    SimObserver,
+    BusWithdrawn, FrameTransmitted, GatewayOutageChanged, HandoverAccepted, MessageDelivered,
+    MessageGenerated, NoiseBurstChanged, NullObserver, SimObserver,
 };
 use crate::{place_gateways, DeviceClassChoice, SimConfig, SimReport};
 
@@ -46,6 +47,10 @@ enum Event {
     TxStart(NodeId),
     /// A transmission completes; receptions resolve.
     TxEnd(SlabKey),
+    /// A scripted world disruption fires (index into the compiled
+    /// timeline). An empty [`DisruptionPlan`](crate::DisruptionPlan)
+    /// schedules none of these.
+    Disruption(u32),
 }
 
 /// A frame in the air.
@@ -151,6 +156,22 @@ pub struct Engine {
     scratch_within_gw: Vec<(u32, Point)>,
     /// Scratch: indices of gateways near a sender.
     scratch_gateways: Vec<u32>,
+    /// Compiled disruption timeline, in firing order (empty for an
+    /// undisrupted run).
+    timeline: Vec<(SimTime, DisruptionEvent)>,
+    /// Per-gateway outage depth: 0 = in service. A depth (not a flag)
+    /// so overlapping outage windows on one gateway compose.
+    gateway_down_depth: Vec<u32>,
+    /// Indices of currently active noise bursts, in activation order.
+    active_noise: Vec<u32>,
+    /// Dedicated stream for withdrawal selection, so disruptions never
+    /// perturb the channel/shadowing draws of the surviving fleet.
+    disruption_rng: SimRng,
+    /// Scratch: withdrawal candidate pool.
+    scratch_withdraw: Vec<NodeId>,
+    /// Set once [`Engine::execute`] has run: the engine keeps end-of-run
+    /// state for inspection and must not be executed again.
+    executed: bool,
 }
 
 /// Query-radius slack absorbing stored-position drift in the neighbour
@@ -189,6 +210,8 @@ impl Engine {
         // whole worst-case airtime or concurrent frames would be pruned
         // before their interference resolves.
         let flight_retention = time_on_air(255, &cfg.phy).max(SimDuration::from_secs(2));
+        let timeline = cfg.disruptions.compile(cfg.horizon);
+        let num_gateways = gateways.len();
         Engine {
             net,
             gateways,
@@ -215,6 +238,15 @@ impl Engine {
             scratch_schedule: Vec::new(),
             scratch_within_gw: Vec::new(),
             scratch_gateways: Vec::new(),
+            timeline,
+            gateway_down_depth: vec![0; num_gateways],
+            active_noise: Vec::new(),
+            // Forking is a pure function of the master seed, so deriving
+            // this stream leaves streams 10–12 untouched: an empty plan
+            // never draws from it and stays bit-identical.
+            disruption_rng: root.fork(13),
+            scratch_withdraw: Vec::new(),
+            executed: false,
             cfg,
         }
     }
@@ -267,8 +299,8 @@ impl Engine {
     }
 
     /// Runs the simulation to the horizon and returns the report.
-    pub fn run(self) -> SimReport {
-        self.run_with_observer(&mut NullObserver)
+    pub fn run(mut self) -> SimReport {
+        self.execute(&mut NullObserver).0
     }
 
     /// Runs the simulation and additionally returns execution statistics
@@ -276,7 +308,7 @@ impl Engine {
     ///
     /// The report is identical to [`Engine::run`] for the same
     /// configuration and seed.
-    pub fn run_instrumented(self) -> (SimReport, EngineStats) {
+    pub fn run_instrumented(mut self) -> (SimReport, EngineStats) {
         self.execute(&mut NullObserver)
     }
 
@@ -285,11 +317,59 @@ impl Engine {
     /// Observers are passive: the event stream and the returned report
     /// are identical to [`Engine::run`] for the same configuration and
     /// seed.
-    pub fn run_with_observer(self, observer: &mut dyn SimObserver) -> SimReport {
+    pub fn run_with_observer(mut self, observer: &mut dyn SimObserver) -> SimReport {
         self.execute(observer).0
     }
 
-    fn execute(mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
+    /// Runs the simulation and returns the spent engine alongside the
+    /// report, for post-run invariant inspection (see
+    /// [`Engine::gateway_grid_matches_rebuild`]). The report is
+    /// identical to [`Engine::run`] for the same configuration and seed.
+    ///
+    /// The returned engine holds end-of-run state and is inspection-only:
+    /// feeding it back into any `run*` method panics.
+    pub fn run_returning_engine(mut self) -> (SimReport, Engine) {
+        let (report, _) = self.execute(&mut NullObserver);
+        (report, self)
+    }
+
+    /// Which gateways are in service after (or before) a run: `true`
+    /// means up. All gateways start up; scripted outages toggle them.
+    pub fn gateways_up(&self) -> Vec<bool> {
+        self.gateway_down_depth.iter().map(|&d| d == 0).collect()
+    }
+
+    /// Verifies that the incrementally maintained gateway grid matches a
+    /// from-scratch rebuild over the gateways currently in service —
+    /// the invariant the outage/recovery mutation paths preserve.
+    pub fn gateway_grid_matches_rebuild(&self) -> bool {
+        let cell = self.cfg.gateway_range_m.max(200.0);
+        let rebuilt = GridIndex::build(
+            self.gateways
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| self.gateway_down_depth[i] == 0)
+                .map(|(i, &p)| (i as u32, p)),
+            cell,
+        );
+        // A query covering the whole area yields membership in canonical
+        // (cell key, id) order for both grids.
+        let area = self.net.area();
+        let radius = area.width().max(area.height()) + cell;
+        let mut live: Vec<(u32, Point)> = Vec::new();
+        let mut fresh: Vec<(u32, Point)> = Vec::new();
+        self.gateway_grid
+            .within_into(area.center(), radius, &mut live);
+        rebuilt.within_into(area.center(), radius, &mut fresh);
+        live == fresh && self.gateway_grid.len() == rebuilt.len()
+    }
+
+    fn execute(&mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
+        // The run consumers all take `self` by value, so this can only
+        // trip if a future caller tries to re-run the engine returned by
+        // `run_returning_engine` — whose state is spent.
+        assert!(!self.executed, "engine already ran; build a new one");
+        self.executed = true;
         // Seed trip lifecycle events.
         for trip in self.net.trips() {
             if trip.depart() >= self.horizon {
@@ -299,6 +379,15 @@ impl Engine {
                 .schedule(trip.depart(), Event::TripStart(trip.node()));
             self.events
                 .schedule(trip.end().min(self.horizon), Event::TripEnd(trip.node()));
+        }
+        // Seed the compiled disruption timeline (no-op when the plan is
+        // empty, leaving event sequence numbers — and therefore same-time
+        // ordering — exactly as in an undisrupted build).
+        for i in 0..self.timeline.len() {
+            let (t, _) = self.timeline[i];
+            if t <= self.horizon {
+                self.events.schedule(t, Event::Disruption(i as u32));
+            }
         }
 
         let mut events_processed: u64 = 0;
@@ -314,6 +403,7 @@ impl Engine {
                 Event::Generate(n) => self.on_generate(n, observer),
                 Event::TxStart(n) => self.on_tx_start(n, observer),
                 Event::TxEnd(key) => self.on_tx_end(key, observer),
+                Event::Disruption(i) => self.on_disruption(i, observer),
             }
         }
 
@@ -323,6 +413,8 @@ impl Engine {
         for n in still_active {
             self.retire(n);
         }
+        // Close any outage window still open at the horizon.
+        self.collector.on_horizon(self.horizon);
 
         // Stranded = undelivered messages left in any queue, deduplicated
         // across holders (handovers can replicate a message).
@@ -336,9 +428,112 @@ impl Engine {
         }
         self.collector.on_stranded(stranded.len() as u64);
 
-        let report = self.collector.finish();
+        let collector = std::mem::replace(
+            &mut self.collector,
+            Collector::new(self.cfg.series_bucket, self.cfg.horizon),
+        );
+        let report = collector.finish();
         observer.on_run_end(&report);
         (report, EngineStats { events_processed })
+    }
+
+    /// Applies one compiled disruption event.
+    fn on_disruption(&mut self, index: u32, observer: &mut dyn SimObserver) {
+        let (_, ev) = self.timeline[index as usize];
+        match ev {
+            DisruptionEvent::GatewayDown { gateway } => {
+                let g = gateway as usize;
+                self.gateway_down_depth[g] += 1;
+                if self.gateway_down_depth[g] == 1 {
+                    let removed = self.gateway_grid.remove(gateway, self.gateways[g]);
+                    debug_assert!(removed, "downed gateway missing from grid");
+                    self.collector.on_gateway_down(self.now);
+                    observer.on_gateway_outage(&GatewayOutageChanged {
+                        time: self.now,
+                        gateway,
+                        down: true,
+                    });
+                }
+            }
+            DisruptionEvent::GatewayUp { gateway } => {
+                let g = gateway as usize;
+                debug_assert!(self.gateway_down_depth[g] > 0, "recovery without outage");
+                self.gateway_down_depth[g] -= 1;
+                if self.gateway_down_depth[g] == 0 {
+                    self.gateway_grid.insert(gateway, self.gateways[g]);
+                    self.collector.on_gateway_up(self.now);
+                    observer.on_gateway_outage(&GatewayOutageChanged {
+                        time: self.now,
+                        gateway,
+                        down: false,
+                    });
+                }
+            }
+            DisruptionEvent::Withdraw { withdrawal } => {
+                self.on_withdrawal(withdrawal, observer);
+            }
+            DisruptionEvent::NoiseStart { burst } => {
+                self.active_noise.push(burst);
+                self.collector.on_noise_burst();
+                observer.on_noise_burst(&NoiseBurstChanged {
+                    time: self.now,
+                    burst,
+                    active: true,
+                });
+            }
+            DisruptionEvent::NoiseEnd { burst } => {
+                self.active_noise.retain(|&b| b != burst);
+                observer.on_noise_burst(&NoiseBurstChanged {
+                    time: self.now,
+                    burst,
+                    active: false,
+                });
+            }
+        }
+    }
+
+    /// Withdraws a deterministic random subset of the active fleet.
+    fn on_withdrawal(&mut self, index: u32, observer: &mut dyn SimObserver) {
+        let spec = self.cfg.disruptions.withdrawals[index as usize];
+        let n = self.active.len();
+        let count = ((spec.fraction * n as f64).round() as usize).min(n);
+        if count == 0 {
+            return;
+        }
+        let mut pool = std::mem::take(&mut self.scratch_withdraw);
+        pool.clear();
+        pool.extend_from_slice(&self.active);
+        // The pool is the sorted active set, so the shuffle (and with it
+        // the withdrawn subset) is a pure function of the plan and seed.
+        self.disruption_rng.shuffle(&mut pool);
+        pool.truncate(count);
+        pool.sort_unstable();
+        for &node in &pool {
+            self.net.withdraw(node, self.now);
+            self.retire(node);
+            self.collector.on_bus_withdrawn();
+            observer.on_bus_withdrawn(&BusWithdrawn {
+                time: self.now,
+                device: node,
+            });
+        }
+        self.scratch_withdraw = pool;
+    }
+
+    /// Total RSSI penalty (dB) from active noise bursts covering `pos`.
+    /// Zero — and allocation- and draw-free — when no burst is active.
+    fn noise_penalty_at(&self, pos: Point) -> f64 {
+        if self.active_noise.is_empty() {
+            return 0.0;
+        }
+        let mut penalty = 0.0;
+        for &b in &self.active_noise {
+            let burst = &self.cfg.disruptions.noise_bursts[b as usize];
+            if burst.center.distance(pos) <= burst.radius_m {
+                penalty += burst.extra_loss_db;
+            }
+        }
+        penalty
     }
 
     fn device_class(&self) -> DeviceClass {
@@ -437,7 +632,7 @@ impl Engine {
         let drops_before = dev.queue.dropped();
         dev.queue.push(msg);
         let dropped = dev.queue.dropped() - drops_before;
-        self.collector.on_generated();
+        self.collector.on_generated(msg.id);
         observer.on_message_generated(&MessageGenerated {
             time: self.now,
             device: n,
@@ -631,6 +826,9 @@ impl Engine {
             if gw.distance(flight.pos) > range {
                 continue;
             }
+            // Regional noise at this receiver (0 dB — and bit-identical
+            // to the unmodified path — when no burst is active).
+            let noise_db = self.noise_penalty_at(*gw);
             // Candidate frames audible at this gateway.
             candidates.clear();
             let mut flight_rssi = None;
@@ -639,10 +837,12 @@ impl Engine {
                 if dist > range {
                     continue;
                 }
-                let rssi = self
-                    .cfg
-                    .path_loss
-                    .sample_rssi_dbm(txp, dist, &mut self.channel_rng);
+                let rssi = self.cfg.path_loss.sample_rssi_dbm_attenuated(
+                    txp,
+                    dist,
+                    noise_db,
+                    &mut self.channel_rng,
+                );
                 if seq == flight.seq {
                     flight_rssi = Some(rssi);
                 }
@@ -713,7 +913,9 @@ impl Engine {
             {
                 continue;
             }
-            // Collision resolution at x.
+            // Collision resolution at x, under any regional noise at
+            // its position.
+            let noise_db = self.noise_penalty_at(pos_x);
             audible.clear();
             let mut flight_rssi = None;
             for &(seq, pos) in overlaps {
@@ -721,10 +923,12 @@ impl Engine {
                 if dist > d2d {
                     continue;
                 }
-                let rssi = self
-                    .cfg
-                    .path_loss
-                    .sample_rssi_dbm(txp, dist, &mut self.channel_rng);
+                let rssi = self.cfg.path_loss.sample_rssi_dbm_attenuated(
+                    txp,
+                    dist,
+                    noise_db,
+                    &mut self.channel_rng,
+                );
                 if seq == flight.seq {
                     flight_rssi = Some(rssi);
                 }

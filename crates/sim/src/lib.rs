@@ -16,9 +16,14 @@
 //!   with built-in counters, time-series and CSV/JSON trace sinks, so one
 //!   run feeds any number of analyses.
 //! * [`ExperimentPlan`] + [`Runner`] — declarative sweeps over
-//!   environment/gateways/scheme/α/placement/class, replicated over
-//!   seeds and executed across worker threads into
+//!   environment/gateways/scheme/α/placement/class/disruptions,
+//!   replicated over seeds and executed across worker threads into
 //!   [`ReplicatedReport`]s with mean/CI accessors.
+//!
+//! Orthogonally, a [`DisruptionPlan`] scripts mid-run world events —
+//! gateway outages, fleet withdrawals, regional noise bursts — as a
+//! deterministic timeline the engine compiles and applies; an empty
+//! plan is bit-identical to an undisrupted build.
 //!
 //! # Quick start
 //!
@@ -60,6 +65,7 @@
 
 mod config;
 mod deployment;
+pub mod disruption;
 mod engine;
 pub mod experiment;
 mod metrics;
@@ -70,12 +76,14 @@ mod scenario;
 
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
+pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
 pub use engine::{Engine, EngineStats};
 pub use experiment::{SweepPoint, PAPER_GATEWAY_COUNTS};
 pub use metrics::SimReport;
 pub use observer::{
-    EventCounter, FrameTransmitted, HandoverAccepted, MessageDelivered, MessageGenerated,
-    NullObserver, SeriesObserver, SimObserver, TraceFormat, TraceSink,
+    BusWithdrawn, EventCounter, FrameTransmitted, GatewayOutageChanged, HandoverAccepted,
+    MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, SeriesObserver,
+    SimObserver, TraceFormat, TraceSink,
 };
 pub use runner::{
     CellKey, CellResult, ExperimentPlan, PlanCell, ReplicatedReport, Runner, RunnerError,

@@ -47,6 +47,21 @@ pub struct SimReport {
     pub total_energy_mj: f64,
     /// Sum of all device active (in-service) time, seconds.
     pub total_active_s: f64,
+    /// Gateway outage windows that began (up→down transitions).
+    pub gateway_outages: u64,
+    /// Buses withdrawn from service by scripted disruptions.
+    pub buses_withdrawn: u64,
+    /// Noise-burst windows that began.
+    pub noise_bursts: u64,
+    /// Total wall time with at least one gateway down, seconds.
+    pub outage_time_s: f64,
+    /// Messages generated while at least one gateway was down.
+    pub generated_during_outage: u64,
+    /// Messages generated while at least one gateway was down that were
+    /// eventually delivered (at any time — the fate of disruption-era
+    /// traffic, not an arrival-window count). Never exceeds
+    /// [`SimReport::generated_during_outage`].
+    pub delivered_of_outage_generated: u64,
 }
 
 impl SimReport {
@@ -125,6 +140,41 @@ impl SimReport {
             self.total_energy_mj / self.devices_seen as f64
         }
     }
+
+    /// Delivery ratio of disruption-era traffic: of the messages
+    /// generated while at least one gateway was down, the fraction that
+    /// was eventually delivered (at any time). Always in `[0, 1]`;
+    /// `0.0` when no message was generated during an outage.
+    pub fn outage_delivery_ratio(&self) -> f64 {
+        if self.generated_during_outage == 0 {
+            0.0
+        } else {
+            self.delivered_of_outage_generated as f64 / self.generated_during_outage as f64
+        }
+    }
+
+    /// Delivery ratio of the remaining (clear-sky) traffic — the
+    /// undisrupted counterpart of [`SimReport::outage_delivery_ratio`],
+    /// also in `[0, 1]`. Equals [`SimReport::delivery_ratio`] when no
+    /// gateway ever went down.
+    pub fn clear_delivery_ratio(&self) -> f64 {
+        let generated = self.generated - self.generated_during_outage;
+        if generated == 0 {
+            0.0
+        } else {
+            (self.delivered - self.delivered_of_outage_generated) as f64 / generated as f64
+        }
+    }
+
+    /// Fraction of the fleet's scheduled service lost to scripted
+    /// withdrawals: withdrawn buses over devices seen.
+    pub fn withdrawal_ratio(&self) -> f64 {
+        if self.devices_seen == 0 {
+            0.0
+        } else {
+            self.buses_withdrawn as f64 / self.devices_seen as f64
+        }
+    }
 }
 
 /// Accumulates metrics during a run; [`Collector::finish`] yields the
@@ -137,6 +187,13 @@ pub(crate) struct Collector {
     arrived: DenseMap<MessageId, SimTime>,
     /// Device-to-device transfer counts per message (hops − 1).
     transfers: DenseMap<MessageId, u32>,
+    /// Gateways currently down (global outage depth).
+    outage_depth: u32,
+    /// When the current ≥1-gateway-down interval began.
+    outage_since: SimTime,
+    /// Messages generated while ≥1 gateway was down (empty — and never
+    /// probed into — when the run has no outages).
+    outage_generated: DenseMap<MessageId, ()>,
 }
 
 impl Collector {
@@ -159,14 +216,62 @@ impl Collector {
                 devices_seen: 0,
                 total_energy_mj: 0.0,
                 total_active_s: 0.0,
+                gateway_outages: 0,
+                buses_withdrawn: 0,
+                noise_bursts: 0,
+                outage_time_s: 0.0,
+                generated_during_outage: 0,
+                delivered_of_outage_generated: 0,
             },
             arrived: DenseMap::new(),
             transfers: DenseMap::new(),
+            outage_depth: 0,
+            outage_since: SimTime::ZERO,
+            outage_generated: DenseMap::new(),
         }
     }
 
-    pub(crate) fn on_generated(&mut self) {
+    pub(crate) fn on_generated(&mut self, id: MessageId) {
         self.report.generated += 1;
+        if self.outage_depth > 0 {
+            self.report.generated_during_outage += 1;
+            self.outage_generated.insert(id, ());
+        }
+    }
+
+    /// A gateway transitioned up→down.
+    pub(crate) fn on_gateway_down(&mut self, now: SimTime) {
+        self.report.gateway_outages += 1;
+        if self.outage_depth == 0 {
+            self.outage_since = now;
+        }
+        self.outage_depth += 1;
+    }
+
+    /// A gateway transitioned down→up.
+    pub(crate) fn on_gateway_up(&mut self, now: SimTime) {
+        debug_assert!(self.outage_depth > 0, "recovery without an outage");
+        self.outage_depth -= 1;
+        if self.outage_depth == 0 {
+            self.report.outage_time_s += now.saturating_since(self.outage_since).as_secs_f64();
+        }
+    }
+
+    pub(crate) fn on_bus_withdrawn(&mut self) {
+        self.report.buses_withdrawn += 1;
+    }
+
+    pub(crate) fn on_noise_burst(&mut self) {
+        self.report.noise_bursts += 1;
+    }
+
+    /// Closes any outage interval still open when the run reaches its
+    /// horizon (an outage with no scheduled recovery runs to the end).
+    pub(crate) fn on_horizon(&mut self, now: SimTime) {
+        if self.outage_depth > 0 {
+            self.report.outage_time_s += now.saturating_since(self.outage_since).as_secs_f64();
+            self.outage_since = now;
+        }
     }
 
     pub(crate) fn on_frame_sent(&mut self, is_handover: bool, bundled: usize) {
@@ -213,6 +318,9 @@ impl Collector {
         }
         self.arrived.insert(msg.id, now);
         self.report.delivered += 1;
+        if self.outage_generated.contains_key(msg.id) {
+            self.report.delivered_of_outage_generated += 1;
+        }
         let delay = now.saturating_since(msg.created);
         self.report.delay.push(delay.as_secs_f64());
         let transfers = self.transfers.get(msg.id).copied().unwrap_or(0);
@@ -261,7 +369,7 @@ mod tests {
     #[test]
     fn delivery_dedups_and_tracks_delay() {
         let mut c = collector();
-        c.on_generated();
+        c.on_generated(MessageId::new(1));
         c.on_delivered(&msg(1, 100), SimTime::from_secs(160));
         c.on_delivered(&msg(1, 100), SimTime::from_secs(200)); // duplicate
         let r = c.finish();
@@ -322,5 +430,52 @@ mod tests {
         assert_eq!(r.mean_hops(), 0.0);
         assert_eq!(r.mean_frames_per_node(), 0.0);
         assert_eq!(r.delivery_ratio(), 0.0);
+        assert_eq!(r.outage_delivery_ratio(), 0.0);
+        assert_eq!(r.clear_delivery_ratio(), 0.0);
+        assert_eq!(r.withdrawal_ratio(), 0.0);
+    }
+
+    #[test]
+    fn outage_windows_split_generated_and_delivered() {
+        let mut c = collector();
+        // Clear generation + delivery.
+        c.on_generated(MessageId::new(1));
+        c.on_delivered(&msg(1, 0), SimTime::from_secs(10));
+        // One gateway drops at t=100; messages born inside count as
+        // disruption-era traffic wherever they are later delivered.
+        c.on_gateway_down(SimTime::from_secs(100));
+        c.on_generated(MessageId::new(2));
+        // A second outage overlapping the first: depth 2, window extends.
+        c.on_gateway_down(SimTime::from_secs(200));
+        c.on_gateway_up(SimTime::from_secs(250));
+        c.on_gateway_up(SimTime::from_secs(300));
+        // Back in the clear: the outage-born message lands late, and a
+        // clear-sky message generated now is never delivered.
+        c.on_delivered(&msg(2, 100), SimTime::from_secs(400));
+        c.on_generated(MessageId::new(3));
+        c.on_horizon(SimTime::from_secs(1_000));
+        let r = c.finish();
+        assert_eq!(r.gateway_outages, 2);
+        assert_eq!(r.generated, 3);
+        assert_eq!(r.generated_during_outage, 1);
+        assert_eq!(r.delivered_of_outage_generated, 1);
+        // One contiguous 100→300 s window; depth never hit zero inside.
+        assert_eq!(r.outage_time_s, 200.0);
+        assert_eq!(r.outage_delivery_ratio(), 1.0);
+        assert_eq!(r.clear_delivery_ratio(), 0.5);
+    }
+
+    #[test]
+    fn open_outage_closes_at_horizon() {
+        let mut c = collector();
+        c.on_gateway_down(SimTime::from_secs(3_000));
+        c.on_bus_withdrawn();
+        c.on_noise_burst();
+        c.on_horizon(SimTime::from_secs(3_600));
+        let r = c.finish();
+        assert_eq!(r.outage_time_s, 600.0);
+        assert_eq!(r.gateway_outages, 1);
+        assert_eq!(r.buses_withdrawn, 1);
+        assert_eq!(r.noise_bursts, 1);
     }
 }

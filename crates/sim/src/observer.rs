@@ -89,6 +89,38 @@ pub struct MessageDelivered {
     pub hops: u32,
 }
 
+/// A gateway went down or recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayOutageChanged {
+    /// Simulation time of the transition.
+    pub time: SimTime,
+    /// Index of the affected gateway.
+    pub gateway: u32,
+    /// `true` when the gateway just went down, `false` on recovery.
+    pub down: bool,
+}
+
+/// A bus was withdrawn from service by a scripted disruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusWithdrawn {
+    /// Simulation time of the withdrawal.
+    pub time: SimTime,
+    /// The withdrawn device.
+    pub device: NodeId,
+}
+
+/// A regional noise burst began or ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseBurstChanged {
+    /// Simulation time of the transition.
+    pub time: SimTime,
+    /// Index of the burst in the scenario's
+    /// [`DisruptionPlan`](crate::DisruptionPlan).
+    pub burst: u32,
+    /// `true` when the burst just started, `false` when it ended.
+    pub active: bool,
+}
+
 /// Receives the engine's event stream.
 ///
 /// All hooks default to no-ops, so implementors override only what they
@@ -106,6 +138,15 @@ pub trait SimObserver {
 
     /// A message reached the server for the first time.
     fn on_delivery(&mut self, _ev: &MessageDelivered) {}
+
+    /// A gateway went down or recovered.
+    fn on_gateway_outage(&mut self, _ev: &GatewayOutageChanged) {}
+
+    /// A bus was withdrawn from service by a scripted disruption.
+    fn on_bus_withdrawn(&mut self, _ev: &BusWithdrawn) {}
+
+    /// A regional noise burst began or ended.
+    fn on_noise_burst(&mut self, _ev: &NoiseBurstChanged) {}
 
     /// The run finished; `report` is the final immutable result.
     fn on_run_end(&mut self, _report: &SimReport) {}
@@ -142,6 +183,21 @@ impl<A: SimObserver + ?Sized, B: SimObserver + ?Sized> SimObserver for (&mut A, 
         self.1.on_delivery(ev);
     }
 
+    fn on_gateway_outage(&mut self, ev: &GatewayOutageChanged) {
+        self.0.on_gateway_outage(ev);
+        self.1.on_gateway_outage(ev);
+    }
+
+    fn on_bus_withdrawn(&mut self, ev: &BusWithdrawn) {
+        self.0.on_bus_withdrawn(ev);
+        self.1.on_bus_withdrawn(ev);
+    }
+
+    fn on_noise_burst(&mut self, ev: &NoiseBurstChanged) {
+        self.0.on_noise_burst(ev);
+        self.1.on_noise_burst(ev);
+    }
+
     fn on_run_end(&mut self, report: &SimReport) {
         self.0.on_run_end(report);
         self.1.on_run_end(report);
@@ -161,6 +217,12 @@ pub struct EventCounter {
     pub forwards: u64,
     /// Unique server deliveries.
     pub deliveries: u64,
+    /// Gateway outage windows begun (down transitions).
+    pub gateway_outages: u64,
+    /// Buses withdrawn by scripted disruptions.
+    pub withdrawals: u64,
+    /// Noise-burst windows begun.
+    pub noise_bursts: u64,
 }
 
 impl SimObserver for EventCounter {
@@ -181,6 +243,22 @@ impl SimObserver for EventCounter {
 
     fn on_delivery(&mut self, _ev: &MessageDelivered) {
         self.deliveries += 1;
+    }
+
+    fn on_gateway_outage(&mut self, ev: &GatewayOutageChanged) {
+        if ev.down {
+            self.gateway_outages += 1;
+        }
+    }
+
+    fn on_bus_withdrawn(&mut self, _ev: &BusWithdrawn) {
+        self.withdrawals += 1;
+    }
+
+    fn on_noise_burst(&mut self, ev: &NoiseBurstChanged) {
+        if ev.active {
+            self.noise_bursts += 1;
+        }
     }
 }
 
@@ -248,9 +326,13 @@ pub enum TraceFormat {
 /// Streams every event to a writer as CSV or JSON Lines.
 ///
 /// Rows share one schema across event kinds; fields that do not apply to
-/// a kind are left empty (CSV) or omitted (JSON). Write errors are
-/// remembered and surfaced by [`TraceSink::finish`]; after the first
-/// error the sink stops writing.
+/// a kind are left empty (CSV) or omitted (JSON). The `device` column's
+/// id space depends on the `event` column: bus [`NodeId`]s for traffic
+/// and `withdrawn` rows, the *gateway index* for `gateway_down` /
+/// `gateway_up` rows, and the *burst index* for `noise_start` /
+/// `noise_end` rows — group by `(event, device)`, never by `device`
+/// alone. Write errors are remembered and surfaced by
+/// [`TraceSink::finish`]; after the first error the sink stops writing.
 #[derive(Debug)]
 pub struct TraceSink<W: Write> {
     out: W,
@@ -401,6 +483,32 @@ impl<W: Write> SimObserver for TraceSink<W> {
             ],
         );
     }
+
+    fn on_gateway_outage(&mut self, ev: &GatewayOutageChanged) {
+        let event = if ev.down {
+            "gateway_down"
+        } else {
+            "gateway_up"
+        };
+        self.row(ev.time, event, &[("device", ev.gateway.to_string())]);
+    }
+
+    fn on_bus_withdrawn(&mut self, ev: &BusWithdrawn) {
+        self.row(
+            ev.time,
+            "withdrawn",
+            &[("device", ev.device.raw().to_string())],
+        );
+    }
+
+    fn on_noise_burst(&mut self, ev: &NoiseBurstChanged) {
+        let event = if ev.active {
+            "noise_start"
+        } else {
+            "noise_end"
+        };
+        self.row(ev.time, event, &[("device", ev.burst.to_string())]);
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +580,42 @@ mod tests {
             Some("time_s,event,device,peer,message,count,delay_s,hops")
         );
         assert_eq!(lines.next(), Some("10.000,delivery,1,,10,,30.000,2"));
+    }
+
+    #[test]
+    fn counter_and_trace_cover_disruptions() {
+        let mut c = EventCounter::default();
+        let mut sink = TraceSink::csv(Vec::new());
+        {
+            let mut pair: (&mut EventCounter, &mut TraceSink<Vec<u8>>) = (&mut c, &mut sink);
+            pair.on_gateway_outage(&GatewayOutageChanged {
+                time: SimTime::from_secs(1),
+                gateway: 4,
+                down: true,
+            });
+            pair.on_gateway_outage(&GatewayOutageChanged {
+                time: SimTime::from_secs(2),
+                gateway: 4,
+                down: false,
+            });
+            pair.on_bus_withdrawn(&BusWithdrawn {
+                time: SimTime::from_secs(3),
+                device: NodeId::new(7),
+            });
+            pair.on_noise_burst(&NoiseBurstChanged {
+                time: SimTime::from_secs(4),
+                burst: 0,
+                active: true,
+            });
+        }
+        assert_eq!(c.gateway_outages, 1);
+        assert_eq!(c.withdrawals, 1);
+        assert_eq!(c.noise_bursts, 1);
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(out.contains("gateway_down"), "{out}");
+        assert!(out.contains("gateway_up"), "{out}");
+        assert!(out.contains("withdrawn"), "{out}");
+        assert!(out.contains("noise_start"), "{out}");
     }
 
     #[test]

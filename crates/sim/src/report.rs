@@ -63,6 +63,46 @@ pub fn replicated_table(
     s
 }
 
+/// Formats a resilience sweep: per-cell overall delivery ratio next to
+/// the during-outage and outside-outage ratios, plus the disrupted time
+/// and withdrawn-fleet share — one row per
+/// `(disruption, environment, scheme)` cell, first replicate.
+pub fn resilience_table(cells: &[CellResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# delivery under disruption (first replicate per cell)");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "env", "plan", "gws", "scheme", "deliv%", "outage%", "clear%", "outage(s)", "withdrawn"
+    );
+    let mut sorted = cells.to_vec();
+    sorted.sort_by_key(|c| {
+        (
+            c.key.disruption,
+            c.key.environment.label(),
+            c.key.gateways,
+            c.key.scheme.label(),
+        )
+    });
+    for cell in &sorted {
+        let r = cell.report.single();
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>6} {:>12} {:>8.1}% {:>8.1}% {:>8.1}% {:>10.0} {:>10}",
+            cell.key.environment.label(),
+            cell.key.disruption,
+            cell.key.gateways,
+            cell.key.scheme.label(),
+            100.0 * r.delivery_ratio(),
+            100.0 * r.outage_delivery_ratio(),
+            100.0 * r.clear_delivery_ratio(),
+            r.outage_time_s,
+            r.buses_withdrawn,
+        );
+    }
+    s
+}
+
 /// Formats the Fig. 12 table: mean hop count of delivered messages.
 pub fn fig12_hops_table(points: &[SweepPoint]) -> String {
     metric_table(points, "mean hops per delivered message", |r| {
@@ -212,6 +252,33 @@ mod tests {
             table.contains("1.00x"),
             "baseline row should be 1.00x:\n{table}"
         );
+    }
+
+    #[test]
+    fn resilience_table_reports_disruption_columns() {
+        use crate::{DisruptionPlan, GatewayOutage};
+        use mlora_simcore::SimTime;
+
+        let disrupted = DisruptionPlan {
+            outages: vec![GatewayOutage {
+                gateway: 0,
+                start: SimTime::from_secs(300),
+                duration: None,
+            }],
+            ..DisruptionPlan::default()
+        };
+        let plan = ExperimentPlan::new(base())
+            .gateway_counts([4])
+            .schemes([Scheme::Robc])
+            .disruptions([DisruptionPlan::default(), disrupted])
+            .fixed_seeds([3]);
+        let cells = Runner::new().run(&plan).expect("valid sweep");
+        let table = resilience_table(&cells);
+        assert!(table.contains("outage%"), "{table}");
+        // The undisrupted row reports zero disrupted seconds; the
+        // disrupted one carries the open-ended outage to the horizon.
+        assert_eq!(cells[0].report.single().outage_time_s, 0.0);
+        assert!(cells[1].report.single().outage_time_s > 0.0);
     }
 
     #[test]

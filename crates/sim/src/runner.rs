@@ -41,7 +41,10 @@ use std::sync::Mutex;
 use mlora_core::Scheme;
 use mlora_simcore::stats::Welford;
 
-use crate::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimReport};
+use crate::{
+    ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayPlacement, SimConfig,
+    SimReport,
+};
 
 /// How a plan assigns seeds to replicate runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +75,9 @@ pub struct CellKey {
     pub placement: GatewayPlacement,
     /// Device class for the fleet.
     pub device_class: DeviceClassChoice,
+    /// Index into the plan's disruption axis (0 when the axis was never
+    /// set — the base configuration's own plan).
+    pub disruption: usize,
 }
 
 /// One cell of a plan: its coordinates and the fully resolved config.
@@ -90,8 +96,8 @@ pub struct PlanCell {
 ///
 /// Axes default to the base configuration's own value; setting an axis
 /// replaces it. Cells enumerate in row-major order with environments
-/// outermost, then gateway counts, schemes, alphas, placements and
-/// device classes.
+/// outermost, then gateway counts, schemes, alphas, placements, device
+/// classes and disruption timelines.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentPlan {
     base: SimConfig,
@@ -101,6 +107,7 @@ pub struct ExperimentPlan {
     alphas: Vec<f64>,
     placements: Vec<GatewayPlacement>,
     device_classes: Vec<DeviceClassChoice>,
+    disruptions: Vec<DisruptionPlan>,
     /// Master seed for derived replication (set by [`ExperimentPlan::seed`];
     /// remembered even while a fixed-seed policy is active).
     base_seed: u64,
@@ -118,6 +125,7 @@ impl ExperimentPlan {
             alphas: vec![base.alpha],
             placements: vec![base.placement],
             device_classes: vec![base.device_class],
+            disruptions: vec![base.disruptions.clone()],
             base_seed: 0,
             seeds: SeedPolicy::Derived { replications: 1 },
             base,
@@ -157,6 +165,14 @@ impl ExperimentPlan {
     /// Sweeps the device class (the §VI comparison).
     pub fn device_classes(mut self, axis: impl IntoIterator<Item = DeviceClassChoice>) -> Self {
         self.device_classes = axis.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the disruption timeline — e.g. increasing outage density
+    /// for a resilience study. Cells carry the axis position in
+    /// [`CellKey::disruption`].
+    pub fn disruptions(mut self, axis: impl IntoIterator<Item = DisruptionPlan>) -> Self {
+        self.disruptions = axis.into_iter().collect();
         self
     }
 
@@ -222,6 +238,7 @@ impl ExperimentPlan {
             * self.alphas.len()
             * self.placements.len()
             * self.device_classes.len()
+            * self.disruptions.len()
     }
 
     /// Materializes every cell in plan order.
@@ -233,26 +250,30 @@ impl ExperimentPlan {
                     for &alpha in &self.alphas {
                         for &placement in &self.placements {
                             for &device_class in &self.device_classes {
-                                let key = CellKey {
-                                    environment,
-                                    gateways,
-                                    scheme,
-                                    alpha,
-                                    placement,
-                                    device_class,
-                                };
-                                let mut config = self.base.clone();
-                                config.environment = environment;
-                                config.num_gateways = gateways;
-                                config.scheme = scheme;
-                                config.alpha = alpha;
-                                config.placement = placement;
-                                config.device_class = device_class;
-                                out.push(PlanCell {
-                                    index: out.len(),
-                                    key,
-                                    config,
-                                });
+                                for (disruption, plan) in self.disruptions.iter().enumerate() {
+                                    let key = CellKey {
+                                        environment,
+                                        gateways,
+                                        scheme,
+                                        alpha,
+                                        placement,
+                                        device_class,
+                                        disruption,
+                                    };
+                                    let mut config = self.base.clone();
+                                    config.environment = environment;
+                                    config.num_gateways = gateways;
+                                    config.scheme = scheme;
+                                    config.alpha = alpha;
+                                    config.placement = placement;
+                                    config.device_class = device_class;
+                                    config.disruptions = plan.clone();
+                                    out.push(PlanCell {
+                                        index: out.len(),
+                                        key,
+                                        config,
+                                    });
+                                }
                             }
                         }
                     }
@@ -271,6 +292,7 @@ impl ExperimentPlan {
             ("alphas", self.alphas.len()),
             ("placements", self.placements.len()),
             ("device_classes", self.device_classes.len()),
+            ("disruptions", self.disruptions.len()),
             ("seeds", self.replications()),
         ] {
             if len == 0 {
@@ -711,6 +733,45 @@ mod tests {
         assert_eq!(plan.replications(), 2);
         assert_eq!(plan.seed_for(0, 1), 6);
         assert_eq!(plan.seed_for(1, 1), 6);
+    }
+
+    #[test]
+    fn disruption_axis_multiplies_cells_and_reaches_configs() {
+        use crate::{DisruptionPlan, GatewayOutage};
+        use mlora_simcore::SimTime;
+
+        let disrupted = DisruptionPlan {
+            outages: vec![GatewayOutage {
+                gateway: 0,
+                start: SimTime::from_secs(600),
+                duration: None,
+            }],
+            ..DisruptionPlan::default()
+        };
+        let plan = ExperimentPlan::new(tiny())
+            .schemes([Scheme::NoRouting, Scheme::Robc])
+            .disruptions([DisruptionPlan::default(), disrupted.clone()]);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].key.disruption, 0);
+        assert!(cells[0].config.disruptions.is_empty());
+        assert_eq!(cells[1].key.disruption, 1);
+        assert_eq!(cells[1].config.disruptions, disrupted);
+        assert_eq!(plan.validate().map_err(|e| e.to_string()), Ok(()));
+        // An invalid plan entry (gateway out of range) is caught before
+        // any run starts.
+        let bad = ExperimentPlan::new(tiny()).disruptions([DisruptionPlan {
+            outages: vec![GatewayOutage {
+                gateway: 10_000,
+                start: SimTime::ZERO,
+                duration: None,
+            }],
+            ..DisruptionPlan::default()
+        }]);
+        assert!(matches!(
+            bad.validate(),
+            Err(RunnerError::InvalidCell { .. })
+        ));
     }
 
     #[test]

@@ -28,11 +28,12 @@
 //! ```
 
 use mlora_core::Scheme;
-use mlora_simcore::SimDuration;
+use mlora_geo::Point;
+use mlora_simcore::{SimDuration, SimTime};
 
 use crate::{
-    ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig, SimObserver,
-    SimReport,
+    BusWithdrawal, ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayOutage,
+    GatewayPlacement, NoiseBurst, SimConfig, SimObserver, SimReport,
 };
 
 /// Entry points for building simulation scenarios.
@@ -202,6 +203,155 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the scenario's disruption timeline wholesale.
+    ///
+    /// The default plan is empty; an empty plan is bit-identical to an
+    /// undisrupted run. Individual events append through
+    /// [`ScenarioBuilder::gateway_outage`],
+    /// [`ScenarioBuilder::withdraw_buses`] and
+    /// [`ScenarioBuilder::noise_burst`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::{DisruptionPlan, Scenario};
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .disruptions(DisruptionPlan::default())
+    ///     .build()?;
+    /// assert!(cfg.disruptions.is_empty());
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn disruptions(mut self, plan: DisruptionPlan) -> Self {
+        self.config.disruptions = plan;
+        self
+    }
+
+    /// Schedules a gateway outage: gateway `gateway` goes down `start`
+    /// into the run and recovers after `duration` (pass
+    /// [`ScenarioBuilder::gateway_outage_to_horizon`] for one that never
+    /// recovers). Repeated calls append further outages.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::Scenario;
+    /// use mlora_simcore::SimDuration;
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .gateway_outage(4, SimDuration::from_mins(30), SimDuration::from_mins(30))
+    ///     .build()?;
+    /// assert_eq!(cfg.disruptions.outages.len(), 1);
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn gateway_outage(
+        mut self,
+        gateway: usize,
+        start: SimDuration,
+        duration: SimDuration,
+    ) -> Self {
+        self.config.disruptions.outages.push(GatewayOutage {
+            gateway,
+            start: SimTime::ZERO + start,
+            duration: Some(duration),
+        });
+        self
+    }
+
+    /// Schedules a gateway outage that runs from `start` to the end of
+    /// the simulation — a permanent failure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::Scenario;
+    /// use mlora_simcore::SimDuration;
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .gateway_outage_to_horizon(0, SimDuration::from_hours(1))
+    ///     .build()?;
+    /// assert_eq!(cfg.disruptions.outages[0].duration, None);
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn gateway_outage_to_horizon(mut self, gateway: usize, start: SimDuration) -> Self {
+        self.config.disruptions.outages.push(GatewayOutage {
+            gateway,
+            start: SimTime::ZERO + start,
+            duration: None,
+        });
+        self
+    }
+
+    /// Schedules a fleet withdrawal: `fraction` of the then-active buses
+    /// (rounded to whole vehicles, drawn from a dedicated deterministic
+    /// RNG stream) retire early `at` into the run.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::Scenario;
+    /// use mlora_simcore::SimDuration;
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .withdraw_buses(SimDuration::from_mins(45), 0.25)
+    ///     .build()?;
+    /// assert_eq!(cfg.disruptions.withdrawals[0].fraction, 0.25);
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn withdraw_buses(mut self, at: SimDuration, fraction: f64) -> Self {
+        self.config.disruptions.withdrawals.push(BusWithdrawal {
+            at: SimTime::ZERO + at,
+            fraction,
+        });
+        self
+    }
+
+    /// Schedules a regional noise burst: for `duration` starting `start`
+    /// into the run, every reception at a position within `radius_m` of
+    /// `center` loses `extra_loss_db` of RSSI (a raised noise floor).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_geo::Point;
+    /// use mlora_sim::Scenario;
+    /// use mlora_simcore::SimDuration;
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .noise_burst(
+    ///         Point::new(5_000.0, 5_000.0),
+    ///         3_000.0,
+    ///         SimDuration::from_mins(20),
+    ///         SimDuration::from_mins(40),
+    ///         12.0,
+    ///     )
+    ///     .build()?;
+    /// assert_eq!(cfg.disruptions.noise_bursts.len(), 1);
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn noise_burst(
+        mut self,
+        center: Point,
+        radius_m: f64,
+        start: SimDuration,
+        duration: SimDuration,
+        extra_loss_db: f64,
+    ) -> Self {
+        self.config.disruptions.noise_bursts.push(NoiseBurst {
+            center,
+            radius_m,
+            start: SimTime::ZERO + start,
+            duration: Some(duration),
+            extra_loss_db,
+        });
+        self
+    }
+
     /// Applies an arbitrary tweak to the underlying [`SimConfig`] — the
     /// escape hatch for fields without a dedicated setter.
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
@@ -319,6 +469,41 @@ mod tests {
             .run(seed)
             .unwrap();
         assert_eq!(by_builder, by_config);
+    }
+
+    #[test]
+    fn disruption_setters_append_and_validate() {
+        let cfg = Scenario::urban()
+            .smoke()
+            .gateway_outage(1, SimDuration::from_mins(10), SimDuration::from_mins(5))
+            .gateway_outage_to_horizon(2, SimDuration::from_mins(20))
+            .withdraw_buses(SimDuration::from_mins(30), 0.5)
+            .noise_burst(
+                Point::new(1_000.0, 1_000.0),
+                500.0,
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(10),
+                6.0,
+            )
+            .build()
+            .expect("valid disruptions");
+        assert_eq!(cfg.disruptions.outages.len(), 2);
+        assert_eq!(cfg.disruptions.withdrawals.len(), 1);
+        assert_eq!(cfg.disruptions.noise_bursts.len(), 1);
+
+        // Invalid entries surface through build() with the typed error.
+        let err = Scenario::urban()
+            .smoke()
+            .withdraw_buses(SimDuration::from_mins(1), 0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "disruptions.withdrawals.fraction");
+        let err = Scenario::urban()
+            .smoke()
+            .gateway_outage(99, SimDuration::from_mins(1), SimDuration::from_mins(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "disruptions.outages.gateway");
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! and paste the printed table over `FIXTURES`.
 
 use mlora::core::Scheme;
-use mlora::sim::{Environment, SimConfig, SimReport};
+use mlora::geo::Point;
+use mlora::sim::{
+    DisruptionPlan, Environment, ExperimentPlan, Runner, Scenario, SimConfig, SimReport,
+};
+use mlora::simcore::SimDuration;
 
 /// The seed every fixture run uses.
 const GOLDEN_SEED: u64 = 4242;
@@ -256,6 +260,151 @@ fn engine_reproduces_golden_fixtures() {
             "fingerprint drift for {scheme:?}/{env:?} at seed {GOLDEN_SEED}"
         );
     }
+}
+
+/// An explicitly attached empty [`DisruptionPlan`] must reproduce the
+/// recorded pre-subsystem fingerprints byte-for-byte: the disruption
+/// machinery costs nothing — no events, no RNG draws — until a plan
+/// actually schedules something.
+#[test]
+fn empty_disruption_plan_reproduces_golden_fixtures() {
+    for ((scheme, env), want) in scenarios().into_iter().zip(FIXTURES) {
+        let report = Scenario::custom(env)
+            .scheme(scheme)
+            .smoke()
+            .disruptions(DisruptionPlan::default())
+            .run(GOLDEN_SEED)
+            .expect("smoke config with empty plan is valid");
+        let got = fingerprint(&report);
+        assert_eq!(
+            got, want,
+            "empty DisruptionPlan perturbed {scheme:?}/{env:?} at seed {GOLDEN_SEED}"
+        );
+        let r = report;
+        assert_eq!(r.gateway_outages, 0);
+        assert_eq!(r.buses_withdrawn, 0);
+        assert_eq!(r.noise_bursts, 0);
+        assert_eq!(r.outage_time_s.to_bits(), 0.0f64.to_bits());
+    }
+}
+
+/// The disrupted fixture scenario: smoke-scale urban ROBC with one
+/// outage window, one fleet withdrawal and one regional noise burst.
+fn disrupted_config() -> SimConfig {
+    Scenario::urban()
+        .scheme(Scheme::Robc)
+        .smoke()
+        .gateway_outage(4, SimDuration::from_mins(30), SimDuration::from_mins(30))
+        .withdraw_buses(SimDuration::from_mins(45), 0.25)
+        .noise_burst(
+            Point::new(5_000.0, 5_000.0),
+            3_000.0,
+            SimDuration::from_mins(20),
+            SimDuration::from_mins(40),
+            12.0,
+        )
+        .build()
+        .expect("disrupted smoke config is valid")
+}
+
+/// Width of a disrupted fingerprint: the base fingerprint plus the six
+/// resilience counters.
+const DFP_LEN: usize = FP_LEN + 6;
+
+/// Fingerprint of a disrupted run: everything in [`fingerprint`] plus
+/// the resilience counters (outage/withdrawal/noise counts exact,
+/// disrupted time by bit pattern).
+fn disrupted_fingerprint(r: &SimReport) -> [u64; DFP_LEN] {
+    let mut out = [0u64; DFP_LEN];
+    out[..FP_LEN].copy_from_slice(&fingerprint(r));
+    out[FP_LEN] = r.gateway_outages;
+    out[FP_LEN + 1] = r.buses_withdrawn;
+    out[FP_LEN + 2] = r.noise_bursts;
+    out[FP_LEN + 3] = r.outage_time_s.to_bits();
+    out[FP_LEN + 4] = r.generated_during_outage;
+    out[FP_LEN + 5] = r.delivered_of_outage_generated;
+    out
+}
+
+/// Recorded on the engine that introduced the disruption subsystem
+/// (seed 4242, smoke scale, urban ROBC, one outage + one withdrawal +
+/// one noise burst).
+const DISRUPTED_FIXTURE: [u64; DFP_LEN] = [
+    267,
+    195,
+    0,
+    72,
+    0,
+    1556,
+    4498,
+    13,
+    38,
+    0,
+    28,
+    4644446686175652332,
+    4628748073743616730,
+    4607505754157879903,
+    4613937818241073152,
+    4701260744004337874,
+    4676854739459473671,
+    1429,
+    1,
+    2,
+    1,
+    4655631299166339072,
+    86,
+    60,
+];
+
+#[test]
+fn disrupted_run_matches_golden_fixture() {
+    let report = disrupted_config()
+        .run(GOLDEN_SEED)
+        .expect("valid disrupted config");
+    assert_eq!(
+        disrupted_fingerprint(&report),
+        DISRUPTED_FIXTURE,
+        "fingerprint drift for the disrupted fixture at seed {GOLDEN_SEED}"
+    );
+    // The fixture genuinely exercises every disruption kind.
+    assert_eq!(report.gateway_outages, 1);
+    assert_eq!(report.noise_bursts, 1);
+    assert!(report.buses_withdrawn > 0, "withdrawal selected no buses");
+    assert_eq!(report.outage_time_s, 1_800.0);
+    assert!(report.generated_during_outage > 0);
+}
+
+/// Disrupted runs must stay bit-identical across `Runner` worker
+/// counts, exactly like undisrupted ones.
+#[test]
+fn disrupted_runs_deterministic_across_worker_counts() {
+    let plan = ExperimentPlan::new(disrupted_config())
+        .schemes([Scheme::Robc, Scheme::RcaEtx])
+        .fixed_seeds([GOLDEN_SEED, GOLDEN_SEED + 1]);
+    let serial = Runner::single_threaded().run(&plan).expect("valid plan");
+    let parallel = Runner::new().workers(4).run(&plan).expect("valid plan");
+    assert_eq!(serial, parallel);
+    // And the runner reproduces a direct engine run of the same cell.
+    let direct = disrupted_config().run(GOLDEN_SEED).unwrap();
+    assert_eq!(
+        *serial[0].report.runs()[0].1.throughput_series.counts(),
+        *direct.throughput_series.counts()
+    );
+    assert_eq!(serial[0].report.runs()[0].1, direct);
+}
+
+/// Regeneration helper: prints the `DISRUPTED_FIXTURE` row for pasting.
+#[test]
+#[ignore = "generator: prints the disrupted fixture row"]
+fn print_disrupted_fixture() {
+    let report = disrupted_config().run(GOLDEN_SEED).unwrap();
+    let row: Vec<String> = disrupted_fingerprint(&report)
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect();
+    println!("const DISRUPTED_FIXTURE: [u64; DFP_LEN] = [");
+    println!("    {},", row.join(", "));
+    println!("];");
 }
 
 /// Regeneration helper: prints the `FIXTURES` table for pasting.
