@@ -13,9 +13,15 @@
 //! 5       4     RCA-ETX metric, f32 seconds, little-endian
 //! 9       2     queue length, u16 little-endian (saturating)
 //! 11      1     message count (0–12)
-//! 12      32·n  messages: id u64 | origin u32 | created-ms u64 | 12 B payload
+//! 12      24·n  messages: id u64 | origin u32 | created-ms u64 |
+//!               payload-len u16 | profile u8 | priority u8
 //! ...     4     MIC (CRC32 over all preceding bytes)
 //! ```
+//!
+//! The payload bytes themselves are not materialised (the simulator
+//! carries sizes, not contents), but their length, originating traffic
+//! profile and priority class ride every message record so a receiver
+//! reconstructs the frame's true airtime footprint.
 //!
 //! Every encoded frame decodes back to an equal [`UplinkFrame`] (up to
 //! the f32 rounding of the metric); corrupt frames are rejected by the
@@ -23,14 +29,14 @@
 
 use mlora_simcore::{MessageId, NodeId, SimTime};
 
-use crate::{AppMessage, UplinkFrame, MAX_BUNDLE};
+use crate::{AppMessage, Priority, UplinkFrame, MAX_BUNDLE};
 
 /// MHDR value for an unconfirmed data uplink.
 const MHDR_UNCONFIRMED_UP: u8 = 0x40;
 
-/// Fixed per-message wire size: 8 (id) + 4 (origin) + 8 (created) + 12
-/// payload stand-in = 32 bytes.
-const MESSAGE_WIRE_BYTES: usize = 32;
+/// Fixed per-message wire size: 8 (id) + 4 (origin) + 8 (created) +
+/// 2 (payload length) + 1 (profile) + 1 (priority) = 24 bytes.
+const MESSAGE_WIRE_BYTES: usize = 24;
 
 /// Error returned when decoding a wire frame fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +48,11 @@ pub enum DecodeError {
     /// The message count exceeds [`MAX_BUNDLE`] or the buffer length
     /// disagrees with it.
     BadLength,
+    /// A message record carries an unknown priority class byte.
+    BadPriority,
+    /// The declared per-message payload sizes sum past what one frame
+    /// can carry.
+    BadPayload,
     /// The integrity check failed.
     BadMic,
 }
@@ -52,6 +63,10 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame shorter than header and MIC"),
             DecodeError::BadHeader => write!(f, "unexpected MHDR byte"),
             DecodeError::BadLength => write!(f, "message count disagrees with frame length"),
+            DecodeError::BadPriority => write!(f, "unknown priority class byte"),
+            DecodeError::BadPayload => {
+                write!(f, "declared payload sizes overflow the frame budget")
+            }
             DecodeError::BadMic => write!(f, "integrity check failed"),
         }
     }
@@ -98,7 +113,13 @@ pub fn encode_frame(frame: &UplinkFrame) -> Vec<u8> {
         out.extend_from_slice(&msg.id.raw().to_le_bytes());
         out.extend_from_slice(&msg.origin.raw().to_le_bytes());
         out.extend_from_slice(&msg.created.as_millis().to_le_bytes());
-        out.extend_from_slice(&[0u8; 12]); // sensor payload stand-in
+        out.extend_from_slice(&msg.payload_bytes.to_le_bytes());
+        out.push(msg.profile);
+        out.push(match msg.priority {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        });
     }
     let mic = crc32(&out);
     out.extend_from_slice(&mic.to_le_bytes());
@@ -136,11 +157,32 @@ pub fn decode_frame(bytes: &[u8]) -> Result<UplinkFrame, DecodeError> {
         let id = u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
         let origin = u32::from_le_bytes(body[off + 8..off + 12].try_into().expect("4 bytes"));
         let created = u64::from_le_bytes(body[off + 12..off + 20].try_into().expect("8 bytes"));
-        messages.push(AppMessage::new(
-            MessageId::new(id),
-            NodeId::new(origin),
-            SimTime::from_millis(created),
-        ));
+        let payload = u16::from_le_bytes(body[off + 20..off + 22].try_into().expect("2 bytes"));
+        let profile = body[off + 22];
+        let priority = match body[off + 23] {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            2 => Priority::High,
+            _ => return Err(DecodeError::BadPriority),
+        };
+        messages.push(
+            AppMessage::new(
+                MessageId::new(id),
+                NodeId::new(origin),
+                SimTime::from_millis(created),
+            )
+            .with_traffic(payload, profile, priority),
+        );
+    }
+    // Reject (rather than panic on) frames whose declared payload sizes
+    // could never have fit the PHY maximum.
+    if messages
+        .iter()
+        .map(|m| m.payload_bytes as usize)
+        .sum::<usize>()
+        > crate::MAX_BUNDLE_BYTES
+    {
+        return Err(DecodeError::BadPayload);
     }
     Ok(UplinkFrame::new(sender, messages, rca_etx, queue_len))
 }
@@ -215,6 +257,46 @@ mod tests {
         let mic = crc32(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&mic.to_le_bytes());
         assert_eq!(decode_frame(&bytes), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn traffic_tags_roundtrip() {
+        let messages =
+            vec![
+                AppMessage::new(MessageId::new(1), NodeId::new(2), SimTime::from_secs(3))
+                    .with_traffic(48, 3, Priority::High),
+                AppMessage::new(MessageId::new(4), NodeId::new(5), SimTime::from_secs(6))
+                    .with_traffic(8, 0, Priority::Low),
+            ];
+        let frame = UplinkFrame::new(NodeId::new(9), messages, 12.5, 7);
+        let decoded = decode_frame(&encode_frame(&frame)).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn bad_priority_byte_rejected() {
+        let frame = sample_frame(1);
+        let mut bytes = encode_frame(&frame);
+        // The priority byte is the last of the single message record.
+        let idx = 12 + MESSAGE_WIRE_BYTES - 1;
+        bytes[idx] = 9;
+        let body_len = bytes.len() - 4;
+        let mic = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&mic.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::BadPriority));
+    }
+
+    #[test]
+    fn oversized_declared_payload_rejected() {
+        let frame = sample_frame(1);
+        let mut bytes = encode_frame(&frame);
+        // Declare a payload length that could never fit one frame.
+        let idx = 12 + 20;
+        bytes[idx..idx + 2].copy_from_slice(&1_000u16.to_le_bytes());
+        let body_len = bytes.len() - 4;
+        let mic = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&mic.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::BadPayload));
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! Implements the medium-access behaviour the paper's §III.B and §VI rely
 //! on:
 //!
-//! * [`AppMessage`] / [`UplinkFrame`] — 20-byte application readings,
-//!   bundled up to twelve per frame with the sender's RCA-ETX and queue
-//!   length piggybacked (§VII.A.5).
-//! * [`DataQueue`] — the per-device FIFO application buffer.
+//! * [`AppMessage`] / [`UplinkFrame`] — application readings (20-byte
+//!   default, arbitrary per-profile sizes), bundled up to twelve per
+//!   frame — within the 255-byte PHY budget — with the sender's RCA-ETX
+//!   and queue length piggybacked (§VII.A.5). Frames report their
+//!   *actual* payload size, so airtime downstream is byte-true.
+//! * [`DataQueue`] — the per-device application buffer: [`Priority`]
+//!   classes ahead of each other, FIFO within a class.
 //! * [`DutyCycleTracker`] — EU868 1 % duty-cycle enforcement.
 //! * [`RetransmitPolicy`] — up to eight attempts, reset when a new packet
 //!   is generated.
@@ -33,7 +36,8 @@ pub use codec::{decode_frame, encode_frame, DecodeError};
 pub use dutycycle::DutyCycleTracker;
 pub use energy::{EnergyAccount, EnergyModel, RadioState};
 pub use frame::{
-    AppMessage, UplinkFrame, APP_MESSAGE_BYTES, FRAME_HEADER_BYTES, MAX_BUNDLE, METADATA_BYTES,
+    AppMessage, Priority, UplinkFrame, APP_MESSAGE_BYTES, FRAME_HEADER_BYTES, MAX_BUNDLE,
+    MAX_BUNDLE_BYTES, MAX_FRAME_BYTES, METADATA_BYTES,
 };
 pub use queue::DataQueue;
 pub use retransmit::RetransmitPolicy;

@@ -1,17 +1,22 @@
-//! Per-device FIFO application data queue.
+//! Per-device priority-aware application data queue.
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use crate::AppMessage;
+use crate::{AppMessage, Priority};
 
-/// The first-in-first-out application buffer of a device (§VII.A.4).
+/// The application buffer of a device (§VII.A.4).
 ///
 /// Messages stay queued until the device learns they were delivered (a
-/// gateway acknowledgement) or hands them to a neighbour. The queue is
-/// bounded; when full, the **oldest** message is dropped (freshest-data
-/// retention, the usual choice for telemetry) and counted.
+/// gateway acknowledgement) or hands them to a neighbour. The queue
+/// orders by [`Priority`] — higher classes ahead of lower ones, FIFO
+/// within a class — which degenerates to plain FIFO (and costs nothing
+/// extra) when every message shares one class, as in the paper's
+/// homogeneous workload. The queue is bounded; when full, the **oldest
+/// message of the lowest class present** is dropped (freshest-data
+/// retention, and urgent traffic is never evicted by background
+/// readings) and counted.
 ///
 /// # Example
 ///
@@ -49,22 +54,85 @@ impl DataQueue {
         }
     }
 
-    /// Appends a message; drops (and counts) the oldest if full.
+    /// Enqueues a message behind every message of its class or higher;
+    /// drops (and counts) the oldest lowest-class message if full.
+    ///
+    /// When all messages share one priority this is exactly the old
+    /// FIFO: the back-scan terminates immediately and overflow drops the
+    /// head of the queue.
     pub fn push(&mut self, msg: AppMessage) {
         if self.buf.len() == self.capacity {
-            self.buf.pop_front();
-            self.dropped += 1;
+            self.drop_one_for(msg.priority);
+            if self.buf.len() == self.capacity {
+                // The newcomer itself is the lowest class in a full
+                // queue of strictly higher classes: it is the drop.
+                self.dropped += 1;
+                return;
+            }
         }
-        self.buf.push_back(msg);
+        // The buffer is ordered by descending priority (stable within a
+        // class), so the insertion point is found scanning from the back
+        // — zero iterations in the single-class case.
+        let mut at = self.buf.len();
+        while at > 0 && self.buf[at - 1].priority < msg.priority {
+            at -= 1;
+        }
+        if at == self.buf.len() {
+            self.buf.push_back(msg);
+        } else {
+            self.buf.insert(at, msg);
+        }
     }
 
-    /// The oldest `n` messages without removing them (fewer if the queue
-    /// is shorter).
+    /// Evicts the oldest message of the lowest class present, provided
+    /// that class is no higher than `incoming` (so a low-priority
+    /// arrival never evicts queued urgent traffic).
+    fn drop_one_for(&mut self, incoming: Priority) {
+        let Some(lowest) = self.buf.back().map(|m| m.priority) else {
+            return;
+        };
+        if lowest > incoming {
+            return;
+        }
+        // Descending order means the lowest class is the contiguous tail
+        // region; its oldest member is the first element from the front
+        // whose priority has dropped to `lowest`. In the uniform-class
+        // case the head qualifies immediately, so overflow eviction is a
+        // front removal — exactly the legacy FIFO drop.
+        let at = self
+            .buf
+            .iter()
+            .position(|m| m.priority == lowest)
+            .expect("lowest priority was read from the buffer");
+        self.buf.remove(at);
+        self.dropped += 1;
+    }
+
+    /// The frontmost `n` messages without removing them (fewer if the
+    /// queue is shorter).
     pub fn peek_front(&self, n: usize) -> Vec<AppMessage> {
         self.buf.iter().take(n).copied().collect()
     }
 
-    /// Removes and returns the oldest `n` messages.
+    /// The longest front prefix of at most `n` messages whose payloads
+    /// fit `byte_budget` bytes — the bundle-selection primitive for
+    /// byte-true frames. Any message whose payload fits the whole budget
+    /// on its own is guaranteed inclusion when it reaches the front.
+    pub fn peek_front_within(&self, n: usize, byte_budget: usize) -> Vec<AppMessage> {
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for msg in self.buf.iter().take(n) {
+            let next = bytes + msg.payload_bytes as usize;
+            if next > byte_budget {
+                break;
+            }
+            bytes = next;
+            out.push(*msg);
+        }
+        out
+    }
+
+    /// Removes and returns the frontmost `n` messages.
     pub fn pop_front(&mut self, n: usize) -> Vec<AppMessage> {
         let n = n.min(self.buf.len());
         self.buf.drain(..n).collect()
@@ -102,7 +170,7 @@ impl DataQueue {
         self.dropped
     }
 
-    /// Iterates over queued messages, oldest first.
+    /// Iterates over queued messages, front (next to transmit) first.
     pub fn iter(&self) -> impl Iterator<Item = &AppMessage> {
         self.buf.iter()
     }
@@ -115,6 +183,10 @@ mod tests {
 
     fn msg(i: u64) -> AppMessage {
         AppMessage::new(MessageId::new(i), NodeId::new(0), SimTime::ZERO)
+    }
+
+    fn prio(i: u64, p: Priority) -> AppMessage {
+        msg(i).with_traffic(20, 0, p)
     }
 
     #[test]
@@ -143,12 +215,62 @@ mod tests {
     }
 
     #[test]
+    fn priority_jumps_the_queue_fifo_within_class() {
+        let mut q = DataQueue::new(10);
+        q.push(prio(0, Priority::Normal));
+        q.push(prio(1, Priority::Low));
+        q.push(prio(2, Priority::High));
+        q.push(prio(3, Priority::Normal));
+        q.push(prio(4, Priority::High));
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [2, 4, 0, 3, 1]);
+    }
+
+    #[test]
+    fn overflow_evicts_lowest_class_never_urgent() {
+        let mut q = DataQueue::new(3);
+        q.push(prio(0, Priority::High));
+        q.push(prio(1, Priority::Low));
+        q.push(prio(2, Priority::Low));
+        // A Normal arrival evicts the *oldest Low*, not the head.
+        q.push(prio(3, Priority::Normal));
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [0, 3, 2]);
+        assert_eq!(q.dropped(), 1);
+        // A Low arrival into a full queue of higher classes drops itself.
+        q.push(prio(4, Priority::High));
+        assert_eq!(q.len(), 3);
+        q.push(prio(5, Priority::Low));
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [0, 4, 3]);
+        assert_eq!(q.dropped(), 3);
+    }
+
+    #[test]
     fn peek_does_not_remove() {
         let mut q = DataQueue::new(10);
         q.push(msg(1));
         let peeked = q.peek_front(5);
         assert_eq!(peeked.len(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_front_within_respects_byte_budget() {
+        let mut q = DataQueue::new(10);
+        q.push(prio(0, Priority::Normal).with_traffic(100, 0, Priority::Normal));
+        q.push(prio(1, Priority::Normal).with_traffic(100, 0, Priority::Normal));
+        q.push(prio(2, Priority::Normal).with_traffic(100, 0, Priority::Normal));
+        let bundle = q.peek_front_within(12, 240);
+        assert_eq!(bundle.len(), 2);
+        // Message-count cap still applies.
+        assert_eq!(q.peek_front_within(1, 240).len(), 1);
+        // Uniform 20-byte messages reproduce the legacy prefix exactly.
+        let mut q = DataQueue::new(20);
+        for i in 0..15 {
+            q.push(msg(i));
+        }
+        assert_eq!(q.peek_front_within(12, 240), q.peek_front(12));
     }
 
     #[test]

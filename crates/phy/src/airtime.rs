@@ -4,6 +4,10 @@ use mlora_simcore::SimDuration;
 
 use crate::PhyParams;
 
+/// The LoRa PHY payload maximum, bytes. [`time_on_air`] rejects anything
+/// larger; MAC layers must bundle within this budget.
+pub const LORA_MAX_PAYLOAD_BYTES: usize = 255;
+
 /// Computes the time-on-air of a LoRa frame (Semtech AN1200.13).
 ///
 /// `payload_bytes` is the PHY payload length (MAC header + application
@@ -23,9 +27,12 @@ use crate::PhyParams;
 ///
 /// # Panics
 ///
-/// Panics if `payload_bytes` exceeds 255, the LoRa maximum.
+/// Panics if `payload_bytes` exceeds [`LORA_MAX_PAYLOAD_BYTES`].
 pub fn time_on_air(payload_bytes: usize, params: &PhyParams) -> SimDuration {
-    assert!(payload_bytes <= 255, "LoRa payload is at most 255 bytes");
+    assert!(
+        payload_bytes <= LORA_MAX_PAYLOAD_BYTES,
+        "LoRa payload is at most 255 bytes"
+    );
     let sf = params.sf.value() as i64;
     let t_sym = params.symbol_time_s();
     let de = i64::from(params.low_data_rate_optimize());

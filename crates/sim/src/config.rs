@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::disruption::DisruptionPlan;
 use crate::metrics::SimReport;
+use crate::traffic::TrafficModel;
 
 /// Radio environment, setting the device-to-device range (§VII.A.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -83,8 +84,15 @@ pub struct SimConfig {
     pub alpha: f64,
     /// Device class for the fleet.
     pub device_class: DeviceClassChoice,
-    /// Application message generation interval (paper: 3 min).
+    /// Application message generation interval (paper: 3 min). Drives
+    /// the paper-exact periodic generator whenever [`SimConfig::traffic`]
+    /// is empty; heterogeneous models carry their own intervals.
     pub gen_interval: SimDuration,
+    /// The demand-side traffic model: a weighted mix of application
+    /// profiles (arrival process × payload distribution × priority).
+    /// Empty by default; an empty model runs the paper's homogeneous
+    /// workload bit-identically to a build without the subsystem.
+    pub traffic: TrafficModel,
     /// Per-device application queue capacity, messages.
     pub queue_capacity: usize,
     /// Duty cycle cap (paper: 1 %).
@@ -226,6 +234,7 @@ impl SimConfig {
             alpha: 0.5,
             device_class: DeviceClassChoice::ModifiedClassC,
             gen_interval: SimDuration::from_mins(3),
+            traffic: TrafficModel::default(),
             queue_capacity: 256,
             duty_cycle: 0.01,
             max_attempts: 8,
@@ -318,6 +327,7 @@ impl SimConfig {
                 field: "gen_interval",
             });
         }
+        self.traffic.validate()?;
         if self.queue_capacity == 0 {
             return Err(ConfigError::Zero {
                 field: "queue_capacity",
@@ -468,6 +478,15 @@ mod tests {
         let mut c = base;
         c.horizon = SimDuration::ZERO;
         assert_eq!(c.validate(), Err(ConfigError::Zero { field: "horizon" }));
+    }
+
+    #[test]
+    fn validation_covers_traffic_model() {
+        let mut c = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        c.traffic = crate::TrafficModel::mix([crate::TrafficProfile::telemetry().weight(-1.0)]);
+        assert_eq!(c.validate().unwrap_err().field(), "traffic.profiles.weight");
+        c.traffic = crate::TrafficModel::mix([crate::TrafficProfile::telemetry()]);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -20,8 +20,8 @@
 use mlora_core::{Beacon, ForwardDecision, RoutingState};
 use mlora_geo::{GridIndex, Point};
 use mlora_mac::{
-    AppMessage, DataQueue, DeviceClass, DutyCycleTracker, EnergyAccount, EnergyModel, RadioState,
-    RetransmitPolicy, UplinkFrame, MAX_BUNDLE,
+    AppMessage, DataQueue, DeviceClass, DutyCycleTracker, EnergyAccount, EnergyModel, Priority,
+    RadioState, RetransmitPolicy, UplinkFrame, MAX_BUNDLE, MAX_BUNDLE_BYTES,
 };
 use mlora_phy::{resolve_collision, time_on_air, CAPTURE_MARGIN_DB};
 use mlora_simcore::{DenseMap, EventQueue, NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey};
@@ -70,6 +70,22 @@ struct Flight {
     pos: Point,
 }
 
+/// Per-device traffic-model state: which profile this device runs and
+/// the dedicated RNG stream its arrival/payload draws come from.
+/// `None` when the scenario's [`TrafficModel`](crate::TrafficModel) is
+/// empty — the paper-exact periodic generator needs no state.
+#[derive(Debug, Clone)]
+struct DeviceTraffic {
+    /// Index into the model's profile mix.
+    profile: u32,
+    /// Per-device stream forked from the engine's traffic root; the
+    /// first draw assigns the profile, later draws sample arrivals and
+    /// payload sizes.
+    rng: SimRng,
+    /// Messages remaining in the current on-period of a bursty process.
+    burst_left: u32,
+}
+
 /// Per-device live state.
 #[derive(Debug, Clone)]
 struct Device {
@@ -97,6 +113,8 @@ struct Device {
     frames_sent: u64,
     /// The position this device is filed under in the neighbour grid.
     grid_pos: Point,
+    /// Traffic-model state; `None` under the paper's default workload.
+    traffic: Option<DeviceTraffic>,
 }
 
 /// Execution statistics of one engine run, returned by
@@ -167,6 +185,11 @@ pub struct Engine {
     /// Dedicated stream for withdrawal selection, so disruptions never
     /// perturb the channel/shadowing draws of the surviving fleet.
     disruption_rng: SimRng,
+    /// Root of the per-device traffic streams (profile assignment,
+    /// arrival gaps, payload sizes). Forked per device by node index, so
+    /// a device's traffic is a pure function of the seed and its
+    /// identity. Never drawn from when the model is empty.
+    traffic_root: SimRng,
     /// Scratch: withdrawal candidate pool.
     scratch_withdraw: Vec<NodeId>,
     /// Set once [`Engine::execute`] has run: the engine keeps end-of-run
@@ -193,7 +216,7 @@ impl Engine {
         net_cfg.horizon = cfg.horizon;
         let net = mlora_mobility::BusNetwork::generate(&net_cfg, root.fork(11).seed());
         let gateways = place_gateways(net.area(), cfg.num_gateways, cfg.placement, &mut deploy_rng);
-        let collector = Collector::new(cfg.series_bucket, cfg.horizon);
+        let collector = Collector::new(cfg.series_bucket, cfg.horizon, &cfg.traffic);
         let horizon = SimTime::ZERO + cfg.horizon;
         let num_trips = net.trips().len();
         let cell = cfg.environment.d2d_range_m().max(200.0);
@@ -245,6 +268,10 @@ impl Engine {
             // this stream leaves streams 10–12 untouched: an empty plan
             // never draws from it and stays bit-identical.
             disruption_rng: root.fork(13),
+            // Same argument: an empty traffic model never forks or draws
+            // from stream 14, so the paper-default workload stays
+            // bit-identical.
+            traffic_root: root.fork(14),
             scratch_withdraw: Vec::new(),
             executed: false,
             cfg,
@@ -430,7 +457,7 @@ impl Engine {
 
         let collector = std::mem::replace(
             &mut self.collector,
-            Collector::new(self.cfg.series_bucket, self.cfg.horizon),
+            Collector::new(self.cfg.series_bucket, self.cfg.horizon, &self.cfg.traffic),
         );
         let report = collector.finish();
         observer.on_run_end(&report);
@@ -545,6 +572,31 @@ impl Engine {
 
     fn on_trip_start(&mut self, n: NodeId) {
         let pos = self.position_now(n);
+        // Traffic state and the delay to the first reading. The paper
+        // default draws its phase from the channel stream (the historical
+        // behaviour, kept bit-identical); a heterogeneous model gives
+        // every device its own stream — first draw assigns the profile,
+        // the second the phase.
+        let (traffic, first_gap) = if self.cfg.traffic.is_empty() {
+            let phase_ms = self
+                .channel_rng
+                .gen_range_u64(0, self.cfg.gen_interval.as_millis().max(1));
+            (None, SimDuration::from_millis(phase_ms))
+        } else {
+            let mut rng = self.traffic_root.fork(n.index() as u64);
+            let profile = self.cfg.traffic.pick_profile(&mut rng);
+            let gap = self.cfg.traffic.profiles[profile]
+                .arrivals
+                .first_gap(&mut rng);
+            (
+                Some(DeviceTraffic {
+                    profile: profile as u32,
+                    rng,
+                    burst_left: 0,
+                }),
+                gap,
+            )
+        };
         let device = Device {
             active: true,
             activated_at: self.now,
@@ -564,6 +616,7 @@ impl Engine {
             rx_window_time: SimDuration::ZERO,
             frames_sent: 0,
             grid_pos: pos,
+            traffic,
         };
         self.devices.insert(n, device);
         if let Err(i) = self.active.binary_search(&n) {
@@ -572,13 +625,8 @@ impl Engine {
         self.grid.insert(n, pos);
         // First reading arrives after a per-device phase so the fleet does
         // not transmit in lockstep.
-        let phase_ms = self
-            .channel_rng
-            .gen_range_u64(0, self.cfg.gen_interval.as_millis().max(1));
-        self.events.schedule(
-            self.now + SimDuration::from_millis(phase_ms),
-            Event::Generate(n),
-        );
+        self.events
+            .schedule(self.now + first_gap, Event::Generate(n));
     }
 
     fn on_trip_end(&mut self, n: NodeId) {
@@ -621,30 +669,52 @@ impl Engine {
 
     fn on_generate(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
         let gen_interval = self.cfg.gen_interval;
+        let now = self.now;
         let Some(dev) = self.devices.get_mut(n) else {
             return;
         };
         if !dev.active {
             return;
         }
-        let msg = AppMessage::new(mlora_simcore::MessageId::new(self.next_msg), n, self.now);
+        // Reading shape and the gap to the next one: the paper default
+        // is a fixed 20-byte reading every `gen_interval`; a profile
+        // samples both from the device's own traffic stream.
+        let (payload, profile, priority, gap) = match dev.traffic.as_mut() {
+            None => (
+                mlora_mac::APP_MESSAGE_BYTES as u16,
+                0u8,
+                Priority::Normal,
+                gen_interval,
+            ),
+            Some(state) => {
+                let spec = &self.cfg.traffic.profiles[state.profile as usize];
+                let payload = spec.payload.sample(&mut state.rng);
+                let gap = spec
+                    .arrivals
+                    .next_gap(now, &mut state.burst_left, &mut state.rng);
+                (payload, state.profile as u8, spec.priority, gap)
+            }
+        };
+        let msg = AppMessage::new(mlora_simcore::MessageId::new(self.next_msg), n, self.now)
+            .with_traffic(payload, profile, priority);
         self.next_msg += 1;
         let drops_before = dev.queue.dropped();
         dev.queue.push(msg);
         let dropped = dev.queue.dropped() - drops_before;
-        self.collector.on_generated(msg.id);
+        self.collector.on_generated(&msg);
         observer.on_message_generated(&MessageGenerated {
             time: self.now,
             device: n,
             message: msg.id,
+            profile,
+            payload_bytes: payload,
         });
         if dropped > 0 {
             self.collector.on_queue_drop(dropped);
         }
         // A new packet resets the retransmission counter (§VII.A.5).
         dev.retransmit.reset();
-        self.events
-            .schedule(self.now + gen_interval, Event::Generate(n));
+        self.events.schedule(self.now + gap, Event::Generate(n));
         self.maybe_schedule_tx(n);
     }
 
@@ -700,11 +770,16 @@ impl Engine {
             }
         }
         let dev = self.devices.get_mut(n).expect("checked above");
+        // Bundle the front of the queue under both caps: the 12-message
+        // bundle limit and the PHY byte budget. Uniform 20-byte readings
+        // saturate both at once (12 × 20 = 240), reproducing the legacy
+        // count-only selection exactly; heterogeneous payloads stop at
+        // whatever fits.
         let count = count.min(dev.queue.len());
-        if count == 0 {
+        let messages = dev.queue.peek_front_within(count, MAX_BUNDLE_BYTES);
+        if messages.is_empty() {
             return;
         }
-        let messages = dev.queue.peek_front(count);
         let frame = UplinkFrame::new(n, messages, dev.routing.beacon_metric(), dev.queue.len());
         let airtime = time_on_air(frame.payload_bytes(), &phy);
         dev.duty.record_tx(self.now, airtime);
@@ -718,11 +793,13 @@ impl Engine {
             dev.gamma = gamma;
             dev.rx_window_time += gen_interval.mul_f64(gamma);
         }
-        self.collector.on_frame_sent(target.is_some(), frame.len());
+        self.collector
+            .on_frame_sent(target.is_some(), &frame, airtime);
         observer.on_frame_tx(&FrameTransmitted {
             time: self.now,
             sender: n,
             bundled: frame.len(),
+            payload_bytes: frame.payload_bytes(),
             airtime,
             handover_target: target,
         });

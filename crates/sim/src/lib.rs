@@ -25,6 +25,14 @@
 //! deterministic timeline the engine compiles and applies; an empty
 //! plan is bit-identical to an undisrupted build.
 //!
+//! The demand side is equally pluggable: a [`TrafficModel`] mixes
+//! [`TrafficProfile`]s (periodic/jittered/Poisson/diurnal/bursty
+//! arrivals × payload-size distributions × priority classes) across the
+//! fleet, payload sizes flow into real frame airtimes, and
+//! [`SimReport::profiles`] breaks delivery/delay/airtime down per
+//! profile; an empty model is the paper's homogeneous workload,
+//! bit-identical to a build without the subsystem.
+//!
 //! # Quick start
 //!
 //! ```
@@ -73,13 +81,15 @@ pub mod observer;
 pub mod report;
 mod runner;
 mod scenario;
+pub mod traffic;
 
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
 pub use engine::{Engine, EngineStats};
 pub use experiment::{SweepPoint, PAPER_GATEWAY_COUNTS};
-pub use metrics::SimReport;
+pub use metrics::{ProfileReport, SimReport};
+pub use mlora_mac::Priority;
 pub use observer::{
     BusWithdrawn, EventCounter, FrameTransmitted, GatewayOutageChanged, HandoverAccepted,
     MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, SeriesObserver,
@@ -89,3 +99,4 @@ pub use runner::{
     CellKey, CellResult, ExperimentPlan, PlanCell, ReplicatedReport, Runner, RunnerError,
 };
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use traffic::{ArrivalProcess, PayloadModel, TrafficModel, TrafficProfile};

@@ -4,6 +4,98 @@ use mlora_simcore::stats::{TimeSeries, Welford};
 use mlora_simcore::{DenseMap, MessageId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::traffic::TrafficModel;
+
+/// Per-traffic-profile slice of a run's results.
+///
+/// One entry per profile of the scenario's
+/// [`TrafficModel`](crate::TrafficModel), in model order; a run under
+/// the paper's homogeneous default carries none. All ratio/mean
+/// accessors guard their zero-denominator cases explicitly (mirroring
+/// [`SimReport::mean_delay_s`]) so empty profiles print cleanly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// The profile's name, copied from the model.
+    pub name: String,
+    /// Messages this profile generated.
+    pub generated: u64,
+    /// Unique messages of this profile that reached the server.
+    pub delivered: u64,
+    /// Per-hop transmissions of this profile's messages
+    /// (bundle-weighted, like [`SimReport::messages_sent`]).
+    pub messages_sent: u64,
+    /// Application payload bytes of this profile put on the air
+    /// (bundle-weighted: relayed bytes count once per hop).
+    pub payload_bytes_sent: u64,
+    /// Share of frame airtime attributed to this profile, seconds.
+    /// Frames carry mixed profiles, so each frame's airtime is split
+    /// over its messages in proportion to payload bytes; header and
+    /// metadata overhead stays unattributed, which is why the profile
+    /// shares sum to *less than* [`SimReport::total_airtime_s`].
+    pub airtime_s: f64,
+    /// End-to-end delay statistics over this profile's deliveries.
+    delay: Welford,
+}
+
+impl ProfileReport {
+    fn new(name: String) -> Self {
+        ProfileReport {
+            name,
+            generated: 0,
+            delivered: 0,
+            messages_sent: 0,
+            payload_bytes_sent: 0,
+            airtime_s: 0.0,
+            delay: Welford::new(),
+        }
+    }
+
+    /// Delivery ratio of this profile's traffic, or `0.0` when the
+    /// profile generated nothing.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Mean end-to-end delay over this profile's deliveries, seconds,
+    /// or `0.0` when nothing was delivered.
+    pub fn mean_delay_s(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delay.mean()
+        }
+    }
+
+    /// Standard error of this profile's mean delay, seconds.
+    pub fn delay_std_error_s(&self) -> f64 {
+        self.delay.std_error()
+    }
+
+    /// Mean payload bytes per transmitted message of this profile, or
+    /// `0.0` when the profile never got a message onto the air.
+    pub fn mean_payload_bytes(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.payload_bytes_sent as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Mean attributed airtime per transmitted message, seconds, or
+    /// `0.0` when the profile never got a message onto the air.
+    pub fn mean_airtime_per_message_s(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.airtime_s / self.messages_sent as f64
+        }
+    }
+}
+
 /// Everything a run measures — the inputs to every figure in §VII.B.
 ///
 /// * Fig. 8 — [`SimReport::mean_delay_s`] / [`SimReport::delay_std_error_s`]
@@ -62,6 +154,12 @@ pub struct SimReport {
     /// traffic, not an arrival-window count). Never exceeds
     /// [`SimReport::generated_during_outage`].
     pub delivered_of_outage_generated: u64,
+    /// Total frame airtime across the fleet, seconds.
+    pub total_airtime_s: f64,
+    /// Per-profile breakdowns, one entry per profile of the scenario's
+    /// [`TrafficModel`](crate::TrafficModel) in model order; empty under
+    /// the paper's homogeneous default.
+    pub profiles: Vec<ProfileReport>,
 }
 
 impl SimReport {
@@ -175,6 +273,12 @@ impl SimReport {
             self.buses_withdrawn as f64 / self.devices_seen as f64
         }
     }
+
+    /// The per-profile breakdown named `name`, if the scenario's traffic
+    /// model defines it.
+    pub fn profile(&self, name: &str) -> Option<&ProfileReport> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
 }
 
 /// Accumulates metrics during a run; [`Collector::finish`] yields the
@@ -197,7 +301,7 @@ pub(crate) struct Collector {
 }
 
 impl Collector {
-    pub(crate) fn new(bucket: SimDuration, horizon: SimDuration) -> Self {
+    pub(crate) fn new(bucket: SimDuration, horizon: SimDuration, traffic: &TrafficModel) -> Self {
         Collector {
             report: SimReport {
                 generated: 0,
@@ -222,6 +326,12 @@ impl Collector {
                 outage_time_s: 0.0,
                 generated_during_outage: 0,
                 delivered_of_outage_generated: 0,
+                total_airtime_s: 0.0,
+                profiles: traffic
+                    .profiles
+                    .iter()
+                    .map(|p| ProfileReport::new(p.name.clone()))
+                    .collect(),
             },
             arrived: DenseMap::new(),
             transfers: DenseMap::new(),
@@ -231,11 +341,14 @@ impl Collector {
         }
     }
 
-    pub(crate) fn on_generated(&mut self, id: MessageId) {
+    pub(crate) fn on_generated(&mut self, msg: &mlora_mac::AppMessage) {
         self.report.generated += 1;
+        if let Some(acc) = self.report.profiles.get_mut(msg.profile as usize) {
+            acc.generated += 1;
+        }
         if self.outage_depth > 0 {
             self.report.generated_during_outage += 1;
-            self.outage_generated.insert(id, ());
+            self.outage_generated.insert(msg.id, ());
         }
     }
 
@@ -274,11 +387,32 @@ impl Collector {
         }
     }
 
-    pub(crate) fn on_frame_sent(&mut self, is_handover: bool, bundled: usize) {
+    pub(crate) fn on_frame_sent(
+        &mut self,
+        is_handover: bool,
+        frame: &mlora_mac::UplinkFrame,
+        airtime: SimDuration,
+    ) {
         self.report.frames_sent += 1;
-        self.report.messages_sent += bundled as u64;
+        self.report.messages_sent += frame.len() as u64;
+        self.report.total_airtime_s += airtime.as_secs_f64();
         if is_handover {
             self.report.handover_frames += 1;
+        }
+        // Per-profile attribution: split the frame's airtime over its
+        // messages in proportion to payload bytes (overhead stays
+        // unattributed). Skipped entirely — no float work, no iteration
+        // — under the paper's homogeneous default.
+        if !self.report.profiles.is_empty() && !frame.is_empty() {
+            let frame_bytes = frame.payload_bytes() as f64;
+            let airtime_s = airtime.as_secs_f64();
+            for m in &frame.messages {
+                if let Some(acc) = self.report.profiles.get_mut(m.profile as usize) {
+                    acc.messages_sent += 1;
+                    acc.payload_bytes_sent += u64::from(m.payload_bytes);
+                    acc.airtime_s += airtime_s * (f64::from(m.payload_bytes) / frame_bytes);
+                }
+            }
         }
     }
 
@@ -322,6 +456,10 @@ impl Collector {
             self.report.delivered_of_outage_generated += 1;
         }
         let delay = now.saturating_since(msg.created);
+        if let Some(acc) = self.report.profiles.get_mut(msg.profile as usize) {
+            acc.delivered += 1;
+            acc.delay.push(delay.as_secs_f64());
+        }
         self.report.delay.push(delay.as_secs_f64());
         let transfers = self.transfers.get(msg.id).copied().unwrap_or(0);
         self.report.hops.push(f64::from(transfers) + 1.0);
@@ -363,13 +501,21 @@ mod tests {
     }
 
     fn collector() -> Collector {
-        Collector::new(SimDuration::from_mins(10), SimDuration::from_hours(1))
+        Collector::new(
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(1),
+            &TrafficModel::default(),
+        )
+    }
+
+    fn frame(messages: Vec<AppMessage>) -> mlora_mac::UplinkFrame {
+        mlora_mac::UplinkFrame::new(NodeId::new(0), messages, 1.0, 0)
     }
 
     #[test]
     fn delivery_dedups_and_tracks_delay() {
         let mut c = collector();
-        c.on_generated(MessageId::new(1));
+        c.on_generated(&msg(1, 100));
         c.on_delivered(&msg(1, 100), SimTime::from_secs(160));
         c.on_delivered(&msg(1, 100), SimTime::from_secs(200)); // duplicate
         let r = c.finish();
@@ -401,9 +547,10 @@ mod tests {
     #[test]
     fn frames_per_node() {
         let mut c = collector();
-        c.on_frame_sent(false, 3);
-        c.on_frame_sent(true, 12);
-        c.on_frame_sent(false, 1);
+        let toa = SimDuration::from_millis(100);
+        c.on_frame_sent(false, &frame((0..3).map(|i| msg(i, 0)).collect()), toa);
+        c.on_frame_sent(true, &frame((3..15).map(|i| msg(i, 0)).collect()), toa);
+        c.on_frame_sent(false, &frame(vec![msg(15, 0)]), toa);
         c.on_device_retired(10.0, SimDuration::from_secs(60));
         c.on_device_retired(20.0, SimDuration::from_secs(60));
         let r = c.finish();
@@ -411,6 +558,7 @@ mod tests {
         assert_eq!(r.mean_messages_sent_per_node(), 8.0);
         assert_eq!(r.handover_frames, 1);
         assert_eq!(r.mean_energy_per_node_mj(), 15.0);
+        assert!((r.total_airtime_s - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -439,12 +587,12 @@ mod tests {
     fn outage_windows_split_generated_and_delivered() {
         let mut c = collector();
         // Clear generation + delivery.
-        c.on_generated(MessageId::new(1));
+        c.on_generated(&msg(1, 0));
         c.on_delivered(&msg(1, 0), SimTime::from_secs(10));
         // One gateway drops at t=100; messages born inside count as
         // disruption-era traffic wherever they are later delivered.
         c.on_gateway_down(SimTime::from_secs(100));
-        c.on_generated(MessageId::new(2));
+        c.on_generated(&msg(2, 100));
         // A second outage overlapping the first: depth 2, window extends.
         c.on_gateway_down(SimTime::from_secs(200));
         c.on_gateway_up(SimTime::from_secs(250));
@@ -452,7 +600,7 @@ mod tests {
         // Back in the clear: the outage-born message lands late, and a
         // clear-sky message generated now is never delivered.
         c.on_delivered(&msg(2, 100), SimTime::from_secs(400));
-        c.on_generated(MessageId::new(3));
+        c.on_generated(&msg(3, 400));
         c.on_horizon(SimTime::from_secs(1_000));
         let r = c.finish();
         assert_eq!(r.gateway_outages, 2);
@@ -463,6 +611,77 @@ mod tests {
         assert_eq!(r.outage_time_s, 200.0);
         assert_eq!(r.outage_delivery_ratio(), 1.0);
         assert_eq!(r.clear_delivery_ratio(), 0.5);
+    }
+
+    #[test]
+    fn per_profile_breakdowns_accumulate() {
+        use crate::{ArrivalProcess, PayloadModel, TrafficProfile};
+
+        let model = TrafficModel::mix([
+            TrafficProfile::new(
+                "a",
+                ArrivalProcess::Periodic {
+                    interval: SimDuration::from_mins(1),
+                },
+                PayloadModel::Fixed { bytes: 20 },
+            ),
+            TrafficProfile::new(
+                "b",
+                ArrivalProcess::Periodic {
+                    interval: SimDuration::from_mins(1),
+                },
+                PayloadModel::Fixed { bytes: 60 },
+            ),
+        ]);
+        let mut c = Collector::new(
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(1),
+            &model,
+        );
+        let ma = msg(1, 0).with_traffic(20, 0, mlora_mac::Priority::Normal);
+        let mb = msg(2, 0).with_traffic(60, 1, mlora_mac::Priority::Normal);
+        c.on_generated(&ma);
+        c.on_generated(&mb);
+        let toa = SimDuration::from_millis(95);
+        c.on_frame_sent(false, &frame(vec![ma, mb]), toa);
+        c.on_delivered(&ma, SimTime::from_secs(30));
+        let r = c.finish();
+        assert_eq!(r.profiles.len(), 2);
+        let a = r.profile("a").expect("profile a");
+        let b = r.profile("b").expect("profile b");
+        assert_eq!((a.generated, a.delivered), (1, 1));
+        assert_eq!((b.generated, b.delivered), (1, 0));
+        assert_eq!(a.payload_bytes_sent, 20);
+        assert_eq!(b.payload_bytes_sent, 60);
+        assert_eq!(a.mean_delay_s(), 30.0);
+        assert_eq!(a.delivery_ratio(), 1.0);
+        assert_eq!(b.delivery_ratio(), 0.0);
+        assert_eq!(a.mean_payload_bytes(), 20.0);
+        // Airtime shares are proportional to payload bytes and never
+        // exceed the frame total (overhead stays unattributed).
+        assert!(b.airtime_s > a.airtime_s);
+        assert!(a.airtime_s + b.airtime_s < r.total_airtime_s + 1e-12);
+        assert!((b.airtime_s / a.airtime_s - 3.0).abs() < 1e-9);
+        assert!(r.profile("missing").is_none());
+    }
+
+    #[test]
+    fn empty_profile_report_guards_divisions() {
+        // The zero-delivery / zero-send boundary: every accessor must
+        // return a clean 0.0, never NaN (the mean_delay_s hazard class).
+        let p = ProfileReport::new("idle".into());
+        assert_eq!(p.delivery_ratio(), 0.0);
+        assert_eq!(p.mean_delay_s(), 0.0);
+        assert_eq!(p.delay_std_error_s(), 0.0);
+        assert_eq!(p.mean_payload_bytes(), 0.0);
+        assert_eq!(p.mean_airtime_per_message_s(), 0.0);
+
+        // Generated-but-never-delivered: ratios defined, delay still 0.
+        let mut p = ProfileReport::new("lossy".into());
+        p.generated = 5;
+        assert_eq!(p.delivery_ratio(), 0.0);
+        assert_eq!(p.mean_delay_s(), 0.0);
+        assert!(p.mean_delay_s().is_finite());
     }
 
     #[test]

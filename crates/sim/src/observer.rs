@@ -40,6 +40,11 @@ pub struct MessageGenerated {
     pub device: NodeId,
     /// The new message's identifier.
     pub message: MessageId,
+    /// Index of the traffic profile that generated it (0 under the
+    /// paper's homogeneous default).
+    pub profile: u8,
+    /// Application payload size, bytes.
+    pub payload_bytes: u16,
 }
 
 /// A device began transmitting one uplink or handover frame.
@@ -51,6 +56,10 @@ pub struct FrameTransmitted {
     pub sender: NodeId,
     /// Messages bundled into the frame.
     pub bundled: usize,
+    /// PHY payload size of the frame, bytes (header, metadata and the
+    /// actual bundled payload sizes — what the airtime was computed
+    /// from).
+    pub payload_bytes: usize,
     /// Time on air.
     pub airtime: SimDuration,
     /// `Some(device)` when this frame is a directed handover.
@@ -213,6 +222,8 @@ pub struct EventCounter {
     pub frames: u64,
     /// Handover frames among [`EventCounter::frames`].
     pub handover_frames: u64,
+    /// PHY payload bytes across all transmitted frames.
+    pub payload_bytes: u64,
     /// Accepted handovers.
     pub forwards: u64,
     /// Unique server deliveries.
@@ -232,6 +243,7 @@ impl SimObserver for EventCounter {
 
     fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
         self.frames += 1;
+        self.payload_bytes += ev.payload_bytes as u64;
         if ev.handover_target.is_some() {
             self.handover_frames += 1;
         }
@@ -392,19 +404,20 @@ impl<W: Write> TraceSink<W> {
                     self.header_written = true;
                     writeln!(
                         self.out,
-                        "time_s,event,device,peer,message,count,delay_s,hops"
+                        "time_s,event,device,peer,message,count,bytes,delay_s,hops"
                     )
                 };
                 header.and_then(|()| {
-                    let mut cols = ["", "", "", "", "", ""].map(String::from);
+                    let mut cols = ["", "", "", "", "", "", ""].map(String::from);
                     for (key, value) in fields {
                         let slot = match *key {
                             "device" => 0,
                             "peer" => 1,
                             "message" => 2,
                             "count" => 3,
-                            "delay_s" => 4,
-                            "hops" => 5,
+                            "bytes" => 4,
+                            "delay_s" => 5,
+                            "hops" => 6,
                             _ => unreachable!("unknown trace field {key}"),
                         };
                         cols[slot] = value.clone();
@@ -444,6 +457,7 @@ impl<W: Write> SimObserver for TraceSink<W> {
             &[
                 ("device", ev.device.raw().to_string()),
                 ("message", ev.message.raw().to_string()),
+                ("bytes", ev.payload_bytes.to_string()),
             ],
         );
     }
@@ -452,6 +466,7 @@ impl<W: Write> SimObserver for TraceSink<W> {
         let mut fields = vec![
             ("device", ev.sender.raw().to_string()),
             ("count", ev.bundled.to_string()),
+            ("bytes", ev.payload_bytes.to_string()),
         ];
         if let Some(target) = ev.handover_target {
             fields.push(("peer", target.raw().to_string()));
@@ -532,11 +547,14 @@ mod tests {
             time: SimTime::ZERO,
             device: NodeId::new(0),
             message: MessageId::new(0),
+            profile: 0,
+            payload_bytes: 20,
         });
         c.on_frame_tx(&FrameTransmitted {
             time: SimTime::ZERO,
             sender: NodeId::new(0),
             bundled: 3,
+            payload_bytes: 75,
             airtime: SimDuration::from_millis(300),
             handover_target: Some(NodeId::new(2)),
         });
@@ -544,6 +562,7 @@ mod tests {
         assert_eq!(c.generated, 1);
         assert_eq!(c.frames, 1);
         assert_eq!(c.handover_frames, 1);
+        assert_eq!(c.payload_bytes, 75);
         assert_eq!(c.deliveries, 1);
     }
 
@@ -577,9 +596,9 @@ mod tests {
         let mut lines = out.lines();
         assert_eq!(
             lines.next(),
-            Some("time_s,event,device,peer,message,count,delay_s,hops")
+            Some("time_s,event,device,peer,message,count,bytes,delay_s,hops")
         );
-        assert_eq!(lines.next(), Some("10.000,delivery,1,,10,,30.000,2"));
+        assert_eq!(lines.next(), Some("10.000,delivery,1,,10,,,30.000,2"));
     }
 
     #[test]

@@ -103,6 +103,34 @@ pub fn resilience_table(cells: &[CellResult]) -> String {
     s
 }
 
+/// Formats one run's per-traffic-profile breakdown: generation,
+/// delivery ratio, mean delay and the airtime share each application
+/// class consumed. Empty (header only) for a run under the paper's
+/// homogeneous default.
+pub fn traffic_profile_table(report: &SimReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# per-profile delivery / delay / airtime");
+    let _ = writeln!(
+        s,
+        "{:>18} {:>9} {:>9} {:>8} {:>10} {:>11} {:>11}",
+        "profile", "generated", "delivered", "deliv%", "delay(s)", "airtime(s)", "bytes-sent"
+    );
+    for p in &report.profiles {
+        let _ = writeln!(
+            s,
+            "{:>18} {:>9} {:>9} {:>7.1}% {:>10.1} {:>11.1} {:>11}",
+            p.name,
+            p.generated,
+            p.delivered,
+            100.0 * p.delivery_ratio(),
+            p.mean_delay_s(),
+            p.airtime_s,
+            p.payload_bytes_sent,
+        );
+    }
+    s
+}
+
 /// Formats the Fig. 12 table: mean hop count of delivered messages.
 pub fn fig12_hops_table(points: &[SweepPoint]) -> String {
     metric_table(points, "mean hops per delivered message", |r| {
@@ -279,6 +307,29 @@ mod tests {
         // disrupted one carries the open-ended outage to the horizon.
         assert_eq!(cells[0].report.single().outage_time_s, 0.0);
         assert!(cells[1].report.single().outage_time_s > 0.0);
+    }
+
+    #[test]
+    fn traffic_table_reports_every_profile() {
+        use crate::{Scenario, TrafficProfile};
+
+        let report = Scenario::urban()
+            .smoke()
+            .duration(mlora_simcore::SimDuration::from_mins(40))
+            .profile(TrafficProfile::telemetry().weight(3.0))
+            .profile(TrafficProfile::alerts())
+            .run(5)
+            .expect("valid traffic scenario");
+        let table = traffic_profile_table(&report);
+        assert!(table.contains("telemetry"), "{table}");
+        assert!(table.contains("alerts"), "{table}");
+        // The homogeneous default renders header-only.
+        let plain = Scenario::urban()
+            .smoke()
+            .duration(mlora_simcore::SimDuration::from_mins(40))
+            .run(5)
+            .unwrap();
+        assert_eq!(traffic_profile_table(&plain).lines().count(), 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use mlora_simcore::stats::Welford;
 
 use crate::{
     ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayPlacement, SimConfig,
-    SimReport,
+    SimReport, TrafficModel,
 };
 
 /// How a plan assigns seeds to replicate runs.
@@ -78,6 +78,9 @@ pub struct CellKey {
     /// Index into the plan's disruption axis (0 when the axis was never
     /// set — the base configuration's own plan).
     pub disruption: usize,
+    /// Index into the plan's traffic axis (0 when the axis was never
+    /// set — the base configuration's own model).
+    pub traffic: usize,
 }
 
 /// One cell of a plan: its coordinates and the fully resolved config.
@@ -97,7 +100,7 @@ pub struct PlanCell {
 /// Axes default to the base configuration's own value; setting an axis
 /// replaces it. Cells enumerate in row-major order with environments
 /// outermost, then gateway counts, schemes, alphas, placements, device
-/// classes and disruption timelines.
+/// classes, disruption timelines and traffic models.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentPlan {
     base: SimConfig,
@@ -108,6 +111,7 @@ pub struct ExperimentPlan {
     placements: Vec<GatewayPlacement>,
     device_classes: Vec<DeviceClassChoice>,
     disruptions: Vec<DisruptionPlan>,
+    traffics: Vec<TrafficModel>,
     /// Master seed for derived replication (set by [`ExperimentPlan::seed`];
     /// remembered even while a fixed-seed policy is active).
     base_seed: u64,
@@ -126,6 +130,7 @@ impl ExperimentPlan {
             placements: vec![base.placement],
             device_classes: vec![base.device_class],
             disruptions: vec![base.disruptions.clone()],
+            traffics: vec![base.traffic.clone()],
             base_seed: 0,
             seeds: SeedPolicy::Derived { replications: 1 },
             base,
@@ -173,6 +178,14 @@ impl ExperimentPlan {
     /// [`CellKey::disruption`].
     pub fn disruptions(mut self, axis: impl IntoIterator<Item = DisruptionPlan>) -> Self {
         self.disruptions = axis.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the traffic model — e.g. the paper's homogeneous workload
+    /// against increasingly heterogeneous mixes. Cells carry the axis
+    /// position in [`CellKey::traffic`].
+    pub fn traffics(mut self, axis: impl IntoIterator<Item = TrafficModel>) -> Self {
+        self.traffics = axis.into_iter().collect();
         self
     }
 
@@ -239,6 +252,7 @@ impl ExperimentPlan {
             * self.placements.len()
             * self.device_classes.len()
             * self.disruptions.len()
+            * self.traffics.len()
     }
 
     /// Materializes every cell in plan order.
@@ -251,28 +265,32 @@ impl ExperimentPlan {
                         for &placement in &self.placements {
                             for &device_class in &self.device_classes {
                                 for (disruption, plan) in self.disruptions.iter().enumerate() {
-                                    let key = CellKey {
-                                        environment,
-                                        gateways,
-                                        scheme,
-                                        alpha,
-                                        placement,
-                                        device_class,
-                                        disruption,
-                                    };
-                                    let mut config = self.base.clone();
-                                    config.environment = environment;
-                                    config.num_gateways = gateways;
-                                    config.scheme = scheme;
-                                    config.alpha = alpha;
-                                    config.placement = placement;
-                                    config.device_class = device_class;
-                                    config.disruptions = plan.clone();
-                                    out.push(PlanCell {
-                                        index: out.len(),
-                                        key,
-                                        config,
-                                    });
+                                    for (traffic, model) in self.traffics.iter().enumerate() {
+                                        let key = CellKey {
+                                            environment,
+                                            gateways,
+                                            scheme,
+                                            alpha,
+                                            placement,
+                                            device_class,
+                                            disruption,
+                                            traffic,
+                                        };
+                                        let mut config = self.base.clone();
+                                        config.environment = environment;
+                                        config.num_gateways = gateways;
+                                        config.scheme = scheme;
+                                        config.alpha = alpha;
+                                        config.placement = placement;
+                                        config.device_class = device_class;
+                                        config.disruptions = plan.clone();
+                                        config.traffic = model.clone();
+                                        out.push(PlanCell {
+                                            index: out.len(),
+                                            key,
+                                            config,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -293,6 +311,7 @@ impl ExperimentPlan {
             ("placements", self.placements.len()),
             ("device_classes", self.device_classes.len()),
             ("disruptions", self.disruptions.len()),
+            ("traffics", self.traffics.len()),
             ("seeds", self.replications()),
         ] {
             if len == 0 {
@@ -771,6 +790,41 @@ mod tests {
         assert!(matches!(
             bad.validate(),
             Err(RunnerError::InvalidCell { .. })
+        ));
+    }
+
+    #[test]
+    fn traffic_axis_multiplies_cells_and_reaches_configs() {
+        use crate::{TrafficModel, TrafficProfile};
+
+        let mixed = TrafficModel::mix([
+            TrafficProfile::telemetry().weight(3.0),
+            TrafficProfile::alerts(),
+        ]);
+        let plan = ExperimentPlan::new(tiny())
+            .schemes([Scheme::NoRouting, Scheme::Robc])
+            .traffics([TrafficModel::default(), mixed.clone()]);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].key.traffic, 0);
+        assert!(cells[0].config.traffic.is_empty());
+        assert_eq!(cells[1].key.traffic, 1);
+        assert_eq!(cells[1].config.traffic, mixed);
+        assert_eq!(plan.validate().map_err(|e| e.to_string()), Ok(()));
+        // An invalid model in the axis is caught before any run starts.
+        let bad =
+            ExperimentPlan::new(tiny()).traffics([TrafficModel::mix([TrafficProfile::telemetry(
+            )
+            .weight(-2.0)])]);
+        assert!(matches!(
+            bad.validate(),
+            Err(RunnerError::InvalidCell { .. })
+        ));
+        // An empty axis is rejected like any other.
+        let empty = ExperimentPlan::new(tiny()).traffics([]);
+        assert!(matches!(
+            empty.validate(),
+            Err(RunnerError::EmptyPlan { axis: "traffics" })
         ));
     }
 

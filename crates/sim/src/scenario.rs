@@ -33,7 +33,7 @@ use mlora_simcore::{SimDuration, SimTime};
 
 use crate::{
     BusWithdrawal, ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayOutage,
-    GatewayPlacement, NoiseBurst, SimConfig, SimObserver, SimReport,
+    GatewayPlacement, NoiseBurst, SimConfig, SimObserver, SimReport, TrafficModel, TrafficProfile,
 };
 
 /// Entry points for building simulation scenarios.
@@ -156,8 +156,62 @@ impl ScenarioBuilder {
     }
 
     /// Sets the application message generation interval (paper: 3 min).
+    ///
+    /// Drives the paper-exact periodic generator while the scenario's
+    /// traffic model is empty; profiles attached through
+    /// [`ScenarioBuilder::traffic`] / [`ScenarioBuilder::profile`] carry
+    /// their own intervals.
     pub fn gen_interval(mut self, interval: SimDuration) -> Self {
         self.config.gen_interval = interval;
+        self
+    }
+
+    /// Replaces the scenario's traffic model wholesale.
+    ///
+    /// The default model is empty — the paper's homogeneous periodic
+    /// workload, bit-identical to a build without the traffic subsystem.
+    /// Individual profiles append through [`ScenarioBuilder::profile`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::{Scenario, TrafficModel, TrafficProfile};
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .traffic(TrafficModel::mix([
+    ///         TrafficProfile::telemetry().weight(4.0),
+    ///         TrafficProfile::alerts(),
+    ///     ]))
+    ///     .build()?;
+    /// assert_eq!(cfg.traffic.profiles.len(), 2);
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn traffic(mut self, model: TrafficModel) -> Self {
+        self.config.traffic = model;
+        self
+    }
+
+    /// Appends one traffic profile to the scenario's model.
+    ///
+    /// Repeated calls build up a heterogeneous mix; fleet shares follow
+    /// the profiles' weights.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_sim::{Scenario, TrafficProfile};
+    ///
+    /// let cfg = Scenario::urban()
+    ///     .smoke()
+    ///     .profile(TrafficProfile::tracking())
+    ///     .profile(TrafficProfile::alerts())
+    ///     .build()?;
+    /// assert_eq!(cfg.traffic.profiles[1].name, "alerts");
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn profile(mut self, profile: TrafficProfile) -> Self {
+        self.config.traffic.profiles.push(profile);
         self
     }
 
@@ -504,6 +558,35 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err.field(), "disruptions.outages.gateway");
+    }
+
+    #[test]
+    fn traffic_setters_append_and_validate() {
+        let cfg = Scenario::urban()
+            .smoke()
+            .profile(TrafficProfile::telemetry())
+            .profile(TrafficProfile::alerts())
+            .build()
+            .expect("valid traffic mix");
+        assert_eq!(cfg.traffic.profiles.len(), 2);
+        assert_eq!(cfg.traffic.profiles[0].name, "telemetry");
+
+        // traffic() replaces whatever profile() accumulated.
+        let cfg = Scenario::urban()
+            .smoke()
+            .profile(TrafficProfile::telemetry())
+            .traffic(TrafficModel::default())
+            .build()
+            .unwrap();
+        assert!(cfg.traffic.is_empty());
+
+        // Invalid profiles surface through build() with the typed error.
+        let err = Scenario::urban()
+            .smoke()
+            .profile(TrafficProfile::telemetry().weight(f64::NAN))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "traffic.profiles.weight");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use mlora::core::Scheme;
 use mlora::geo::Point;
 use mlora::sim::{
-    DisruptionPlan, Environment, ExperimentPlan, Runner, Scenario, SimConfig, SimReport,
+    ArrivalProcess, DisruptionPlan, Environment, ExperimentPlan, PayloadModel, Runner, Scenario,
+    SimConfig, SimReport, TrafficModel, TrafficProfile,
 };
 use mlora::simcore::SimDuration;
 
@@ -288,6 +289,29 @@ fn empty_disruption_plan_reproduces_golden_fixtures() {
     }
 }
 
+/// An explicitly attached empty [`TrafficModel`] must reproduce the
+/// recorded pre-subsystem fingerprints byte-for-byte: the traffic
+/// machinery costs nothing — no per-device streams, no extra draws —
+/// until a profile is actually mixed in.
+#[test]
+fn empty_traffic_model_reproduces_golden_fixtures() {
+    for ((scheme, env), want) in scenarios().into_iter().zip(FIXTURES) {
+        let report = Scenario::custom(env)
+            .scheme(scheme)
+            .smoke()
+            .traffic(TrafficModel::default())
+            .run(GOLDEN_SEED)
+            .expect("smoke config with empty traffic model is valid");
+        let got = fingerprint(&report);
+        assert_eq!(
+            got, want,
+            "empty TrafficModel perturbed {scheme:?}/{env:?} at seed {GOLDEN_SEED}"
+        );
+        assert!(report.profiles.is_empty());
+        assert!(report.total_airtime_s > 0.0);
+    }
+}
+
 /// The disrupted fixture scenario: smoke-scale urban ROBC with one
 /// outage window, one fleet withdrawal and one regional noise burst.
 fn disrupted_config() -> SimConfig {
@@ -403,6 +427,162 @@ fn print_disrupted_fixture() {
         .map(|v| format!("{v}"))
         .collect();
     println!("const DISRUPTED_FIXTURE: [u64; DFP_LEN] = [");
+    println!("    {},", row.join(", "));
+    println!("];");
+}
+
+/// The mixed-traffic fixture scenario: smoke-scale urban ROBC with all
+/// four non-trivial arrival processes in one weighted mix — jittered
+/// telemetry, Poisson tracking with variable payloads, diurnal
+/// passenger counts and bursty high-priority alerts.
+fn traffic_config() -> SimConfig {
+    Scenario::urban()
+        .scheme(Scheme::Robc)
+        .smoke()
+        .profile(TrafficProfile::telemetry().weight(4.0))
+        .profile(TrafficProfile::tracking().weight(2.0))
+        .profile(TrafficProfile::passenger_counts().weight(1.0))
+        .profile(TrafficProfile::alerts().weight(0.5))
+        .build()
+        .expect("mixed traffic smoke config is valid")
+}
+
+/// Number of profiles in the mixed-traffic fixture.
+const TRAFFIC_PROFILES: usize = 4;
+
+/// Width of a traffic fingerprint: the base fingerprint, the total
+/// airtime bit pattern, and five entries per profile (generated and
+/// delivered exact; delay mean, attributed airtime by bit pattern;
+/// payload bytes exact).
+const TFP_LEN: usize = FP_LEN + 1 + TRAFFIC_PROFILES * 5;
+
+/// Fingerprint of a mixed-traffic run: everything in [`fingerprint`]
+/// plus the per-profile breakdown.
+fn traffic_fingerprint(r: &SimReport) -> [u64; TFP_LEN] {
+    assert_eq!(r.profiles.len(), TRAFFIC_PROFILES);
+    let mut out = [0u64; TFP_LEN];
+    out[..FP_LEN].copy_from_slice(&fingerprint(r));
+    out[FP_LEN] = r.total_airtime_s.to_bits();
+    for (i, p) in r.profiles.iter().enumerate() {
+        let base = FP_LEN + 1 + i * 5;
+        out[base] = p.generated;
+        out[base + 1] = p.delivered;
+        out[base + 2] = p.mean_delay_s().to_bits();
+        out[base + 3] = p.airtime_s.to_bits();
+        out[base + 4] = p.payload_bytes_sent;
+    }
+    out
+}
+
+/// Recorded on the engine that introduced the traffic subsystem
+/// (seed 4242, smoke scale, urban ROBC, telemetry + tracking +
+/// passenger-counts + alerts mix).
+const TRAFFIC_FIXTURE: [u64; TFP_LEN] = [
+    324,
+    273,
+    0,
+    51,
+    0,
+    1427,
+    3980,
+    7,
+    9,
+    0,
+    28,
+    4643416157246890518,
+    4626228250559186074,
+    4607330889117403243,
+    4611686018427387904,
+    4701897153843157375,
+    4677510462630633931,
+    1927,
+    4640626008895382347,
+    // telemetry
+    206,
+    177,
+    4641953761544898612,
+    4636336458377984093,
+    51080,
+    // tracking
+    93,
+    86,
+    4645395291648644401,
+    4631132839978073852,
+    25013,
+    // passenger-counts
+    3,
+    1,
+    4590573143374275019,
+    4605902010782881918,
+    408,
+    // alerts
+    22,
+    9,
+    4639634626661784691,
+    4614393410747266024,
+    1640,
+];
+
+#[test]
+fn mixed_traffic_run_matches_golden_fixture() {
+    let report = traffic_config()
+        .run(GOLDEN_SEED)
+        .expect("valid traffic config");
+    assert_eq!(
+        traffic_fingerprint(&report),
+        TRAFFIC_FIXTURE,
+        "fingerprint drift for the mixed-traffic fixture at seed {GOLDEN_SEED}"
+    );
+    // The fixture genuinely exercises every profile and both payload
+    // regimes.
+    for p in &report.profiles {
+        assert!(p.generated > 0, "profile {} generated nothing", p.name);
+    }
+    let tracking = report.profile("tracking").expect("tracking profile");
+    assert!(tracking.delivered > 0);
+    // Variable 12–32-byte fixes average away from any fixed size.
+    assert!(tracking.mean_payload_bytes() > 12.0);
+    assert!(tracking.mean_payload_bytes() < 32.0);
+    // Attributed airtime never exceeds the fleet total.
+    let attributed: f64 = report.profiles.iter().map(|p| p.airtime_s).sum();
+    assert!(attributed > 0.0 && attributed < report.total_airtime_s);
+}
+
+/// Mixed-traffic runs must stay bit-identical across `Runner` worker
+/// counts, exactly like homogeneous ones.
+#[test]
+fn mixed_traffic_runs_deterministic_across_worker_counts() {
+    let plan = ExperimentPlan::new(traffic_config())
+        .schemes([Scheme::Robc, Scheme::NoRouting])
+        .traffics([
+            traffic_config().traffic,
+            TrafficModel::mix([TrafficProfile::new(
+                "steady",
+                ArrivalProcess::Periodic {
+                    interval: SimDuration::from_mins(2),
+                },
+                PayloadModel::Fixed { bytes: 40 },
+            )]),
+        ])
+        .fixed_seeds([GOLDEN_SEED, GOLDEN_SEED + 1]);
+    let serial = Runner::single_threaded().run(&plan).expect("valid plan");
+    let parallel = Runner::new().workers(4).run(&plan).expect("valid plan");
+    assert_eq!(serial, parallel);
+    // And the runner reproduces a direct engine run of the same cell.
+    let direct = traffic_config().run(GOLDEN_SEED).unwrap();
+    assert_eq!(serial[0].report.runs()[0].1, direct);
+}
+
+/// Regeneration helper: prints the `TRAFFIC_FIXTURE` row for pasting.
+#[test]
+#[ignore = "generator: prints the mixed-traffic fixture row"]
+fn print_traffic_fixture() {
+    let report = traffic_config().run(GOLDEN_SEED).unwrap();
+    let row: Vec<String> = traffic_fingerprint(&report)
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect();
+    println!("const TRAFFIC_FIXTURE: [u64; TFP_LEN] = [");
     println!("    {},", row.join(", "));
     println!("];");
 }

@@ -1,0 +1,218 @@
+//! Property-based tests over the traffic-model subsystem: for arbitrary
+//! generated profile mixes, a full engine run conserves every
+//! per-profile counter, keeps frames inside the PHY byte budget, keeps
+//! observed payloads inside their profile's declared bounds, and stays
+//! bit-deterministic.
+
+use mlora::mac::{MAX_BUNDLE_BYTES, MAX_FRAME_BYTES};
+use mlora::mobility::DiurnalProfile;
+use mlora::sim::{
+    ArrivalProcess, FrameTransmitted, MessageGenerated, PayloadModel, Priority, Scenario,
+    SimObserver, TrafficModel, TrafficProfile,
+};
+use mlora::simcore::SimDuration;
+use proptest::prelude::*;
+
+/// Builds an arbitrary-but-valid model from flat scalar draws: `kinds`
+/// selects the arrival process, `intervals`/`jitters`/`bursts`/`idles`
+/// parameterise it, `payload_los`/`payload_spans` shape the payload
+/// distribution, and `weights`/`priorities` mix the fleet.
+#[allow(clippy::too_many_arguments)]
+fn model_from(
+    kinds: &[u32],
+    intervals: &[u64],
+    jitters: &[f64],
+    bursts: &[f64],
+    idles: &[u64],
+    payload_los: &[usize],
+    payload_spans: &[usize],
+    weights: &[f64],
+    priorities: &[u32],
+) -> TrafficModel {
+    let profiles = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let interval = SimDuration::from_secs(intervals[i].max(30));
+            let arrivals = match kind % 5 {
+                0 => ArrivalProcess::Periodic { interval },
+                1 => ArrivalProcess::Jittered {
+                    interval,
+                    jitter: jitters[i],
+                },
+                2 => ArrivalProcess::Poisson {
+                    mean_interval: interval,
+                },
+                3 => ArrivalProcess::Diurnal {
+                    base_interval: interval,
+                    profile: DiurnalProfile::london_buses(),
+                },
+                _ => ArrivalProcess::Bursty {
+                    interval,
+                    mean_burst: bursts[i],
+                    mean_idle: SimDuration::from_secs(idles[i].max(30)),
+                },
+            };
+            let lo = payload_los[i].clamp(1, MAX_BUNDLE_BYTES);
+            let hi = (lo + payload_spans[i]).min(MAX_BUNDLE_BYTES);
+            let payload = if payload_spans[i] == 0 {
+                PayloadModel::Fixed { bytes: lo }
+            } else {
+                PayloadModel::Uniform {
+                    min_bytes: lo,
+                    max_bytes: hi,
+                }
+            };
+            TrafficProfile::new(format!("p{i}"), arrivals, payload)
+                .weight(weights[i])
+                .priority(Priority::ALL[priorities[i] as usize % 3])
+        })
+        .collect::<Vec<_>>();
+    TrafficModel::mix(profiles)
+}
+
+/// Checks, in-stream, that every generated payload stays inside its
+/// profile's declared bounds and every frame inside the PHY budget.
+struct BoundsChecker {
+    bounds: Vec<(usize, usize)>,
+    violations: Vec<String>,
+    generated: u64,
+    frames: u64,
+}
+
+impl BoundsChecker {
+    fn new(model: &TrafficModel) -> Self {
+        BoundsChecker {
+            bounds: model
+                .profiles
+                .iter()
+                .map(|p| (p.payload.min_bytes(), p.payload.max_bytes()))
+                .collect(),
+            violations: Vec::new(),
+            generated: 0,
+            frames: 0,
+        }
+    }
+}
+
+impl SimObserver for BoundsChecker {
+    fn on_message_generated(&mut self, ev: &MessageGenerated) {
+        self.generated += 1;
+        match self.bounds.get(ev.profile as usize) {
+            Some(&(lo, hi)) => {
+                let bytes = ev.payload_bytes as usize;
+                if bytes < lo || bytes > hi {
+                    self.violations
+                        .push(format!("payload {bytes} outside [{lo}, {hi}]"));
+                }
+            }
+            None => self
+                .violations
+                .push(format!("unknown profile {}", ev.profile)),
+        }
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        self.frames += 1;
+        if ev.payload_bytes > MAX_FRAME_BYTES {
+            self.violations
+                .push(format!("frame payload {} > PHY max", ev.payload_bytes));
+        }
+        if ev.bundled == 0 {
+            self.violations.push("empty frame transmitted".into());
+        }
+    }
+}
+
+proptest! {
+    /// Per-profile counters partition the fleet totals: generation and
+    /// delivery sum exactly, no profile delivers more than it generated,
+    /// attributed airtime stays below the fleet total, and every
+    /// observed payload and frame respects its declared bounds.
+    #[test]
+    fn heterogeneous_runs_conserve_per_profile_counters(
+        seed in 0u64..1_000_000,
+        kinds in proptest::collection::vec(0u32..5, 1..4),
+        intervals in proptest::collection::vec(30u64..600, 4..5),
+        jitters in proptest::collection::vec(0.05f64..0.5, 4..5),
+        bursts in proptest::collection::vec(1.0f64..6.0, 4..5),
+        idles in proptest::collection::vec(30u64..1_200, 4..5),
+        payload_los in proptest::collection::vec(1usize..120, 4..5),
+        payload_spans in proptest::collection::vec(0usize..60, 4..5),
+        weights in proptest::collection::vec(0.1f64..5.0, 4..5),
+        priorities in proptest::collection::vec(0u32..3, 4..5),
+    ) {
+        let model = model_from(
+            &kinds, &intervals, &jitters, &bursts, &idles,
+            &payload_los, &payload_spans, &weights, &priorities,
+        );
+        let config = Scenario::urban()
+            .smoke()
+            .duration(SimDuration::from_mins(40))
+            .traffic(model.clone())
+            .build()
+            .expect("generated model is valid");
+        let mut checker = BoundsChecker::new(&model);
+        let report = config
+            .run_with_observer(seed, &mut checker)
+            .expect("valid config");
+
+        prop_assert!(checker.violations.is_empty(), "{:?}", checker.violations);
+        prop_assert_eq!(checker.generated, report.generated);
+        prop_assert_eq!(checker.frames, report.frames_sent);
+        prop_assert!(report.delivered <= report.generated);
+        prop_assert_eq!(report.profiles.len(), model.profiles.len());
+
+        let gen_sum: u64 = report.profiles.iter().map(|p| p.generated).sum();
+        let del_sum: u64 = report.profiles.iter().map(|p| p.delivered).sum();
+        let msg_sum: u64 = report.profiles.iter().map(|p| p.messages_sent).sum();
+        prop_assert_eq!(gen_sum, report.generated);
+        prop_assert_eq!(del_sum, report.delivered);
+        prop_assert_eq!(msg_sum, report.messages_sent);
+        for p in &report.profiles {
+            prop_assert!(p.delivered <= p.generated, "{}: {:?}", p.name, p);
+            prop_assert!(p.delivery_ratio() <= 1.0);
+            prop_assert!(p.mean_delay_s().is_finite());
+            prop_assert!(p.airtime_s >= 0.0);
+        }
+        // Airtime attribution never invents time: the per-profile shares
+        // sum to strictly less than the fleet total (frame overhead is
+        // unattributed) whenever anything was sent.
+        let attributed: f64 = report.profiles.iter().map(|p| p.airtime_s).sum();
+        prop_assert!(attributed <= report.total_airtime_s + 1e-9);
+        if report.messages_sent > 0 {
+            prop_assert!(report.total_airtime_s > 0.0);
+        }
+    }
+
+    /// Heterogeneous runs are bit-deterministic: the same `(model,
+    /// seed)` pair reproduces the identical report — per-profile Welford
+    /// accumulators included.
+    #[test]
+    fn heterogeneous_runs_are_deterministic(
+        seed in 0u64..1_000_000,
+        kinds in proptest::collection::vec(0u32..5, 1..4),
+        intervals in proptest::collection::vec(30u64..600, 4..5),
+        jitters in proptest::collection::vec(0.05f64..0.5, 4..5),
+        bursts in proptest::collection::vec(1.0f64..6.0, 4..5),
+        idles in proptest::collection::vec(30u64..1_200, 4..5),
+        payload_los in proptest::collection::vec(1usize..120, 4..5),
+        payload_spans in proptest::collection::vec(0usize..60, 4..5),
+        weights in proptest::collection::vec(0.1f64..5.0, 4..5),
+        priorities in proptest::collection::vec(0u32..3, 4..5),
+    ) {
+        let model = model_from(
+            &kinds, &intervals, &jitters, &bursts, &idles,
+            &payload_los, &payload_spans, &weights, &priorities,
+        );
+        let config = Scenario::urban()
+            .smoke()
+            .duration(SimDuration::from_mins(30))
+            .traffic(model)
+            .build()
+            .expect("generated model is valid");
+        let a = config.run(seed).expect("valid config");
+        let b = config.run(seed).expect("valid config");
+        prop_assert_eq!(a, b);
+    }
+}
