@@ -38,7 +38,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         seed: mlora_bench::HARNESS_SEED,
-        gateways: mlora_sim::experiment::PAPER_GATEWAY_COUNTS.to_vec(),
+        gateways: mlora_sim::PAPER_GATEWAY_COUNTS.to_vec(),
         replicate: 1,
         jobs: None,
         figures: HashSet::new(),

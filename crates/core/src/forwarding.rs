@@ -4,7 +4,7 @@ use mlora_phy::CapacityModel;
 use mlora_simcore::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::{greedy_forward_rule, link_rca_etx, CaEtxEstimator, DonorLedger, RcaEtxEstimator, Rgq};
+use crate::{CaEtxEstimator, DonorLedger, ForwardingPolicy, PolicyContext, RcaEtxEstimator, Rgq};
 
 /// The three data-forwarding schemes the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -113,8 +113,14 @@ impl RoutingConfig {
 }
 
 /// One device's complete routing brain: the RCA-ETX estimator, the RGQ
-/// bounds, and the ROBC donor ledger, dispatching on the configured
-/// [`Scheme`].
+/// bounds, the ROBC donor ledger, and the pluggable
+/// [`ForwardingPolicy`] the decisions dispatch through.
+///
+/// [`RoutingState::new`] instantiates the built-in policy for the
+/// configured [`Scheme`]; [`RoutingState::with_policy`] plugs in any
+/// user-defined one. The shared machinery (estimators, ledger) is owned
+/// here and updated on every hook *before* the policy sees it, so every
+/// policy — built-in or custom — observes the same world.
 ///
 /// The embedding simulator calls:
 ///
@@ -123,23 +129,53 @@ impl RoutingConfig {
 ///   anti-loop ledger (a sink-forwarding opportunity occurred);
 /// * [`RoutingState::on_received_data`] when accepting a handover;
 /// * [`RoutingState::decide`] when overhearing a neighbour's beacon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct RoutingState {
     config: RoutingConfig,
     estimator: RcaEtxEstimator,
     ca_estimator: CaEtxEstimator,
     ledger: DonorLedger,
+    policy: Box<dyn ForwardingPolicy>,
+}
+
+impl Clone for RoutingState {
+    fn clone(&self) -> Self {
+        RoutingState {
+            config: self.config,
+            estimator: self.estimator,
+            ca_estimator: self.ca_estimator,
+            ledger: self.ledger.clone(),
+            policy: self.policy.clone_box(),
+        }
+    }
 }
 
 impl RoutingState {
-    /// Creates the routing state for one device.
+    /// Creates the routing state for one device running the built-in
+    /// policy of `config.scheme`.
     pub fn new(config: RoutingConfig) -> Self {
+        let policy = config.scheme.policy();
+        RoutingState::with_policy(config, policy)
+    }
+
+    /// Creates the routing state for one device running an explicit
+    /// policy under `config`.
+    pub fn with_policy(config: RoutingConfig, policy: Box<dyn ForwardingPolicy>) -> Self {
         RoutingState {
             estimator: RcaEtxEstimator::new(config.alpha, config.packet_bits),
             ca_estimator: CaEtxEstimator::new(config.packet_bits),
             ledger: DonorLedger::new(),
+            policy,
             config,
         }
+    }
+
+    /// Creates the routing state for one device running `policy` under
+    /// the policy's own
+    /// [`default_config`](ForwardingPolicy::default_config).
+    pub fn for_policy(policy: Box<dyn ForwardingPolicy>) -> Self {
+        let config = policy.default_config();
+        RoutingState::with_policy(config, policy)
     }
 
     /// The configuration.
@@ -147,20 +183,42 @@ impl RoutingState {
         &self.config
     }
 
+    /// The active forwarding policy.
+    pub fn policy(&self) -> &dyn ForwardingPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The context view policies receive, for the given hook inputs.
+    fn ctx(&self, now: SimTime, wait_s: f64, queue_len: usize) -> PolicyContext<'_> {
+        PolicyContext::new(
+            now,
+            wait_s,
+            queue_len,
+            &self.config,
+            &self.estimator,
+            &self.ca_estimator,
+            &self.ledger,
+        )
+    }
+
     /// Records the outcome of a device-to-sink slot: `capacity_bps` is
     /// `Some` with the observed capacity when a gateway acknowledged,
     /// `None` otherwise. `wait_s` is the duty-cycle wait an immediate
     /// retry would face. Clears the donor ledger — this slot *was* the
-    /// next sink-forwarding opportunity.
+    /// next sink-forwarding opportunity — then forwards the observation
+    /// to the policy's own hook.
     pub fn on_sink_slot(&mut self, t: SimTime, capacity_bps: Option<f64>, wait_s: f64) {
         self.estimator.observe(t, capacity_bps, wait_s);
         self.ca_estimator.observe(t, capacity_bps);
         self.ledger.clear_on_sink_opportunity();
+        self.policy.on_sink_slot(t, capacity_bps, wait_s);
     }
 
-    /// Records acceptance of a handover from `donor` (anti-loop rule).
+    /// Records acceptance of a handover from `donor` (anti-loop rule),
+    /// then forwards the event to the policy's own hook.
     pub fn on_received_data(&mut self, donor: NodeId) {
         self.ledger.record_donor(donor);
+        self.policy.on_received_data(donor);
     }
 
     /// The device's current node-to-sink RCA-ETX, seconds.
@@ -173,13 +231,24 @@ impl RoutingState {
         self.ca_estimator.ca_etx()
     }
 
-    /// The metric this device piggybacks on its uplinks: CA-ETX under
-    /// [`Scheme::CaEtx`], RCA-ETX otherwise.
+    /// The metric this device piggybacks on its uplinks, as chosen by
+    /// the policy's [`beacon_metric`](ForwardingPolicy::beacon_metric)
+    /// hook: CA-ETX under [`Scheme::CaEtx`], RCA-ETX for the other
+    /// built-ins.
+    ///
+    /// Beacons are composed at the device's own uplink slot — the
+    /// committed metric, no real-time preview — so the hook context
+    /// carries no meaningful `now`. Embedders with the current time at
+    /// hand (the engine) call [`RoutingState::beacon_metric_at`].
     pub fn beacon_metric(&self) -> f64 {
-        match self.config.scheme {
-            Scheme::CaEtx => self.ca_etx(),
-            _ => self.rca_etx(),
-        }
+        self.beacon_metric_at(SimTime::ZERO, 0)
+    }
+
+    /// The beacon metric with the full hook context: `now` is the
+    /// composition time and `queue_len` the device's backlog, for
+    /// policies whose beaconed metric is time- or queue-dependent.
+    pub fn beacon_metric_at(&self, now: SimTime, queue_len: usize) -> f64 {
+        self.policy.beacon_metric(&self.ctx(now, 0.0, queue_len))
     }
 
     /// The node-to-sink metric previewed at `now`
@@ -215,70 +284,42 @@ impl RoutingState {
         self.ledger.is_barred(node)
     }
 
-    /// Decides whether to hand queued data to the beacon's sender.
+    /// Decides whether to hand queued data to the beacon's sender, by
+    /// dispatching to the policy's [`decide`](ForwardingPolicy::decide)
+    /// hook.
     ///
     /// `now` and `wait_s` (the duty-cycle wait an immediate transmission
     /// would face) feed the real-time metric preview; `queue_len` is the
     /// device's current backlog and `rssi_dbm` the received strength of
-    /// the overheard frame (driving the Eq. 5–6 link metric).
+    /// the overheard frame (driving the Eq. 5–6 link metric). Takes
+    /// `&mut self` because policies may carry mutable per-device state
+    /// (spray budgets, timers); the shared estimators and ledger are
+    /// never mutated here.
     pub fn decide(
-        &self,
+        &mut self,
         now: SimTime,
         wait_s: f64,
         queue_len: usize,
         beacon: &Beacon,
         rssi_dbm: f64,
     ) -> ForwardDecision {
-        if queue_len == 0 {
-            return ForwardDecision::Keep;
-        }
-        match self.config.scheme {
-            Scheme::NoRouting => ForwardDecision::Keep,
-            Scheme::CaEtx => {
-                let link = link_rca_etx(rssi_dbm, &self.config.capacity, self.config.packet_bits);
-                // Long-term statistics only: no real-time preview.
-                if greedy_forward_rule(self.ca_etx(), beacon.rca_etx, link) {
-                    ForwardDecision::Forward {
-                        target: beacon.sender,
-                        count: queue_len.min(self.config.max_bundle),
-                    }
-                } else {
-                    ForwardDecision::Keep
-                }
-            }
-            Scheme::RcaEtx => {
-                let link = link_rca_etx(rssi_dbm, &self.config.capacity, self.config.packet_bits);
-                if greedy_forward_rule(self.rca_etx_at(now, wait_s), beacon.rca_etx, link) {
-                    ForwardDecision::Forward {
-                        target: beacon.sender,
-                        count: queue_len.min(self.config.max_bundle),
-                    }
-                } else {
-                    ForwardDecision::Keep
-                }
-            }
-            Scheme::Robc => {
-                if self.ledger.is_barred(beacon.sender) {
-                    return ForwardDecision::Keep;
-                }
-                let phi_x = self.phi_at(now, wait_s);
-                let phi_y = self.config.rgq.phi(beacon.rca_etx);
-                let weight = crate::robc_weight(queue_len, phi_x, beacon.queue_len, phi_y);
-                if weight <= 0.0 {
-                    return ForwardDecision::Keep;
-                }
-                let delta = crate::robc_transfer_amount(queue_len, phi_x, beacon.queue_len, phi_y);
-                let count = delta.min(self.config.max_bundle);
-                if count == 0 {
-                    ForwardDecision::Keep
-                } else {
-                    ForwardDecision::Forward {
-                        target: beacon.sender,
-                        count,
-                    }
-                }
-            }
-        }
+        let RoutingState {
+            config,
+            estimator,
+            ca_estimator,
+            ledger,
+            policy,
+        } = self;
+        let ctx = PolicyContext::new(
+            now,
+            wait_s,
+            queue_len,
+            config,
+            estimator,
+            ca_estimator,
+            ledger,
+        );
+        policy.decide(&ctx, beacon, rssi_dbm)
     }
 }
 

@@ -17,8 +17,12 @@
 //! * [`robc_weight`] / [`robc_transfer_amount`] — Eq. 10 and the partial
 //!   transfer `δ = Qx − Qy·φx/φy`.
 //! * [`DonorLedger`] — the §V.B.2 anti-loop rule.
-//! * [`RoutingState`] + [`Scheme`] — one device's complete routing brain,
-//!   dispatching between `NoRouting`, `RcaEtx`, and `Robc`.
+//! * [`ForwardingPolicy`] — the open, object-safe forwarding-strategy
+//!   layer every decision dispatches through, with the paper schemes as
+//!   built-in policies and [`PolicySpec`] as their configuration-level
+//!   handle.
+//! * [`RoutingState`] + [`Scheme`] — one device's complete routing brain;
+//!   `Scheme` is a thin constructor over the built-in policies.
 //! * [`CaEtxEstimator`] — the prior-work CA-ETX comparator of §III.C,
 //!   exposing the staleness problem RCA-ETX fixes.
 
@@ -29,6 +33,7 @@ mod contact;
 mod ewma;
 mod forwarding;
 mod metric;
+mod policy;
 mod rgq;
 mod robc;
 
@@ -37,5 +42,9 @@ pub use contact::{ContactTracker, RcaEtxEstimator};
 pub use ewma::Ewma;
 pub use forwarding::{Beacon, ForwardDecision, RoutingConfig, RoutingState, Scheme};
 pub use metric::{greedy_forward_rule, link_rca_etx, packet_service_time, RCA_ETX_CEILING};
+pub use policy::{
+    CaEtxPolicy, ForwardingPolicy, NoRoutingPolicy, PolicyContext, PolicySpec, RcaEtxPolicy,
+    RobcPolicy,
+};
 pub use rgq::Rgq;
 pub use robc::{robc_transfer_amount, robc_weight, DonorLedger};

@@ -1,0 +1,629 @@
+//! The pluggable forwarding-policy layer.
+//!
+//! The paper evaluates a *family* of forwarding schemes under one
+//! simulated world. [`ForwardingPolicy`] opens that family up: a policy
+//! is an object-safe strategy plugged into a device's
+//! [`RoutingState`](crate::RoutingState), deciding what metric the
+//! device beacons, whether an overheard beacon triggers a handover, and
+//! how much of the queue moves. The four paper schemes are built-in
+//! policies ([`NoRoutingPolicy`], [`CaEtxPolicy`], [`RcaEtxPolicy`],
+//! [`RobcPolicy`]); [`Scheme`] stays as a thin constructor over them via
+//! [`Scheme::policy`]. User-defined policies (epidemic or
+//! spray-and-wait-style DTN baselines, queue-aware hybrids, learned
+//! heuristics) implement the same trait and ride the identical engine
+//! path.
+//!
+//! The shared routing machinery — the RCA-ETX/CA-ETX estimators, the RGQ
+//! bounds and the anti-loop [`DonorLedger`](crate::DonorLedger) — stays
+//! owned by `RoutingState`; policies read it through the borrowed
+//! [`PolicyContext`] passed into every hook, so stateless policies stay
+//! zero-cost and stateful ones (copy budgets, timers) carry their own
+//! fields.
+//!
+//! # A custom policy
+//!
+//! ```
+//! use mlora_core::{
+//!     Beacon, ForwardingPolicy, PolicyContext, RoutingState, Scheme,
+//! };
+//!
+//! /// Forward a fixed quota to any strictly better-connected neighbour.
+//! #[derive(Debug, Clone)]
+//! struct Quota(usize);
+//!
+//! impl ForwardingPolicy for Quota {
+//!     fn label(&self) -> &str {
+//!         "quota"
+//!     }
+//!     fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+//!         Box::new(self.clone())
+//!     }
+//!     fn forwards(&mut self, ctx: &PolicyContext<'_>, beacon: &Beacon, _rssi_dbm: f64) -> bool {
+//!         beacon.rca_etx < ctx.rca_etx()
+//!     }
+//!     fn transfer_amount(&self, _ctx: &PolicyContext<'_>, _beacon: &Beacon) -> usize {
+//!         self.0
+//!     }
+//! }
+//!
+//! let state = RoutingState::for_policy(Box::new(Quota(3)));
+//! assert_eq!(state.policy().label(), "quota");
+//! assert_eq!(state.config().scheme, Scheme::NoRouting); // default config
+//! ```
+
+use mlora_simcore::{NodeId, SimTime};
+
+use crate::{
+    greedy_forward_rule, link_rca_etx, robc_transfer_amount, robc_weight, Beacon, CaEtxEstimator,
+    DonorLedger, ForwardDecision, RcaEtxEstimator, Rgq, RoutingConfig, Scheme,
+};
+
+/// A policy's read-only window into its device's routing machinery.
+///
+/// Borrowed views over the state a [`RoutingState`](crate::RoutingState)
+/// owns — the estimators, the RGQ bounds, the anti-loop ledger and the
+/// static [`RoutingConfig`] — plus the real-time inputs of the current
+/// hook invocation (`now`, the duty-cycle wait, the queue backlog).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    now: SimTime,
+    wait_s: f64,
+    queue_len: usize,
+    config: &'a RoutingConfig,
+    estimator: &'a RcaEtxEstimator,
+    ca_estimator: &'a CaEtxEstimator,
+    ledger: &'a DonorLedger,
+}
+
+impl<'a> PolicyContext<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        wait_s: f64,
+        queue_len: usize,
+        config: &'a RoutingConfig,
+        estimator: &'a RcaEtxEstimator,
+        ca_estimator: &'a CaEtxEstimator,
+        ledger: &'a DonorLedger,
+    ) -> Self {
+        PolicyContext {
+            now,
+            wait_s,
+            queue_len,
+            config,
+            estimator,
+            ca_estimator,
+            ledger,
+        }
+    }
+
+    /// Simulation time of the hook invocation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The duty-cycle wait an immediate transmission would face, seconds.
+    pub fn wait_s(&self) -> f64 {
+        self.wait_s
+    }
+
+    /// The device's current application backlog, messages.
+    pub fn queue_len(&self) -> usize {
+        self.queue_len
+    }
+
+    /// The device's static routing configuration.
+    pub fn config(&self) -> &RoutingConfig {
+        self.config
+    }
+
+    /// Most messages movable in one handover frame.
+    pub fn max_bundle(&self) -> usize {
+        self.config.max_bundle
+    }
+
+    /// The RGQ stability bounds.
+    pub fn rgq(&self) -> &Rgq {
+        &self.config.rgq
+    }
+
+    /// The committed node-to-sink RCA-ETX (as of the last slot), seconds.
+    pub fn rca_etx(&self) -> f64 {
+        self.estimator.rca_etx()
+    }
+
+    /// The node-to-sink RCA-ETX previewed against real time: a
+    /// disconnection gap grown since the last slot raises the cost
+    /// (Eq. 1 / Eq. 10 are evaluated on this).
+    pub fn rca_etx_now(&self) -> f64 {
+        self.estimator.rca_etx_at(self.now, self.wait_s)
+    }
+
+    /// The prior-work CA-ETX comparator value (§III.C), seconds.
+    pub fn ca_etx(&self) -> f64 {
+        self.ca_estimator.ca_etx()
+    }
+
+    /// The committed bounded gateway quality φ.
+    pub fn phi(&self) -> f64 {
+        self.config.rgq.phi(self.rca_etx())
+    }
+
+    /// The bounded gateway quality φ previewed against real time.
+    pub fn phi_now(&self) -> f64 {
+        self.config.rgq.phi(self.rca_etx_now())
+    }
+
+    /// The bounded gateway quality φ of an arbitrary metric — e.g. a
+    /// neighbour's beaconed value.
+    pub fn phi_of(&self, metric_s: f64) -> f64 {
+        self.config.rgq.phi(metric_s)
+    }
+
+    /// The Eq. 5–6 device-to-device link metric for a frame received at
+    /// `rssi_dbm`, seconds.
+    pub fn link_rca_etx(&self, rssi_dbm: f64) -> f64 {
+        link_rca_etx(rssi_dbm, &self.config.capacity, self.config.packet_bits)
+    }
+
+    /// True if the anti-loop ledger currently bars `node` as a target.
+    pub fn is_barred(&self, node: NodeId) -> bool {
+        self.ledger.is_barred(node)
+    }
+}
+
+/// An object-safe forwarding strategy plugged into a device's
+/// [`RoutingState`](crate::RoutingState).
+///
+/// Required: an identity ([`ForwardingPolicy::label`],
+/// [`ForwardingPolicy::clone_box`]) and the forwarding predicate
+/// ([`ForwardingPolicy::forwards`]). Everything else has defaults
+/// reproducing the common scheme shape: beacon the committed RCA-ETX,
+/// move the whole backlog (capped at the frame bundle limit) when
+/// forwarding, no extra per-slot state.
+///
+/// The default [`ForwardingPolicy::decide`] composes the hooks exactly
+/// like the paper schemes: an empty queue never forwards, the predicate
+/// gates the handover, [`ForwardingPolicy::transfer_amount`] sizes it,
+/// and a zero-sized transfer degenerates to
+/// [`ForwardDecision::Keep`]. Policies with decision shapes that do not
+/// fit the predicate/amount split override `decide` wholesale.
+pub trait ForwardingPolicy: std::fmt::Debug + Send + Sync {
+    /// The label identifying this policy in figures, reports and sweep
+    /// cells.
+    fn label(&self) -> &str;
+
+    /// Clones the policy into a fresh box — the per-device instantiation
+    /// primitive (each device carries its own policy state).
+    fn clone_box(&self) -> Box<dyn ForwardingPolicy>;
+
+    /// The metric this device piggybacks on its uplinks for neighbours
+    /// to compare against. Defaults to the committed RCA-ETX.
+    fn beacon_metric(&self, ctx: &PolicyContext<'_>) -> f64 {
+        ctx.rca_etx()
+    }
+
+    /// Whether an overheard `beacon` (received at `rssi_dbm`) should
+    /// trigger a handover to its sender. Called only with a non-empty
+    /// queue.
+    fn forwards(&mut self, ctx: &PolicyContext<'_>, beacon: &Beacon, rssi_dbm: f64) -> bool;
+
+    /// How many queued messages to move once
+    /// [`ForwardingPolicy::forwards`] fired (the engine caps the result
+    /// at the frame bundle limit). Defaults to the whole backlog.
+    fn transfer_amount(&self, ctx: &PolicyContext<'_>, _beacon: &Beacon) -> usize {
+        ctx.queue_len()
+    }
+
+    /// Decides what to do with the queue after overhearing `beacon`.
+    ///
+    /// The default composes the predicate and amount hooks; override for
+    /// decision shapes that do not fit that split.
+    fn decide(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        beacon: &Beacon,
+        rssi_dbm: f64,
+    ) -> ForwardDecision {
+        if ctx.queue_len() == 0 || !self.forwards(ctx, beacon, rssi_dbm) {
+            return ForwardDecision::Keep;
+        }
+        // Clamp to both invariants the enum path always enforced: never
+        // offer more than the backlog holds, never more than one
+        // handover frame carries.
+        let count = self
+            .transfer_amount(ctx, beacon)
+            .min(ctx.queue_len())
+            .min(ctx.max_bundle());
+        if count == 0 {
+            ForwardDecision::Keep
+        } else {
+            ForwardDecision::Forward {
+                target: beacon.sender,
+                count,
+            }
+        }
+    }
+
+    /// Hook: the device finished a device-to-sink slot (`capacity_bps`
+    /// is `Some` when a gateway acknowledged). The shared estimators and
+    /// ledger are updated by `RoutingState` before this fires; override
+    /// to advance policy-private state (timers, spray budgets).
+    fn on_sink_slot(&mut self, _t: SimTime, _capacity_bps: Option<f64>, _wait_s: f64) {}
+
+    /// Hook: the device accepted a handover from `donor`. The ledger has
+    /// already recorded the donor.
+    fn on_received_data(&mut self, _donor: NodeId) {}
+
+    /// The routing configuration a standalone device of this policy runs
+    /// ([`RoutingState::for_policy`](crate::RoutingState::for_policy)
+    /// uses it). Defaults to the paper's evaluation setting.
+    fn default_config(&self) -> RoutingConfig {
+        RoutingConfig::paper_default(Scheme::NoRouting)
+    }
+}
+
+/// Plain LoRaWAN: never forwards — the paper's baseline as a policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoRoutingPolicy;
+
+impl ForwardingPolicy for NoRoutingPolicy {
+    fn label(&self) -> &str {
+        Scheme::NoRouting.label()
+    }
+
+    fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+        Box::new(*self)
+    }
+
+    fn forwards(&mut self, _ctx: &PolicyContext<'_>, _beacon: &Beacon, _rssi_dbm: f64) -> bool {
+        false
+    }
+
+    fn transfer_amount(&self, _ctx: &PolicyContext<'_>, _beacon: &Beacon) -> usize {
+        0
+    }
+
+    fn default_config(&self) -> RoutingConfig {
+        RoutingConfig::paper_default(Scheme::NoRouting)
+    }
+}
+
+/// The prior-work CA-ETX comparator (§III.C): the greedy Eq. 1 rule
+/// driven by long-term contact statistics that cannot react to the
+/// current disconnection gap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaEtxPolicy;
+
+impl ForwardingPolicy for CaEtxPolicy {
+    fn label(&self) -> &str {
+        Scheme::CaEtx.label()
+    }
+
+    fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+        Box::new(*self)
+    }
+
+    fn beacon_metric(&self, ctx: &PolicyContext<'_>) -> f64 {
+        ctx.ca_etx()
+    }
+
+    fn forwards(&mut self, ctx: &PolicyContext<'_>, beacon: &Beacon, rssi_dbm: f64) -> bool {
+        // Long-term statistics only: no real-time preview.
+        greedy_forward_rule(ctx.ca_etx(), beacon.rca_etx, ctx.link_rca_etx(rssi_dbm))
+    }
+
+    fn default_config(&self) -> RoutingConfig {
+        RoutingConfig::paper_default(Scheme::CaEtx)
+    }
+}
+
+/// Greedy handover by the Eq. 1 RCA-ETX comparison (§IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcaEtxPolicy;
+
+impl ForwardingPolicy for RcaEtxPolicy {
+    fn label(&self) -> &str {
+        Scheme::RcaEtx.label()
+    }
+
+    fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+        Box::new(*self)
+    }
+
+    fn forwards(&mut self, ctx: &PolicyContext<'_>, beacon: &Beacon, rssi_dbm: f64) -> bool {
+        greedy_forward_rule(
+            ctx.rca_etx_now(),
+            beacon.rca_etx,
+            ctx.link_rca_etx(rssi_dbm),
+        )
+    }
+
+    fn default_config(&self) -> RoutingConfig {
+        RoutingConfig::paper_default(Scheme::RcaEtx)
+    }
+}
+
+/// Real-time opportunistic backpressure collection (§V): forward down
+/// the RGQ-corrected pressure gradient, moving only the equalising
+/// partial transfer δ, with the §V.B.2 anti-loop rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobcPolicy;
+
+impl ForwardingPolicy for RobcPolicy {
+    fn label(&self) -> &str {
+        Scheme::Robc.label()
+    }
+
+    fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+        Box::new(*self)
+    }
+
+    fn forwards(&mut self, ctx: &PolicyContext<'_>, beacon: &Beacon, _rssi_dbm: f64) -> bool {
+        if ctx.is_barred(beacon.sender) {
+            return false;
+        }
+        let weight = robc_weight(
+            ctx.queue_len(),
+            ctx.phi_now(),
+            beacon.queue_len,
+            ctx.phi_of(beacon.rca_etx),
+        );
+        weight > 0.0
+    }
+
+    fn transfer_amount(&self, ctx: &PolicyContext<'_>, beacon: &Beacon) -> usize {
+        robc_transfer_amount(
+            ctx.queue_len(),
+            ctx.phi_now(),
+            beacon.queue_len,
+            ctx.phi_of(beacon.rca_etx),
+        )
+    }
+
+    fn default_config(&self) -> RoutingConfig {
+        RoutingConfig::paper_default(Scheme::Robc)
+    }
+}
+
+impl Scheme {
+    /// The built-in policy implementing this scheme — [`Scheme`] as a
+    /// thin constructor over the open [`ForwardingPolicy`] family.
+    pub fn policy(self) -> Box<dyn ForwardingPolicy> {
+        match self {
+            Scheme::NoRouting => Box::new(NoRoutingPolicy),
+            Scheme::CaEtx => Box::new(CaEtxPolicy),
+            Scheme::RcaEtx => Box::new(RcaEtxPolicy),
+            Scheme::Robc => Box::new(RobcPolicy),
+        }
+    }
+}
+
+/// A cloneable, comparable handle around a boxed policy *prototype* —
+/// the form forwarding policies take inside configurations and sweep
+/// axes, where the surrounding types need `Clone` and `PartialEq`.
+///
+/// Cloning a spec clones the prototype ([`ForwardingPolicy::clone_box`]);
+/// [`PolicySpec::build`] instantiates a fresh per-device policy the same
+/// way. Two specs compare **equal when their labels match** — the label
+/// is the policy's identity throughout reports and experiment cells, so
+/// distinct policies must carry distinct labels.
+#[derive(Debug)]
+pub struct PolicySpec {
+    prototype: Box<dyn ForwardingPolicy>,
+}
+
+impl PolicySpec {
+    /// Wraps a boxed policy prototype.
+    pub fn new(prototype: Box<dyn ForwardingPolicy>) -> Self {
+        PolicySpec { prototype }
+    }
+
+    /// Wraps a policy value (`PolicySpec::of(RobcPolicy)`).
+    pub fn of(policy: impl ForwardingPolicy + 'static) -> Self {
+        PolicySpec::new(Box::new(policy))
+    }
+
+    /// The policy's identifying label.
+    pub fn label(&self) -> &str {
+        self.prototype.label()
+    }
+
+    /// Instantiates a fresh policy for one device.
+    pub fn build(&self) -> Box<dyn ForwardingPolicy> {
+        self.prototype.clone_box()
+    }
+
+    /// The policy's default routing configuration.
+    pub fn default_config(&self) -> RoutingConfig {
+        self.prototype.default_config()
+    }
+}
+
+impl Clone for PolicySpec {
+    fn clone(&self) -> Self {
+        PolicySpec::new(self.prototype.clone_box())
+    }
+}
+
+impl PartialEq for PolicySpec {
+    /// Label equality — the label is the policy's identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.label() == other.label()
+    }
+}
+
+impl From<Scheme> for PolicySpec {
+    fn from(scheme: Scheme) -> Self {
+        PolicySpec::new(scheme.policy())
+    }
+}
+
+impl std::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingState;
+
+    fn warmed(scheme: Scheme, good: bool) -> RoutingState {
+        let mut s = RoutingState::new(RoutingConfig::paper_default(scheme));
+        for i in 0..8u64 {
+            let t = SimTime::from_secs(i * 180);
+            let cap = if good || i == 0 { Some(4_000.0) } else { None };
+            s.on_sink_slot(t, cap, 0.0);
+        }
+        s
+    }
+
+    #[test]
+    fn builtin_labels_match_schemes() {
+        for scheme in Scheme::WITH_CA_ETX {
+            assert_eq!(scheme.policy().label(), scheme.label());
+            assert_eq!(PolicySpec::from(scheme).label(), scheme.label());
+        }
+    }
+
+    #[test]
+    fn builtin_default_configs_match_paper_defaults() {
+        for scheme in Scheme::WITH_CA_ETX {
+            assert_eq!(
+                scheme.policy().default_config(),
+                RoutingConfig::paper_default(scheme)
+            );
+            let state = RoutingState::for_policy(scheme.policy());
+            assert_eq!(state.config().scheme, scheme);
+        }
+    }
+
+    #[test]
+    fn spec_compares_and_clones_by_label() {
+        let a = PolicySpec::of(RobcPolicy);
+        let b = PolicySpec::from(Scheme::Robc);
+        assert_eq!(a, b);
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, PolicySpec::of(RcaEtxPolicy));
+        assert_eq!(a.to_string(), "ROBC");
+        assert_eq!(a.default_config().scheme, Scheme::Robc);
+    }
+
+    #[test]
+    fn trait_path_matches_enum_semantics() {
+        // A poorly connected RCA-ETX device forwards to a well-connected
+        // beacon through both construction paths, with identical counts.
+        let beacon = Beacon {
+            sender: NodeId::new(2),
+            rca_etx: 1.0,
+            queue_len: 3,
+        };
+        let mut by_enum = warmed(Scheme::RcaEtx, false);
+        let mut by_trait = RoutingState::with_policy(
+            RoutingConfig::paper_default(Scheme::RcaEtx),
+            Box::new(RcaEtxPolicy),
+        );
+        for i in 0..8u64 {
+            let t = SimTime::from_secs(i * 180);
+            let cap = if i == 0 { Some(4_000.0) } else { None };
+            by_trait.on_sink_slot(t, cap, 0.0);
+        }
+        let now = SimTime::from_secs(1260);
+        assert_eq!(
+            by_enum.decide(now, 0.0, 5, &beacon, -85.0),
+            by_trait.decide(now, 0.0, 5, &beacon, -85.0)
+        );
+        assert_eq!(
+            by_enum.beacon_metric().to_bits(),
+            by_trait.beacon_metric().to_bits()
+        );
+    }
+
+    #[test]
+    fn default_decide_composes_predicate_and_amount() {
+        /// Always forward exactly two messages to anyone.
+        #[derive(Debug, Clone)]
+        struct TwoToAnyone;
+        impl ForwardingPolicy for TwoToAnyone {
+            fn label(&self) -> &str {
+                "two"
+            }
+            fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+                Box::new(self.clone())
+            }
+            fn forwards(
+                &mut self,
+                _ctx: &PolicyContext<'_>,
+                _beacon: &Beacon,
+                _rssi_dbm: f64,
+            ) -> bool {
+                true
+            }
+            fn transfer_amount(&self, _ctx: &PolicyContext<'_>, _beacon: &Beacon) -> usize {
+                2
+            }
+        }
+        let mut state = RoutingState::for_policy(Box::new(TwoToAnyone));
+        let beacon = Beacon {
+            sender: NodeId::new(9),
+            rca_etx: 1.0,
+            queue_len: 0,
+        };
+        // Empty queue short-circuits before the predicate.
+        assert_eq!(
+            state.decide(SimTime::ZERO, 0.0, 0, &beacon, -80.0),
+            ForwardDecision::Keep
+        );
+        assert_eq!(
+            state.decide(SimTime::ZERO, 0.0, 10, &beacon, -80.0),
+            ForwardDecision::Forward {
+                target: NodeId::new(9),
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn stateful_policy_hooks_fire() {
+        /// Counts its own hook invocations.
+        #[derive(Debug, Clone, Default)]
+        struct Counting {
+            sink_slots: u32,
+            receptions: u32,
+        }
+        impl ForwardingPolicy for Counting {
+            fn label(&self) -> &str {
+                "counting"
+            }
+            fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+                Box::new(self.clone())
+            }
+            fn forwards(
+                &mut self,
+                _ctx: &PolicyContext<'_>,
+                _beacon: &Beacon,
+                _rssi_dbm: f64,
+            ) -> bool {
+                false
+            }
+            fn on_sink_slot(&mut self, _t: SimTime, _cap: Option<f64>, _wait_s: f64) {
+                self.sink_slots += 1;
+            }
+            fn on_received_data(&mut self, _donor: NodeId) {
+                self.receptions += 1;
+            }
+        }
+        let mut state = RoutingState::for_policy(Box::<Counting>::default());
+        state.on_sink_slot(SimTime::ZERO, None, 0.0);
+        state.on_received_data(NodeId::new(1));
+        state.on_received_data(NodeId::new(2));
+        // The shared ledger recorded both donors alongside the policy.
+        assert!(state.is_barred(NodeId::new(1)));
+        let dump = format!("{:?}", state.policy());
+        assert!(
+            dump.contains("sink_slots: 1") && dump.contains("receptions: 2"),
+            "policy state not advanced: {dump}"
+        );
+    }
+}

@@ -160,4 +160,58 @@ mod tests {
         l.clear_on_sink_opportunity();
         assert!(l.is_empty());
     }
+
+    #[test]
+    fn ledger_bars_immediately_after_record() {
+        // The §V.B.2 boundary: the bar must hold from the instant of
+        // acceptance — there is no grace window.
+        let mut l = DonorLedger::new();
+        assert!(!l.is_barred(NodeId::new(7)), "fresh ledger bars nobody");
+        l.record_donor(NodeId::new(7));
+        assert!(l.is_barred(NodeId::new(7)));
+        assert_eq!(l.len(), 1);
+        // Only the recorded donor is barred, not neighbours of it.
+        assert!(!l.is_barred(NodeId::new(6)));
+        assert!(!l.is_barred(NodeId::new(8)));
+    }
+
+    #[test]
+    fn ledger_clears_completely_on_sink_opportunity() {
+        let mut l = DonorLedger::new();
+        for i in 0..16 {
+            l.record_donor(NodeId::new(i));
+        }
+        assert_eq!(l.len(), 16);
+        l.clear_on_sink_opportunity();
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+        for i in 0..16 {
+            assert!(!l.is_barred(NodeId::new(i)), "donor {i} survived clear");
+        }
+        // The ledger is reusable after clearing.
+        l.record_donor(NodeId::new(3));
+        assert!(l.is_barred(NodeId::new(3)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn ledger_empty_and_len_invariants() {
+        let mut l = DonorLedger::default();
+        // Default and new are indistinguishable, and emptiness tracks len.
+        assert_eq!(l, DonorLedger::new());
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        // Clearing an empty ledger is a harmless no-op.
+        l.clear_on_sink_opportunity();
+        assert!(l.is_empty());
+        // Re-recording the same donor is idempotent: len counts distinct
+        // donors, and is_empty tracks len through every transition.
+        l.record_donor(NodeId::new(5));
+        l.record_donor(NodeId::new(5));
+        assert_eq!(l.len(), 1);
+        assert!(!l.is_empty());
+        l.clear_on_sink_opportunity();
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+    }
 }

@@ -108,6 +108,32 @@ impl DataQueue {
         self.dropped += 1;
     }
 
+    /// Accepts a whole handover bundle: enqueues every message in order
+    /// (each by the class-aware [`DataQueue::push`] rule) and returns
+    /// how many messages the transfer overflowed — the queue-side hook
+    /// forwarding policies move data through.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_mac::{AppMessage, DataQueue};
+    /// use mlora_simcore::{MessageId, NodeId, SimTime};
+    ///
+    /// let mut q = DataQueue::new(2);
+    /// let bundle: Vec<AppMessage> = (0..3)
+    ///     .map(|i| AppMessage::new(MessageId::new(i), NodeId::new(1), SimTime::ZERO))
+    ///     .collect();
+    /// assert_eq!(q.push_bundle(&bundle), 1); // one message overflowed
+    /// assert_eq!(q.len(), 2);
+    /// ```
+    pub fn push_bundle(&mut self, messages: &[AppMessage]) -> u64 {
+        let drops_before = self.dropped;
+        for msg in messages {
+            self.push(*msg);
+        }
+        self.dropped - drops_before
+    }
+
     /// The frontmost `n` messages without removing them (fewer if the
     /// queue is shorter).
     pub fn peek_front(&self, n: usize) -> Vec<AppMessage> {
@@ -271,6 +297,24 @@ mod tests {
             q.push(msg(i));
         }
         assert_eq!(q.peek_front_within(12, 240), q.peek_front(12));
+    }
+
+    #[test]
+    fn push_bundle_counts_only_new_drops() {
+        let mut q = DataQueue::new(3);
+        // Pre-existing overflow must not leak into the bundle's count.
+        for i in 0..4 {
+            q.push(msg(i));
+        }
+        assert_eq!(q.dropped(), 1);
+        let bundle: Vec<AppMessage> = (10..14).map(msg).collect();
+        assert_eq!(q.push_bundle(&bundle), 4);
+        assert_eq!(q.dropped(), 5);
+        // Order and class rules match element-wise push exactly.
+        let ids: Vec<u64> = q.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, [11, 12, 13]);
+        // An empty bundle is a no-op.
+        assert_eq!(q.push_bundle(&[]), 0);
     }
 
     #[test]

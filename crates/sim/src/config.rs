@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use mlora_core::{RoutingConfig, Scheme};
+use mlora_core::{PolicySpec, RoutingConfig, RoutingState, Scheme};
 use mlora_mobility::BusNetworkConfig;
 use mlora_phy::{CapacityModel, LogDistanceModel, PhyParams};
 use mlora_simcore::SimDuration;
@@ -78,8 +78,17 @@ pub struct SimConfig {
     pub gateway_range_m: f64,
     /// Radio environment (device-to-device range).
     pub environment: Environment,
-    /// Forwarding scheme under test.
+    /// Forwarding scheme under test. Names one of the four built-in
+    /// policies; ignored for dispatch (but kept as the axis value) when
+    /// [`SimConfig::policy`] plugs in an explicit policy.
     pub scheme: Scheme,
+    /// An explicit forwarding policy overriding [`SimConfig::scheme`].
+    /// `None` (the default everywhere) runs the built-in policy of
+    /// `scheme`; `Some` instantiates this prototype per device instead —
+    /// the hook user-defined
+    /// [`ForwardingPolicy`](mlora_core::ForwardingPolicy)
+    /// implementations enter the engine through.
+    pub policy: Option<PolicySpec>,
     /// EWMA smoothing factor α (paper evaluation: 0.5).
     pub alpha: f64,
     /// Device class for the fleet.
@@ -198,6 +207,10 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Longest accepted forwarding-policy label, in characters — labels
+/// must stay printable inside the fixed-width report tables.
+const MAX_POLICY_LABEL: usize = 48;
+
 /// Validates that `value` is finite and within `(lo, hi]`.
 pub(crate) fn check_unit_interval(
     field: &'static str,
@@ -231,6 +244,7 @@ impl SimConfig {
             gateway_range_m: 1_000.0,
             environment,
             scheme,
+            policy: None,
             alpha: 0.5,
             device_class: DeviceClassChoice::ModifiedClassC,
             gen_interval: SimDuration::from_mins(3),
@@ -293,6 +307,27 @@ impl SimConfig {
         }
     }
 
+    /// Instantiates one device's routing brain: the configured scheme's
+    /// built-in policy, or a fresh instance of the explicit
+    /// [`SimConfig::policy`] prototype when one is plugged in.
+    pub fn routing_state(&self) -> RoutingState {
+        match &self.policy {
+            None => RoutingState::new(self.routing_config()),
+            Some(spec) => RoutingState::with_policy(self.routing_config(), spec.build()),
+        }
+    }
+
+    /// The label identifying the active forwarding policy — the explicit
+    /// policy's label when one is set, the scheme's figure label
+    /// otherwise. Flows into [`SimReport::scheme`](crate::SimReport) and
+    /// every table keyed by scheme.
+    pub fn scheme_label(&self) -> &str {
+        match &self.policy {
+            None => self.scheme.label(),
+            Some(spec) => spec.label(),
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -322,6 +357,18 @@ impl SimConfig {
             });
         }
         check_unit_interval("alpha", self.alpha, 0.0, 1.0)?;
+        if let Some(spec) = &self.policy {
+            // Labels are the policy's identity in reports and sweep
+            // cells; an empty one would collapse table rows.
+            if spec.label().is_empty() {
+                return Err(ConfigError::Invalid("policy label must not be empty"));
+            }
+            if spec.label().chars().count() > MAX_POLICY_LABEL {
+                return Err(ConfigError::Invalid(
+                    "policy label exceeds the report-table width limit",
+                ));
+            }
+        }
         if self.gen_interval.is_zero() {
             return Err(ConfigError::Zero {
                 field: "gen_interval",
@@ -487,6 +534,41 @@ mod tests {
         assert_eq!(c.validate().unwrap_err().field(), "traffic.profiles.weight");
         c.traffic = crate::TrafficModel::mix([crate::TrafficProfile::telemetry()]);
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_covers_policy_labels() {
+        use mlora_core::{Beacon, ForwardingPolicy, PolicyContext, PolicySpec};
+
+        /// A policy whose label is whatever the test wants.
+        #[derive(Debug, Clone)]
+        struct Labelled(String);
+        impl ForwardingPolicy for Labelled {
+            fn label(&self) -> &str {
+                &self.0
+            }
+            fn clone_box(&self) -> Box<dyn ForwardingPolicy> {
+                Box::new(self.clone())
+            }
+            fn forwards(&mut self, _: &PolicyContext<'_>, _: &Beacon, _: f64) -> bool {
+                false
+            }
+        }
+
+        let mut c = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        c.policy = Some(PolicySpec::of(Labelled(String::new())));
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "policy label must not be empty"
+        );
+        c.policy = Some(PolicySpec::of(Labelled("x".repeat(49))));
+        assert!(c.validate().is_err());
+        c.policy = Some(PolicySpec::of(Labelled("flood-fill".into())));
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.scheme_label(), "flood-fill");
+        // Without a policy the scheme's figure label applies.
+        c.policy = None;
+        assert_eq!(c.scheme_label(), "LoRaWAN");
     }
 
     #[test]

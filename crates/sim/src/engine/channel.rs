@@ -1,0 +1,231 @@
+//! The shared radio channel: frames in flight, RSSI sampling, regional
+//! noise and capture-model collision resolution.
+//!
+//! [`Channel`] owns the one RNG stream every shadowing draw comes from
+//! (fork 12 of the master seed — the stream the historical engine used,
+//! so an identically seeded run reproduces the golden fixtures bit for
+//! bit), the generational flight slab with its monotone creation
+//! sequence, and the per-receiver RSSI scratch buffer. Reception at any
+//! receiver — gateway or neighbouring device — goes through one method,
+//! [`Channel::receive`], so the capture rule, the noise model and the
+//! RNG draw order cannot drift apart between the two resolution paths.
+
+use mlora_geo::Point;
+use mlora_mac::UplinkFrame;
+use mlora_phy::{resolve_collision, LogDistanceModel, CAPTURE_MARGIN_DB};
+use mlora_simcore::{NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey};
+
+use crate::disruption::NoiseBurst;
+
+/// A frame in the air.
+#[derive(Debug, Clone)]
+pub(super) struct Flight {
+    /// Creation sequence number: slab slots are recycled, so canonical
+    /// frame ordering (collision candidate lists, RNG draw order) sorts
+    /// by this monotone counter, never by storage index.
+    pub(super) seq: u64,
+    pub(super) sender: NodeId,
+    pub(super) frame: UplinkFrame,
+    /// `Some(y)` for a handover aimed at device `y`.
+    pub(super) target: Option<NodeId>,
+    pub(super) start: SimTime,
+    pub(super) end: SimTime,
+    /// Sender position at transmission start (quasi-static over ≤0.4 s).
+    pub(super) pos: Point,
+}
+
+/// What one receiver heard of a subject frame.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Reception {
+    /// `Some(rssi)` when the subject frame decoded at this receiver
+    /// (it won capture over every time-overlapping frame).
+    pub(super) rssi: Option<f64>,
+    /// True when the subject frame was audible here but lost to
+    /// same-channel interference — the collision-counter condition.
+    pub(super) interfered: bool,
+}
+
+/// The shared radio channel (see the module docs).
+#[derive(Debug)]
+pub(super) struct Channel {
+    /// The shadowing stream: every RSSI draw of the run, in receiver ×
+    /// frame order.
+    rng: SimRng,
+    /// Frames currently (or recently) in the air.
+    pub(super) flights: Slab<Flight>,
+    /// Monotone frame creation counter (see [`Flight::seq`]).
+    next_flight_seq: u64,
+    /// How long an ended flight stays in the slab: at least the
+    /// worst-case frame airtime under the configured PHY, so any frame
+    /// still in the air finds every time-overlapping interferer in the
+    /// collision scan.
+    flight_retention: SimDuration,
+    /// Scratch: time-overlapping flights as `(seq, position)`.
+    pub(super) scratch_overlaps: Vec<(u64, Point)>,
+    /// Scratch: per-receiver collision candidates as `(seq, rssi)`.
+    scratch_rssi: Vec<(u64, f64)>,
+    /// Indices of currently active noise bursts, in activation order.
+    active_noise: Vec<u32>,
+    /// The scenario's noise-burst table (indexed by `active_noise`).
+    noise_bursts: Vec<NoiseBurst>,
+    /// Path-loss + shadowing model.
+    path_loss: LogDistanceModel,
+    /// Decode sensitivity, dBm.
+    sensitivity_dbm: f64,
+    /// Transmit power, dBm.
+    tx_power_dbm: f64,
+}
+
+impl Channel {
+    pub(super) fn new(
+        rng: SimRng,
+        flight_retention: SimDuration,
+        noise_bursts: Vec<NoiseBurst>,
+        path_loss: LogDistanceModel,
+        sensitivity_dbm: f64,
+        tx_power_dbm: f64,
+    ) -> Self {
+        Channel {
+            rng,
+            flights: Slab::new(),
+            next_flight_seq: 0,
+            flight_retention,
+            scratch_overlaps: Vec::new(),
+            scratch_rssi: Vec::new(),
+            active_noise: Vec::new(),
+            noise_bursts,
+            path_loss,
+            sensitivity_dbm,
+            tx_power_dbm,
+        }
+    }
+
+    /// The legacy per-device generation-phase draw. The paper-default
+    /// workload draws its phase from the channel stream — the historical
+    /// behaviour, kept so seeded runs stay bit-identical.
+    pub(super) fn legacy_phase_ms(&mut self, max_exclusive: u64) -> u64 {
+        self.rng.gen_range_u64(0, max_exclusive)
+    }
+
+    /// Puts a frame on the air; returns its slab key for the
+    /// transmission-end event.
+    pub(super) fn launch(
+        &mut self,
+        sender: NodeId,
+        frame: UplinkFrame,
+        target: Option<NodeId>,
+        start: SimTime,
+        end: SimTime,
+        pos: Point,
+    ) -> SlabKey {
+        let seq = self.next_flight_seq;
+        self.next_flight_seq += 1;
+        self.flights.insert(Flight {
+            seq,
+            sender,
+            frame,
+            target,
+            start,
+            end,
+            pos,
+        })
+    }
+
+    /// Prunes flights that can no longer overlap anything; vacated slab
+    /// slots are recycled by later transmissions.
+    pub(super) fn prune(&mut self, now: SimTime) {
+        let retention = self.flight_retention;
+        self.flights.retain(|_, f| f.end + retention >= now);
+    }
+
+    /// Collects the frames overlapping `flight` in time (including
+    /// itself) into `out`, in creation order: storage order must not
+    /// leak into RNG draw order.
+    pub(super) fn overlaps_into(
+        flights: &Slab<Flight>,
+        flight: &Flight,
+        out: &mut Vec<(u64, Point)>,
+    ) {
+        out.clear();
+        out.extend(
+            flights
+                .iter()
+                .filter(|(_, f)| f.start < flight.end && f.end > flight.start)
+                .map(|(_, f)| (f.seq, f.pos)),
+        );
+        out.sort_unstable_by_key(|&(seq, _)| seq);
+    }
+
+    /// A noise burst became active.
+    pub(super) fn noise_start(&mut self, burst: u32) {
+        self.active_noise.push(burst);
+    }
+
+    /// A noise burst ended.
+    pub(super) fn noise_end(&mut self, burst: u32) {
+        self.active_noise.retain(|&b| b != burst);
+    }
+
+    /// Total RSSI penalty (dB) from active noise bursts covering `pos`.
+    /// Zero — and allocation- and draw-free — when no burst is active.
+    fn noise_penalty_at(&self, pos: Point) -> f64 {
+        if self.active_noise.is_empty() {
+            return 0.0;
+        }
+        let mut penalty = 0.0;
+        for &b in &self.active_noise {
+            let burst = &self.noise_bursts[b as usize];
+            if burst.center.distance(pos) <= burst.radius_m {
+                penalty += burst.extra_loss_db;
+            }
+        }
+        penalty
+    }
+
+    /// Resolves reception of the subject frame `flight_seq` at one
+    /// receiver: samples shadowed RSSI for every overlapping frame whose
+    /// sender is within `range` of `at` (one RNG draw each, in creation
+    /// order — identical for gateway and device receivers), applies any
+    /// regional noise at the receiver, and runs capture-model collision
+    /// resolution over the audible set.
+    pub(super) fn receive(
+        &mut self,
+        overlaps: &[(u64, Point)],
+        at: Point,
+        range: f64,
+        flight_seq: u64,
+    ) -> Reception {
+        let noise_db = self.noise_penalty_at(at);
+        self.scratch_rssi.clear();
+        let mut flight_rssi = None;
+        for &(seq, pos) in overlaps {
+            let dist = at.distance(pos);
+            if dist > range {
+                continue;
+            }
+            let rssi = self.path_loss.sample_rssi_dbm_attenuated(
+                self.tx_power_dbm,
+                dist,
+                noise_db,
+                &mut self.rng,
+            );
+            if seq == flight_seq {
+                flight_rssi = Some(rssi);
+            }
+            self.scratch_rssi.push((seq, rssi));
+        }
+        let decoded = matches!(
+            resolve_collision(&self.scratch_rssi, self.sensitivity_dbm, CAPTURE_MARGIN_DB),
+            Some(winner) if winner == flight_seq
+        );
+        let interfered = !decoded && self.scratch_rssi.len() > 1 && flight_rssi.is_some();
+        Reception {
+            rssi: if decoded {
+                Some(flight_rssi.expect("winner has an RSSI"))
+            } else {
+                None
+            },
+            interfered,
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The forwarding layer: beacon overhearing, policy dispatch, handover
+//! acceptance and sender settlement.
+//!
+//! Every decision here goes through the device's
+//! [`RoutingState`](mlora_core::RoutingState), which dispatches to the
+//! pluggable [`ForwardingPolicy`](mlora_core::ForwardingPolicy) the
+//! scenario configured — the paper's built-in schemes and user-defined
+//! policies ride exactly the same code path.
+
+use mlora_core::{Beacon, ForwardDecision};
+use mlora_geo::Point;
+use mlora_simcore::NodeId;
+
+use super::channel::Flight;
+use super::Engine;
+use crate::observer::{HandoverAccepted, SimObserver};
+
+impl Engine {
+    /// Resolves overhearing at every active neighbour. Returns whether the
+    /// handover target decoded the frame; devices that need a new
+    /// transmission opportunity are appended to `to_schedule`.
+    pub(super) fn resolve_neighbours(
+        &mut self,
+        flight: &Flight,
+        overlaps: &[(u64, Point)],
+        candidates: &[NodeId],
+        to_schedule: &mut Vec<NodeId>,
+        observer: &mut dyn SimObserver,
+    ) -> bool {
+        let d2d = self.cfg.environment.d2d_range_m();
+        let gen_interval = self.cfg.gen_interval;
+        let now = self.now;
+
+        let mut accepted = false;
+
+        for &x in candidates {
+            if x == flight.sender {
+                continue;
+            }
+            let pos_x = self.world.position_now(x, now);
+            if pos_x.distance(flight.pos) > d2d {
+                continue;
+            }
+            let Some(dev) = self.world.devices.get(x) else {
+                continue;
+            };
+            if !dev.active {
+                continue;
+            }
+            // Half-duplex: a device transmitting during any part of the
+            // frame cannot receive it.
+            if let Some((s, e)) = dev.tx_window {
+                if s < flight.end && e > flight.start {
+                    continue;
+                }
+            }
+            if !dev
+                .class
+                .overhears(now, dev.last_tx_end, gen_interval, dev.gamma)
+            {
+                continue;
+            }
+            // Collision resolution at x, under any regional noise at
+            // its position.
+            let reception = self.channel.receive(overlaps, pos_x, d2d, flight.seq);
+            let Some(rssi) = reception.rssi else {
+                if reception.interfered {
+                    self.delivery.collector.on_collision();
+                }
+                continue;
+            };
+
+            if flight.target == Some(x) {
+                // Accept the handover: enqueue the bundle, bar the donor,
+                // try to move the data onwards.
+                let dev = self.world.devices.get_mut(x).expect("neighbour exists");
+                let dropped = dev.queue.push_bundle(&flight.frame.messages);
+                if dropped > 0 {
+                    self.delivery.collector.on_queue_drop(dropped);
+                }
+                dev.routing.on_received_data(flight.sender);
+                self.delivery
+                    .collector
+                    .on_handover_accepted(&flight.frame.messages);
+                observer.on_forward(&HandoverAccepted {
+                    time: now,
+                    donor: flight.sender,
+                    acceptor: x,
+                    messages: flight.frame.messages.len(),
+                });
+                accepted = true;
+                // The acceptor holds the data until its own next slot
+                // (§V.B.2); it does not transmit reactively.
+            } else {
+                // Treat as a beacon: should x hand its own data to the
+                // flight's sender?
+                let beacon = Beacon {
+                    sender: flight.sender,
+                    rca_etx: flight.frame.rca_etx,
+                    queue_len: flight.frame.queue_len,
+                };
+                let dev = self.world.devices.get_mut(x).expect("neighbour exists");
+                // An already-armed offer wins: don't consult the policy
+                // again, so stateful policies never spend budget on a
+                // decision that would be discarded. (Built-in policies
+                // are pure and draw no RNG, so skipping the call is
+                // bit-identical to the historical always-decide path.)
+                if dev.pending_handover.is_some() {
+                    continue;
+                }
+                let wait_s = dev
+                    .duty
+                    .next_opportunity(now)
+                    .saturating_since(now)
+                    .as_secs_f64();
+                let decision = dev
+                    .routing
+                    .decide(now, wait_s, dev.queue.len(), &beacon, rssi);
+                if let ForwardDecision::Forward { target, count } = decision {
+                    dev.pending_handover = Some((target, count));
+                    to_schedule.push(x);
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Applies the transmission outcome to the sender: queue updates,
+    /// metric observation, retransmission bookkeeping, follow-up
+    /// scheduling.
+    pub(super) fn settle_sender(
+        &mut self,
+        flight: &Flight,
+        gateway_rssi: Option<f64>,
+        accepted_by_target: bool,
+        observer: &mut dyn SimObserver,
+    ) {
+        // Deliver to the server first (instant backhaul).
+        if gateway_rssi.is_some() {
+            self.delivery
+                .deliver(&flight.frame.messages, self.now, observer);
+        }
+        let capacity = gateway_rssi.map(|r| self.cfg.capacity.capacity_bps(r));
+        let sender = flight.sender;
+        let Some(dev) = self.world.devices.get_mut(sender) else {
+            return;
+        };
+        let wait_s = dev
+            .duty
+            .next_opportunity(self.now)
+            .saturating_since(self.now)
+            .as_secs_f64();
+
+        let is_handover = flight.target.is_some();
+        let delivered_somewhere = gateway_rssi.is_some() || accepted_by_target;
+        if delivered_somewhere {
+            // Instant-ACK assumption (§VII.A.5): remove the bundle.
+            dev.queue.remove(&flight.frame.messages);
+        }
+
+        if is_handover {
+            // Handover slots are not device-to-sink slots; only a lucky
+            // gateway decode counts as contact (and clears the ledger).
+            if let Some(cap) = capacity {
+                dev.routing.on_sink_slot(self.now, Some(cap), wait_s);
+                dev.retransmit.reset();
+            }
+        } else {
+            dev.routing.on_sink_slot(self.now, capacity, wait_s);
+            if gateway_rssi.is_some() {
+                dev.retransmit.reset();
+            } else if !dev.retransmit.record_failure() {
+                // Retransmission budget exhausted (§VII.A.5): the backlog
+                // holds until the next generation resets the counter.
+                return;
+            }
+        }
+        // Anything still queued — a failed bundle awaiting its duty-timer
+        // retry, or backlog beyond the 12-message bundle — goes out at the
+        // next legal opportunity. Draining at the duty-cycle service rate
+        // (not the generation rate) is what gives well-connected relays
+        // their higher RGQ service rate φ.
+        if dev.active && !dev.queue.is_empty() {
+            self.maybe_schedule_tx(sender);
+        }
+    }
+}

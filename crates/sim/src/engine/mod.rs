@@ -1,0 +1,784 @@
+//! The event-driven network engine.
+//!
+//! A single-threaded discrete-event loop over five event kinds: trips
+//! starting and ending, message generation, and transmission start/end.
+//! All physics (ranges, RSSI, collisions) resolve at transmission end;
+//! positions are computed analytically from the mobility substrate, so
+//! there is no per-tick stepping anywhere.
+//!
+//! # Layout
+//!
+//! The engine is decomposed into focused subsystems, each owning its
+//! state, scratch buffers and (where applicable) RNG fork behind a
+//! narrow interface:
+//!
+//! * [`world`] — the dense device world: the fleet, the incrementally
+//!   maintained neighbour grid, device lifecycle and energy accounting.
+//! * [`channel`] — the shared radio: frames in flight, the one
+//!   shadowing RNG stream, regional noise and capture-model collision
+//!   resolution ([`channel::Channel::receive`] serves gateway and
+//!   device receivers alike).
+//! * [`forwarding`] — policy dispatch: beacon overhearing through each
+//!   device's pluggable
+//!   [`ForwardingPolicy`](mlora_core::ForwardingPolicy), handover
+//!   acceptance and sender settlement.
+//! * [`delivery`] — the sink side: gateway deployment and outage state,
+//!   server-side delivery and the metric collector.
+//!
+//! This file owns the event queue and the loop driving those
+//! subsystems.
+//!
+//! # Hot-path layout
+//!
+//! Per-event state is dense and index-addressed: devices live in a
+//! `DenseMap` keyed by their already-dense [`NodeId`], frames in
+//! flight live in a generational `Slab`, the neighbour grid is
+//! maintained incrementally (insert on trip start, remove on retirement,
+//! periodic drift relocation — never a from-scratch rebuild), and every
+//! query writes into scratch buffers owned by its subsystem. In steady
+//! state the event loop performs no per-event heap allocation on the
+//! neighbour-resolution path.
+
+mod channel;
+mod delivery;
+mod forwarding;
+mod world;
+
+use mlora_mac::{
+    AppMessage, DataQueue, DeviceClass, DutyCycleTracker, Priority, RetransmitPolicy, UplinkFrame,
+    MAX_BUNDLE, MAX_BUNDLE_BYTES,
+};
+use mlora_phy::time_on_air;
+use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime, SlabKey};
+
+use self::channel::Channel;
+use self::delivery::Delivery;
+use self::world::{Device, DeviceTraffic, World};
+use crate::disruption::DisruptionEvent;
+use crate::metrics::Collector;
+use crate::observer::{
+    BusWithdrawn, FrameTransmitted, MessageGenerated, NullObserver, SimObserver,
+};
+use crate::{place_gateways, DeviceClassChoice, SimConfig, SimReport};
+
+/// Discrete events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A bus enters service and becomes a live device.
+    TripStart(NodeId),
+    /// A bus leaves service.
+    TripEnd(NodeId),
+    /// A device generates one application message.
+    Generate(NodeId),
+    /// A device begins a transmission (uplink or handover).
+    TxStart(NodeId),
+    /// A transmission completes; receptions resolve.
+    TxEnd(SlabKey),
+    /// A scripted world disruption fires (index into the compiled
+    /// timeline). An empty [`DisruptionPlan`](crate::DisruptionPlan)
+    /// schedules none of these.
+    Disruption(u32),
+}
+
+/// Execution statistics of one engine run, returned by
+/// [`Engine::run_instrumented`] for throughput benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Discrete events processed by the main loop.
+    pub events_processed: u64,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], execute with
+/// [`Engine::run`].
+#[derive(Debug)]
+pub struct Engine {
+    cfg: SimConfig,
+    events: EventQueue<Event>,
+    now: SimTime,
+    horizon: SimTime,
+    next_msg: u64,
+    /// The dense device world (fleet, neighbour grid, lifecycle).
+    world: World,
+    /// The shared radio (flights, shadowing RNG, noise, collisions).
+    channel: Channel,
+    /// The sink side (gateways, outages, collector).
+    delivery: Delivery,
+    /// Scratch: sorted neighbour-candidate ids.
+    scratch_candidates: Vec<NodeId>,
+    /// Scratch: devices needing a transmission opportunity scheduled.
+    scratch_schedule: Vec<NodeId>,
+    /// Compiled disruption timeline, in firing order (empty for an
+    /// undisrupted run).
+    timeline: Vec<(SimTime, DisruptionEvent)>,
+    /// Dedicated stream for withdrawal selection, so disruptions never
+    /// perturb the channel/shadowing draws of the surviving fleet.
+    disruption_rng: SimRng,
+    /// Root of the per-device traffic streams (profile assignment,
+    /// arrival gaps, payload sizes). Forked per device by node index, so
+    /// a device's traffic is a pure function of the seed and its
+    /// identity. Never drawn from when the model is empty.
+    traffic_root: SimRng,
+    /// Set once [`Engine::execute`] has run: the engine keeps end-of-run
+    /// state for inspection and must not be executed again.
+    executed: bool,
+}
+
+impl Engine {
+    /// Builds an engine for the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; prefer
+    /// [`SimConfig::run`](crate::SimConfig::run), which validates first.
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        let root = SimRng::new(seed);
+        let mut deploy_rng = root.fork(10);
+        let mut net_cfg = cfg.network.clone();
+        net_cfg.horizon = cfg.horizon;
+        let net = mlora_mobility::BusNetwork::generate(&net_cfg, root.fork(11).seed());
+        let gateways = place_gateways(net.area(), cfg.num_gateways, cfg.placement, &mut deploy_rng);
+        let collector = Collector::new(
+            cfg.scheme_label().to_string(),
+            cfg.series_bucket,
+            cfg.horizon,
+            &cfg.traffic,
+        );
+        let horizon = SimTime::ZERO + cfg.horizon;
+        let cell = cfg.environment.d2d_range_m().max(200.0);
+        let world = World::new(net, cell, cfg.network.max_speed_mps);
+        // The 2 s floor keeps the historical window at fast spreading
+        // factors; slow SFs (≳4 s airtime for a full bundle) need the
+        // whole worst-case airtime or concurrent frames would be pruned
+        // before their interference resolves.
+        let flight_retention = time_on_air(255, &cfg.phy).max(SimDuration::from_secs(2));
+        // Forking is a pure function of the master seed: deriving the
+        // channel (12), disruption (13) and traffic (14) streams in this
+        // fixed order leaves each subsystem's draws independent of the
+        // others — an empty plan or model never draws from its stream
+        // and stays bit-identical.
+        let channel = Channel::new(
+            root.fork(12),
+            flight_retention,
+            cfg.disruptions.noise_bursts.clone(),
+            cfg.path_loss,
+            cfg.phy.sensitivity_dbm(),
+            cfg.phy.tx_power_dbm,
+        );
+        let delivery = Delivery::new(gateways, cfg.gateway_range_m, collector);
+        let timeline = cfg.disruptions.compile(cfg.horizon);
+        Engine {
+            events: EventQueue::with_capacity(1 << 16),
+            now: SimTime::ZERO,
+            horizon,
+            next_msg: 0,
+            world,
+            channel,
+            delivery,
+            scratch_candidates: Vec::new(),
+            scratch_schedule: Vec::new(),
+            timeline,
+            disruption_rng: root.fork(13),
+            traffic_root: root.fork(14),
+            executed: false,
+            cfg,
+        }
+    }
+
+    /// The gateway positions in use.
+    pub fn gateways(&self) -> &[mlora_geo::Point] {
+        self.delivery.gateways()
+    }
+
+    /// The generated mobility network.
+    pub fn network(&self) -> &mlora_mobility::BusNetwork {
+        &self.world.net
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    pub fn run(mut self) -> SimReport {
+        self.execute(&mut NullObserver).0
+    }
+
+    /// Runs the simulation and additionally returns execution statistics
+    /// (processed-event counts) for throughput benchmarking.
+    ///
+    /// The report is identical to [`Engine::run`] for the same
+    /// configuration and seed.
+    pub fn run_instrumented(mut self) -> (SimReport, EngineStats) {
+        self.execute(&mut NullObserver)
+    }
+
+    /// Runs the simulation, streaming events to `observer`.
+    ///
+    /// Observers are passive: the event stream and the returned report
+    /// are identical to [`Engine::run`] for the same configuration and
+    /// seed.
+    pub fn run_with_observer(mut self, observer: &mut dyn SimObserver) -> SimReport {
+        self.execute(observer).0
+    }
+
+    /// Runs the simulation and returns the spent engine alongside the
+    /// report, for post-run invariant inspection (see
+    /// [`Engine::gateway_grid_matches_rebuild`]). The report is
+    /// identical to [`Engine::run`] for the same configuration and seed.
+    ///
+    /// The returned engine holds end-of-run state and is inspection-only:
+    /// feeding it back into any `run*` method panics.
+    pub fn run_returning_engine(mut self) -> (SimReport, Engine) {
+        let (report, _) = self.execute(&mut NullObserver);
+        (report, self)
+    }
+
+    /// Which gateways are in service after (or before) a run: `true`
+    /// means up. All gateways start up; scripted outages toggle them.
+    pub fn gateways_up(&self) -> Vec<bool> {
+        self.delivery.gateways_up()
+    }
+
+    /// Verifies that the incrementally maintained gateway grid matches a
+    /// from-scratch rebuild over the gateways currently in service —
+    /// the invariant the outage/recovery mutation paths preserve.
+    pub fn gateway_grid_matches_rebuild(&self) -> bool {
+        self.delivery.grid_matches_rebuild(self.world.net.area())
+    }
+
+    fn execute(&mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
+        // The run consumers all take `self` by value, so this can only
+        // trip if a future caller tries to re-run the engine returned by
+        // `run_returning_engine` — whose state is spent.
+        assert!(!self.executed, "engine already ran; build a new one");
+        self.executed = true;
+        // Seed trip lifecycle events.
+        for trip in self.world.net.trips() {
+            if trip.depart() >= self.horizon {
+                continue;
+            }
+            self.events
+                .schedule(trip.depart(), Event::TripStart(trip.node()));
+            self.events
+                .schedule(trip.end().min(self.horizon), Event::TripEnd(trip.node()));
+        }
+        // Seed the compiled disruption timeline (no-op when the plan is
+        // empty, leaving event sequence numbers — and therefore same-time
+        // ordering — exactly as in an undisrupted build).
+        for i in 0..self.timeline.len() {
+            let (t, _) = self.timeline[i];
+            if t <= self.horizon {
+                self.events.schedule(t, Event::Disruption(i as u32));
+            }
+        }
+
+        let mut events_processed: u64 = 0;
+        while let Some((t, ev)) = self.events.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.now = t;
+            events_processed += 1;
+            match ev {
+                Event::TripStart(n) => self.on_trip_start(n),
+                Event::TripEnd(n) => self.retire(n),
+                Event::Generate(n) => self.on_generate(n, observer),
+                Event::TxStart(n) => self.on_tx_start(n, observer),
+                Event::TxEnd(key) => self.on_tx_end(key, observer),
+                Event::Disruption(i) => self.on_disruption(i, observer),
+            }
+        }
+
+        // Retire any device still in service at the horizon.
+        let still_active: Vec<NodeId> = self.world.active.clone();
+        self.now = self.horizon;
+        for n in still_active {
+            self.retire(n);
+        }
+        // Close any outage window still open at the horizon.
+        self.delivery.collector.on_horizon(self.horizon);
+
+        // Stranded = undelivered messages left in any queue, deduplicated
+        // across holders (handovers can replicate a message).
+        let mut stranded = std::collections::HashSet::new();
+        for dev in self.world.devices.values() {
+            for msg in dev.queue.iter() {
+                if !self.delivery.collector.was_delivered(msg.id) {
+                    stranded.insert(msg.id);
+                }
+            }
+        }
+        self.delivery.collector.on_stranded(stranded.len() as u64);
+
+        let collector = std::mem::replace(
+            &mut self.delivery.collector,
+            Collector::new(
+                self.cfg.scheme_label().to_string(),
+                self.cfg.series_bucket,
+                self.cfg.horizon,
+                &self.cfg.traffic,
+            ),
+        );
+        let report = collector.finish();
+        observer.on_run_end(&report);
+        (report, EngineStats { events_processed })
+    }
+
+    /// Applies one compiled disruption event.
+    fn on_disruption(&mut self, index: u32, observer: &mut dyn SimObserver) {
+        let (_, ev) = self.timeline[index as usize];
+        match ev {
+            DisruptionEvent::GatewayDown { gateway } => {
+                self.delivery.gateway_down(gateway, self.now, observer);
+            }
+            DisruptionEvent::GatewayUp { gateway } => {
+                self.delivery.gateway_up(gateway, self.now, observer);
+            }
+            DisruptionEvent::Withdraw { withdrawal } => {
+                self.on_withdrawal(withdrawal, observer);
+            }
+            DisruptionEvent::NoiseStart { burst } => {
+                self.channel.noise_start(burst);
+                self.delivery.collector.on_noise_burst();
+                observer.on_noise_burst(&crate::observer::NoiseBurstChanged {
+                    time: self.now,
+                    burst,
+                    active: true,
+                });
+            }
+            DisruptionEvent::NoiseEnd { burst } => {
+                self.channel.noise_end(burst);
+                observer.on_noise_burst(&crate::observer::NoiseBurstChanged {
+                    time: self.now,
+                    burst,
+                    active: false,
+                });
+            }
+        }
+    }
+
+    /// Withdraws a deterministic random subset of the active fleet.
+    fn on_withdrawal(&mut self, index: u32, observer: &mut dyn SimObserver) {
+        let spec = self.cfg.disruptions.withdrawals[index as usize];
+        let n = self.world.active.len();
+        let count = ((spec.fraction * n as f64).round() as usize).min(n);
+        if count == 0 {
+            return;
+        }
+        // The pool is the sorted active set, so the shuffle (and with it
+        // the withdrawn subset) is a pure function of the plan and seed.
+        let pool = self
+            .world
+            .take_withdraw_pool(count, &mut self.disruption_rng);
+        for &node in &pool {
+            self.world.withdraw_trip(node, self.now);
+            self.retire(node);
+            self.delivery.collector.on_bus_withdrawn();
+            observer.on_bus_withdrawn(&BusWithdrawn {
+                time: self.now,
+                device: node,
+            });
+        }
+        self.world.return_withdraw_pool(pool);
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        match self.cfg.device_class {
+            DeviceClassChoice::ModifiedClassC => DeviceClass::ModifiedClassC,
+            DeviceClassChoice::QueueBasedClassA => DeviceClass::QueueBasedClassA,
+        }
+    }
+
+    fn on_trip_start(&mut self, n: NodeId) {
+        let pos = self.world.position_now(n, self.now);
+        // Traffic state and the delay to the first reading. The paper
+        // default draws its phase from the channel stream (the historical
+        // behaviour, kept bit-identical); a heterogeneous model gives
+        // every device its own stream — first draw assigns the profile,
+        // the second the phase.
+        let (traffic, first_gap) = if self.cfg.traffic.is_empty() {
+            let phase_ms = self
+                .channel
+                .legacy_phase_ms(self.cfg.gen_interval.as_millis().max(1));
+            (None, SimDuration::from_millis(phase_ms))
+        } else {
+            let mut rng = self.traffic_root.fork(n.index() as u64);
+            let profile = self.cfg.traffic.pick_profile(&mut rng);
+            let gap = self.cfg.traffic.profiles[profile]
+                .arrivals
+                .first_gap(&mut rng);
+            (
+                Some(DeviceTraffic {
+                    profile: profile as u32,
+                    rng,
+                    burst_left: 0,
+                }),
+                gap,
+            )
+        };
+        let device = Device {
+            active: true,
+            activated_at: self.now,
+            retired_at: None,
+            queue: DataQueue::new(self.cfg.queue_capacity),
+            duty: DutyCycleTracker::new(self.cfg.duty_cycle),
+            retransmit: RetransmitPolicy::new(self.cfg.max_attempts),
+            routing: self.cfg.routing_state(),
+            class: self.device_class(),
+            transmitting: false,
+            tx_scheduled: false,
+            pending_handover: None,
+            last_tx_end: None,
+            tx_window: None,
+            gamma: 0.0,
+            tx_time: SimDuration::ZERO,
+            rx_window_time: SimDuration::ZERO,
+            frames_sent: 0,
+            grid_pos: pos,
+            traffic,
+        };
+        self.world.activate(n, device, pos);
+        // First reading arrives after a per-device phase so the fleet does
+        // not transmit in lockstep.
+        self.events
+            .schedule(self.now + first_gap, Event::Generate(n));
+    }
+
+    /// Retires a device (trip end, horizon, or withdrawal) and books its
+    /// reconstructed energy on the collector.
+    fn retire(&mut self, n: NodeId) {
+        if let Some(retirement) = self.world.retire(n, self.now) {
+            self.delivery
+                .collector
+                .on_device_retired(retirement.energy_mj, retirement.active);
+        }
+    }
+
+    fn on_generate(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
+        let gen_interval = self.cfg.gen_interval;
+        let now = self.now;
+        let Some(dev) = self.world.devices.get_mut(n) else {
+            return;
+        };
+        if !dev.active {
+            return;
+        }
+        // Reading shape and the gap to the next one: the paper default
+        // is a fixed 20-byte reading every `gen_interval`; a profile
+        // samples both from the device's own traffic stream.
+        let (payload, profile, priority, gap) = match dev.traffic.as_mut() {
+            None => (
+                mlora_mac::APP_MESSAGE_BYTES as u16,
+                0u8,
+                Priority::Normal,
+                gen_interval,
+            ),
+            Some(state) => {
+                let spec = &self.cfg.traffic.profiles[state.profile as usize];
+                let payload = spec.payload.sample(&mut state.rng);
+                let gap = spec
+                    .arrivals
+                    .next_gap(now, &mut state.burst_left, &mut state.rng);
+                (payload, state.profile as u8, spec.priority, gap)
+            }
+        };
+        let msg = AppMessage::new(mlora_simcore::MessageId::new(self.next_msg), n, self.now)
+            .with_traffic(payload, profile, priority);
+        self.next_msg += 1;
+        let drops_before = dev.queue.dropped();
+        dev.queue.push(msg);
+        let dropped = dev.queue.dropped() - drops_before;
+        self.delivery.collector.on_generated(&msg);
+        observer.on_message_generated(&MessageGenerated {
+            time: self.now,
+            device: n,
+            message: msg.id,
+            profile,
+            payload_bytes: payload,
+        });
+        if dropped > 0 {
+            self.delivery.collector.on_queue_drop(dropped);
+        }
+        // A new packet resets the retransmission counter (§VII.A.5).
+        dev.retransmit.reset();
+        self.events.schedule(self.now + gap, Event::Generate(n));
+        self.maybe_schedule_tx(n);
+    }
+
+    /// Schedules the next transmission opportunity for `n`, if one is
+    /// needed and none is pending.
+    pub(super) fn maybe_schedule_tx(&mut self, n: NodeId) {
+        let Some(dev) = self.world.devices.get_mut(n) else {
+            return;
+        };
+        if !dev.active || dev.tx_scheduled || dev.transmitting {
+            return;
+        }
+        let has_data = !dev.queue.is_empty() || dev.pending_handover.is_some_and(|(_, c)| c > 0);
+        if !has_data {
+            return;
+        }
+        let t = dev.duty.next_opportunity(self.now);
+        dev.tx_scheduled = true;
+        self.events.schedule(t, Event::TxStart(n));
+    }
+
+    fn on_tx_start(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
+        let phy = self.cfg.phy;
+        let gen_interval = self.cfg.gen_interval;
+        let queue_capacity = self.cfg.queue_capacity;
+        let Some(dev) = self.world.devices.get_mut(n) else {
+            return;
+        };
+        dev.tx_scheduled = false;
+        if !dev.active || dev.transmitting {
+            return;
+        }
+        if !dev.duty.can_transmit(self.now) {
+            // Races between success-drain and retransmit scheduling can
+            // land here; re-arm at the legal instant.
+            dev.tx_scheduled = true;
+            let t = dev.duty.next_opportunity(self.now);
+            self.events.schedule(t, Event::TxStart(n));
+            return;
+        }
+
+        // Handover takes precedence when armed and the target still lives.
+        let mut target = None;
+        let mut count = dev.queue.len().min(MAX_BUNDLE);
+        if let Some((y, c)) = dev.pending_handover.take() {
+            let target_alive = self.world.devices.get(y).is_some_and(|d| d.active);
+            if target_alive {
+                let c = c.min(MAX_BUNDLE);
+                if c > 0 {
+                    target = Some(y);
+                    count = c;
+                }
+            }
+        }
+        let dev = self.world.devices.get_mut(n).expect("checked above");
+        // Bundle the front of the queue under both caps: the 12-message
+        // bundle limit and the PHY byte budget. Uniform 20-byte readings
+        // saturate both at once (12 × 20 = 240), reproducing the legacy
+        // count-only selection exactly; heterogeneous payloads stop at
+        // whatever fits.
+        let count = count.min(dev.queue.len());
+        let messages = dev.queue.peek_front_within(count, MAX_BUNDLE_BYTES);
+        if messages.is_empty() {
+            return;
+        }
+        let frame = UplinkFrame::new(
+            n,
+            messages,
+            dev.routing.beacon_metric_at(self.now, dev.queue.len()),
+            dev.queue.len(),
+        );
+        let airtime = time_on_air(frame.payload_bytes(), &phy);
+        dev.duty.record_tx(self.now, airtime);
+        dev.transmitting = true;
+        dev.tx_window = Some((self.now, self.now + airtime));
+        dev.tx_time += airtime;
+        dev.frames_sent += 1;
+        // Queue-based Class-A opens its Eq. 11 window after this uplink.
+        if matches!(dev.class, DeviceClass::QueueBasedClassA) {
+            let gamma = dev.routing.gamma(dev.queue.len(), queue_capacity);
+            dev.gamma = gamma;
+            dev.rx_window_time += gen_interval.mul_f64(gamma);
+        }
+        self.delivery
+            .collector
+            .on_frame_sent(target.is_some(), &frame, airtime);
+        observer.on_frame_tx(&FrameTransmitted {
+            time: self.now,
+            sender: n,
+            bundled: frame.len(),
+            payload_bytes: frame.payload_bytes(),
+            airtime,
+            handover_target: target,
+        });
+
+        let pos = self.world.position_now(n, self.now);
+        let key = self
+            .channel
+            .launch(n, frame, target, self.now, self.now + airtime, pos);
+        self.events.schedule(self.now + airtime, Event::TxEnd(key));
+    }
+
+    fn on_tx_end(&mut self, key: SlabKey, observer: &mut dyn SimObserver) {
+        // Prune flights that can no longer overlap anything before
+        // scanning; vacated slab slots are recycled by later
+        // transmissions. (The subject flight ends exactly now, so it
+        // always survives the cutoff.)
+        self.channel.prune(self.now);
+
+        // Take the flight table out of the channel so the subject flight
+        // can be borrowed across the resolution calls without cloning
+        // its frame.
+        let flights = std::mem::take(&mut self.channel.flights);
+        let Some(flight) = flights.get(key) else {
+            self.channel.flights = flights;
+            return;
+        };
+        let sender = flight.sender;
+
+        // Sender leaves the transmit state.
+        if let Some(dev) = self.world.devices.get_mut(sender) {
+            dev.transmitting = false;
+            dev.last_tx_end = Some(self.now);
+        }
+
+        // Frames overlapping this one in time (including itself), in
+        // creation order.
+        let mut overlaps = std::mem::take(&mut self.channel.scratch_overlaps);
+        Channel::overlaps_into(&flights, flight, &mut overlaps);
+
+        let gateway_rssi = self
+            .delivery
+            .resolve_gateways(&mut self.channel, &overlaps, flight);
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        self.world.neighbour_candidates(
+            self.now,
+            flight.pos,
+            self.cfg.environment.d2d_range_m(),
+            &mut candidates,
+        );
+        let mut to_schedule = std::mem::take(&mut self.scratch_schedule);
+        to_schedule.clear();
+        let accepted_by_target =
+            self.resolve_neighbours(flight, &overlaps, &candidates, &mut to_schedule, observer);
+        self.settle_sender(flight, gateway_rssi, accepted_by_target, observer);
+        for &n in &to_schedule {
+            self.maybe_schedule_tx(n);
+        }
+
+        self.scratch_schedule = to_schedule;
+        self.scratch_candidates = candidates;
+        self.channel.scratch_overlaps = overlaps;
+        self.channel.flights = flights;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+    use mlora_core::Scheme;
+
+    fn smoke(scheme: Scheme) -> SimReport {
+        SimConfig::smoke_test(scheme, Environment::Urban)
+            .run(1234)
+            .expect("valid config")
+    }
+
+    #[test]
+    fn no_routing_runs_and_delivers() {
+        let r = smoke(Scheme::NoRouting);
+        assert!(r.generated > 100, "generated {}", r.generated);
+        assert!(r.delivered > 0, "delivered {}", r.delivered);
+        assert!(r.delivered <= r.generated);
+        assert_eq!(r.handover_frames, 0);
+        assert_eq!(r.handover_messages, 0);
+        // Every delivery in the baseline is exactly one hop.
+        assert_eq!(r.mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = smoke(Scheme::Robc);
+        let b = smoke(Scheme::Robc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        let a = cfg.run(1).unwrap();
+        let b = cfg.run(2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn forwarding_schemes_move_data_between_devices() {
+        let r = smoke(Scheme::Robc);
+        assert!(r.handover_frames > 0, "ROBC never handed over");
+        assert!(r.mean_hops() >= 1.0);
+    }
+
+    #[test]
+    fn rca_etx_scheme_hands_over() {
+        let r = smoke(Scheme::RcaEtx);
+        assert!(r.handover_frames > 0, "RCA-ETX never handed over");
+    }
+
+    #[test]
+    fn message_conservation() {
+        for scheme in Scheme::ALL {
+            let r = smoke(scheme);
+            assert!(
+                r.delivered + r.stranded + r.queue_drops >= r.generated,
+                "{scheme}: {} delivered + {} stranded + {} drops < {} generated",
+                r.delivered,
+                r.stranded,
+                r.queue_drops,
+                r.generated
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_matches_paper() {
+        // Fig. 13: forwarding schemes send more frames per node.
+        let base = smoke(Scheme::NoRouting).mean_frames_per_node();
+        let robc = smoke(Scheme::Robc).mean_frames_per_node();
+        // Smoke-scale runs are noisy; the paper-scale ordering (1.6–2.2×)
+        // is asserted by the repro harness. Here we only require ROBC not
+        // to transmit *less* than the baseline beyond noise.
+        assert!(
+            robc >= 0.9 * base,
+            "ROBC overhead {robc} far below baseline {base}"
+        );
+    }
+
+    #[test]
+    fn energy_accounted_for_all_devices() {
+        let r = smoke(Scheme::NoRouting);
+        assert!(r.devices_seen > 0);
+        assert!(r.total_energy_mj > 0.0);
+        assert!(r.total_active_s > 0.0);
+    }
+
+    #[test]
+    fn gateways_on_grid() {
+        let cfg = SimConfig::smoke_test(Scheme::NoRouting, Environment::Urban);
+        let engine = Engine::new(cfg.clone(), 9);
+        assert_eq!(engine.gateways().len(), cfg.num_gateways);
+        for gw in engine.gateways() {
+            assert!(engine.network().area().contains(*gw));
+        }
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        let cfg = SimConfig::smoke_test(Scheme::Robc, Environment::Urban);
+        let plain = Engine::new(cfg.clone(), 7).run();
+        let (report, stats) = Engine::new(cfg, 7).run_instrumented();
+        assert_eq!(plain, report);
+        assert!(
+            stats.events_processed > report.generated + report.frames_sent,
+            "loop must process at least one event per message and frame"
+        );
+    }
+
+    #[test]
+    fn queue_based_class_a_delivers_with_less_energy() {
+        let mut cfg_c = SimConfig::smoke_test(Scheme::Robc, Environment::Urban);
+        cfg_c.device_class = DeviceClassChoice::ModifiedClassC;
+        let mut cfg_a = cfg_c.clone();
+        cfg_a.device_class = DeviceClassChoice::QueueBasedClassA;
+        let rc = cfg_c.run(7).unwrap();
+        let ra = cfg_a.run(7).unwrap();
+        assert!(ra.delivered > 0);
+        assert!(
+            ra.mean_energy_per_node_mj() < rc.mean_energy_per_node_mj(),
+            "queue-based class A should save energy: {} vs {}",
+            ra.mean_energy_per_node_mj(),
+            rc.mean_energy_per_node_mj()
+        );
+    }
+}

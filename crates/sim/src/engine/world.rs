@@ -1,0 +1,238 @@
+//! The dense device world: fleet state, the incrementally maintained
+//! neighbour grid, and device lifecycle (activation, retirement, energy
+//! reconstruction, scripted withdrawals).
+//!
+//! [`World`] owns everything position- and device-shaped — the mobility
+//! substrate, the `DenseMap` of live [`Device`]s, the sorted active set,
+//! the spatial grid with its drift-sweep schedule and the per-device
+//! polyline cursors — behind a narrow interface the event loop drives.
+//! All scratch buffers for grid queries and withdrawal selection live
+//! here too, so world queries are allocation-free in steady state.
+
+use mlora_core::RoutingState;
+use mlora_geo::{GridIndex, Point};
+use mlora_mac::{
+    DataQueue, DeviceClass, DutyCycleTracker, EnergyAccount, EnergyModel, RadioState,
+    RetransmitPolicy,
+};
+use mlora_simcore::{DenseMap, NodeId, SimDuration, SimRng, SimTime};
+
+/// Query-radius slack absorbing stored-position drift in the neighbour
+/// grid; exact distances are re-checked on the candidates, so the grid
+/// only has to stay a superset of the truly-in-range set.
+pub(super) const GRID_MARGIN_M: f64 = 120.0;
+
+/// Per-device traffic-model state: which profile this device runs and
+/// the dedicated RNG stream its arrival/payload draws come from.
+/// `None` when the scenario's [`TrafficModel`](crate::TrafficModel) is
+/// empty — the paper-exact periodic generator needs no state.
+#[derive(Debug, Clone)]
+pub(super) struct DeviceTraffic {
+    /// Index into the model's profile mix.
+    pub(super) profile: u32,
+    /// Per-device stream forked from the engine's traffic root; the
+    /// first draw assigns the profile, later draws sample arrivals and
+    /// payload sizes.
+    pub(super) rng: SimRng,
+    /// Messages remaining in the current on-period of a bursty process.
+    pub(super) burst_left: u32,
+}
+
+/// Per-device live state.
+#[derive(Debug, Clone)]
+pub(super) struct Device {
+    pub(super) active: bool,
+    pub(super) activated_at: SimTime,
+    pub(super) retired_at: Option<SimTime>,
+    pub(super) queue: DataQueue,
+    pub(super) duty: DutyCycleTracker,
+    pub(super) retransmit: RetransmitPolicy,
+    pub(super) routing: RoutingState,
+    pub(super) class: DeviceClass,
+    pub(super) transmitting: bool,
+    pub(super) tx_scheduled: bool,
+    pub(super) pending_handover: Option<(NodeId, usize)>,
+    pub(super) last_tx_end: Option<SimTime>,
+    /// Window of the most recent transmission, for half-duplex checks.
+    pub(super) tx_window: Option<(SimTime, SimTime)>,
+    /// Eq. 11 receive-window fraction, refreshed at each uplink.
+    pub(super) gamma: f64,
+    /// Cumulative transmit airtime.
+    pub(super) tx_time: SimDuration,
+    /// Cumulative Queue-based Class-A listening time.
+    pub(super) rx_window_time: SimDuration,
+    /// Uplink frames sent (for Class-A RX-window energy).
+    pub(super) frames_sent: u64,
+    /// The position this device is filed under in the neighbour grid.
+    pub(super) grid_pos: Point,
+    /// Traffic-model state; `None` under the paper's default workload.
+    pub(super) traffic: Option<DeviceTraffic>,
+}
+
+/// What a retirement costs: the device's reconstructed radio energy and
+/// its total in-service time, for the collector.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Retirement {
+    pub(super) energy_mj: f64,
+    pub(super) active: SimDuration,
+}
+
+/// The dense device world (see the module docs).
+#[derive(Debug)]
+pub(super) struct World {
+    pub(super) net: mlora_mobility::BusNetwork,
+    pub(super) devices: DenseMap<NodeId, Device>,
+    /// Device ids currently in service, kept sorted for determinism.
+    pub(super) active: Vec<NodeId>,
+    /// Incrementally maintained spatial index over active devices.
+    grid: GridIndex<NodeId>,
+    /// When the next periodic drift-relocation sweep is due.
+    grid_refresh_due: SimTime,
+    /// Sweep period: chosen so no stored position can drift more than
+    /// [`GRID_MARGIN_M`] between sweeps at the fleet's top speed.
+    grid_refresh_every: SimDuration,
+    /// Per-device polyline segment cursors for O(1) position queries.
+    pos_hints: Vec<u32>,
+    /// Scratch: raw grid query output.
+    scratch_within: Vec<(NodeId, Point)>,
+    /// Scratch: withdrawal candidate pool.
+    scratch_withdraw: Vec<NodeId>,
+}
+
+impl World {
+    /// Builds the world over a generated bus network. `cell_m` sizes the
+    /// neighbour-grid cells and `max_speed_mps` paces the drift sweep.
+    pub(super) fn new(net: mlora_mobility::BusNetwork, cell_m: f64, max_speed_mps: f64) -> Self {
+        let num_trips = net.trips().len();
+        // Sweep early enough that drift at the fastest service speed stays
+        // inside the query margin (0.95: headroom for rounding to ms).
+        let grid_refresh_every = SimDuration::from_secs_f64(GRID_MARGIN_M / max_speed_mps * 0.95);
+        World {
+            devices: DenseMap::with_capacity(num_trips),
+            active: Vec::new(),
+            grid: GridIndex::new(cell_m),
+            grid_refresh_due: SimTime::ZERO,
+            grid_refresh_every,
+            pos_hints: vec![0; num_trips],
+            scratch_within: Vec::new(),
+            scratch_withdraw: Vec::new(),
+            net,
+        }
+    }
+
+    /// The device's position at `now`, through its segment cursor.
+    pub(super) fn position_now(&mut self, n: NodeId, now: SimTime) -> Point {
+        self.net
+            .position_hinted(n, now, &mut self.pos_hints[n.index()])
+    }
+
+    /// Relocates every active device's grid entry to its current
+    /// position when the periodic drift sweep is due. Relocation is a
+    /// no-op for devices that stayed within their cell.
+    fn refresh_grid_if_due(&mut self, now: SimTime) {
+        if now < self.grid_refresh_due {
+            return;
+        }
+        self.grid_refresh_due = now + self.grid_refresh_every;
+        for i in 0..self.active.len() {
+            let n = self.active[i];
+            let pos = self.position_now(n, now);
+            let dev = self.devices.get_mut(n).expect("active device exists");
+            let moved = self.grid.relocate(n, dev.grid_pos, pos);
+            debug_assert!(moved, "active device missing from grid");
+            dev.grid_pos = pos;
+        }
+    }
+
+    /// Writes the sorted ids of active devices possibly within `radius`
+    /// of `pos` into `out` (callers must re-check exact distances).
+    pub(super) fn neighbour_candidates(
+        &mut self,
+        now: SimTime,
+        pos: Point,
+        radius: f64,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.refresh_grid_if_due(now);
+        let mut within = std::mem::take(&mut self.scratch_within);
+        self.grid
+            .within_into(pos, radius + GRID_MARGIN_M, &mut within);
+        out.clear();
+        out.extend(within.iter().map(|&(n, _)| n));
+        out.sort_unstable();
+        self.scratch_within = within;
+    }
+
+    /// Activates a device: files it in the device map, the sorted active
+    /// set and the neighbour grid at `pos`.
+    pub(super) fn activate(&mut self, n: NodeId, device: Device, pos: Point) {
+        self.devices.insert(n, device);
+        if let Err(i) = self.active.binary_search(&n) {
+            self.active.insert(i, n);
+        }
+        self.grid.insert(n, pos);
+    }
+
+    /// Retires a device at `now`: removes it from the active set and the
+    /// grid and reconstructs its whole-service energy spend. Returns
+    /// `None` when the device never existed or already retired.
+    pub(super) fn retire(&mut self, n: NodeId, now: SimTime) -> Option<Retirement> {
+        let dev = self.devices.get_mut(n)?;
+        if dev.retired_at.is_some() {
+            return None;
+        }
+        dev.active = false;
+        dev.retired_at = Some(now);
+        if let Ok(i) = self.active.binary_search(&n) {
+            self.active.remove(i);
+        }
+        let removed = self.grid.remove(n, dev.grid_pos);
+        debug_assert!(removed, "retired device missing from grid");
+        // Energy: time-in-state reconstruction for the whole service window.
+        let dev = self.devices.get_mut(n).expect("checked above");
+        let active_dur = now.saturating_since(dev.activated_at);
+        let tx = dev.tx_time.min(active_dur);
+        let non_tx = active_dur.saturating_sub(tx);
+        let rx = match dev.class {
+            DeviceClass::ModifiedClassC | DeviceClass::ClassC => non_tx,
+            DeviceClass::QueueBasedClassA => dev.rx_window_time.min(non_tx),
+            DeviceClass::ClassA => SimDuration::from_millis(320).min(non_tx) * dev.frames_sent,
+            DeviceClass::ClassB { .. } => non_tx.mul_f64(0.01),
+        };
+        let sleep = non_tx.saturating_sub(rx);
+        let mut acct = EnergyAccount::new();
+        acct.add(RadioState::Tx, tx);
+        acct.add(RadioState::Rx, rx);
+        acct.add(RadioState::Sleep, sleep);
+        let energy_mj = acct.energy_mj(&EnergyModel::sx1276());
+        Some(Retirement {
+            energy_mj,
+            active: active_dur,
+        })
+    }
+
+    /// Selects a deterministic random `count`-strong subset of the
+    /// active fleet for withdrawal: the sorted active set is shuffled
+    /// with `rng` (so the subset is a pure function of the plan and
+    /// seed), truncated and re-sorted. Return the buffer through
+    /// [`World::return_withdraw_pool`] when done.
+    pub(super) fn take_withdraw_pool(&mut self, count: usize, rng: &mut SimRng) -> Vec<NodeId> {
+        let mut pool = std::mem::take(&mut self.scratch_withdraw);
+        pool.clear();
+        pool.extend_from_slice(&self.active);
+        rng.shuffle(&mut pool);
+        pool.truncate(count);
+        pool.sort_unstable();
+        pool
+    }
+
+    /// Returns the withdrawal scratch buffer for reuse.
+    pub(super) fn return_withdraw_pool(&mut self, pool: Vec<NodeId>) {
+        self.scratch_withdraw = pool;
+    }
+
+    /// Truncates a withdrawn bus's trip in the mobility substrate.
+    pub(super) fn withdraw_trip(&mut self, n: NodeId, now: SimTime) {
+        self.net.withdraw(n, now);
+    }
+}

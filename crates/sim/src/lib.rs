@@ -16,9 +16,15 @@
 //!   with built-in counters, time-series and CSV/JSON trace sinks, so one
 //!   run feeds any number of analyses.
 //! * [`ExperimentPlan`] + [`Runner`] — declarative sweeps over
-//!   environment/gateways/scheme/α/placement/class/disruptions,
+//!   environment/gateways/scheme/α/placement/class/disruptions/policies,
 //!   replicated over seeds and executed across worker threads into
 //!   [`ReplicatedReport`]s with mean/CI accessors.
+//!
+//! The forwarding layer itself is open: any [`ForwardingPolicy`]
+//! implementation plugs in through [`ScenarioBuilder::policy`] (or a
+//! [`policies`](ExperimentPlan::policies) sweep axis) and rides the
+//! exact engine path the paper's built-in schemes use; each run's
+//! [`SimReport::scheme`] carries the policy's label into every table.
 //!
 //! Orthogonally, a [`DisruptionPlan`] scripts mid-run world events —
 //! gateway outages, fleet withdrawals, regional noise bursts — as a
@@ -75,7 +81,6 @@ mod config;
 mod deployment;
 pub mod disruption;
 mod engine;
-pub mod experiment;
 mod metrics;
 pub mod observer;
 pub mod report;
@@ -87,14 +92,16 @@ pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, 
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
 pub use engine::{Engine, EngineStats};
-pub use experiment::{SweepPoint, PAPER_GATEWAY_COUNTS};
 pub use metrics::{ProfileReport, SimReport};
+pub use mlora_core::{ForwardingPolicy, PolicyContext, PolicySpec};
 pub use mlora_mac::Priority;
 pub use observer::{
     BusWithdrawn, EventCounter, FrameTransmitted, GatewayOutageChanged, HandoverAccepted,
     MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, SeriesObserver,
     SimObserver, TraceFormat, TraceSink,
 };
+pub use report::SweepPoint;
+pub use runner::PAPER_GATEWAY_COUNTS;
 pub use runner::{
     CellKey, CellResult, ExperimentPlan, PlanCell, ReplicatedReport, Runner, RunnerError,
 };

@@ -105,6 +105,11 @@ impl ProfileReport {
 /// * Fig. 13 — [`SimReport::mean_frames_per_node`]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
+    /// Label of the forwarding scheme or custom policy the run executed
+    /// (see [`SimConfig::scheme_label`](crate::SimConfig::scheme_label))
+    /// — what [`report::scheme_table`](crate::report::scheme_table) and
+    /// observers key rows by.
+    pub scheme: String,
     /// Application messages generated.
     pub generated: u64,
     /// Unique messages that reached the network server.
@@ -301,9 +306,15 @@ pub(crate) struct Collector {
 }
 
 impl Collector {
-    pub(crate) fn new(bucket: SimDuration, horizon: SimDuration, traffic: &TrafficModel) -> Self {
+    pub(crate) fn new(
+        scheme: String,
+        bucket: SimDuration,
+        horizon: SimDuration,
+        traffic: &TrafficModel,
+    ) -> Self {
         Collector {
             report: SimReport {
+                scheme,
                 generated: 0,
                 delivered: 0,
                 duplicates: 0,
@@ -502,6 +513,7 @@ mod tests {
 
     fn collector() -> Collector {
         Collector::new(
+            "test".into(),
             SimDuration::from_mins(10),
             SimDuration::from_hours(1),
             &TrafficModel::default(),
@@ -634,6 +646,7 @@ mod tests {
             ),
         ]);
         let mut c = Collector::new(
+            "test".into(),
             SimDuration::from_mins(10),
             SimDuration::from_hours(1),
             &model,

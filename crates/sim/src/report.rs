@@ -1,13 +1,45 @@
 //! Plain-text formatters turning experiment results into the rows and
-//! series the paper's figures plot.
+//! series the paper's figures plot, plus the small figure-shaped bridge
+//! types they consume ([`SweepPoint`]).
 
 use std::fmt::Write as _;
 
 use mlora_core::Scheme;
+use serde::{Deserialize, Serialize};
 
-use crate::experiment::SweepPoint;
 use crate::runner::CellResult;
 use crate::{Environment, SimReport};
+
+/// One cell of the Fig. 8/9/12/13 sweeps: a (gateways, environment,
+/// scheme) combination and its simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of gateways deployed.
+    pub gateways: usize,
+    /// Radio environment.
+    pub environment: Environment,
+    /// Forwarding scheme.
+    pub scheme: Scheme,
+    /// The run's metrics.
+    pub report: SimReport,
+}
+
+impl SweepPoint {
+    /// Extracts sweep points (one per cell, first replicate) from runner
+    /// results — the bridge from the plan API to the per-figure
+    /// formatters in this module.
+    pub fn from_cells(cells: &[CellResult]) -> Vec<SweepPoint> {
+        cells
+            .iter()
+            .map(|cell| SweepPoint {
+                gateways: cell.key.gateways,
+                environment: cell.key.environment,
+                scheme: cell.key.scheme,
+                report: cell.report.single().clone(),
+            })
+            .collect()
+    }
+}
 
 /// Formats the Fig. 8 table: mean end-to-end delay ± standard error per
 /// (environment, gateways, scheme).
@@ -126,6 +158,48 @@ pub fn traffic_profile_table(report: &SimReport) -> String {
             p.mean_delay_s(),
             p.airtime_s,
             p.payload_bytes_sent,
+        );
+    }
+    s
+}
+
+/// Formats a policy-labelled comparison: one row per cell (first
+/// replicate), keyed by the label each run's [`SimReport::scheme`]
+/// carries — so built-in schemes and user-defined
+/// [`ForwardingPolicy`](mlora_core::ForwardingPolicy) entries of a
+/// [`policies`](crate::ExperimentPlan::policies) sweep line up in one
+/// table with delivery, delay, hop and overhead columns.
+pub fn scheme_table(cells: &[CellResult]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# forwarding-policy comparison (first replicate per cell)"
+    );
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>14} {:>9} {:>10} {:>6} {:>10}",
+        "env", "gws", "policy", "deliv%", "delay(s)", "hops", "msgs/node"
+    );
+    let mut sorted = cells.to_vec();
+    sorted.sort_by(|a, b| {
+        (a.key.environment.label(), a.key.gateways, a.key.policy).cmp(&(
+            b.key.environment.label(),
+            b.key.gateways,
+            b.key.policy,
+        ))
+    });
+    for cell in &sorted {
+        let r = cell.report.single();
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>14} {:>8.1}% {:>10.1} {:>6.2} {:>10.2}",
+            cell.key.environment.label(),
+            cell.key.gateways,
+            r.scheme,
+            100.0 * r.delivery_ratio(),
+            r.mean_delay_s(),
+            r.mean_hops(),
+            r.mean_messages_sent_per_node(),
         );
     }
     s
@@ -271,6 +345,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sweep_points_cover_plan_cells_in_order() {
+        let plan = ExperimentPlan::new(base())
+            .environments([Environment::Urban, Environment::Rural])
+            .gateway_counts([4, 9])
+            .schemes(Scheme::ALL)
+            .fixed_seeds([5]);
+        let cells = Runner::new().run(&plan).expect("valid plan");
+        let pts = SweepPoint::from_cells(&cells);
+        assert_eq!(pts.len(), 2 * 2 * 3);
+        assert!(pts.iter().all(|p| p.report.generated > 0));
+        // Combinations are unique and follow plan order.
+        let mut keys: Vec<_> = pts
+            .iter()
+            .map(|p| (p.gateways, p.environment, p.scheme))
+            .collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 12);
+        for (pt, cell) in pts.iter().zip(&cells) {
+            assert_eq!(pt.report, *cell.report.single());
+        }
+    }
+
+    #[test]
+    fn sweep_point_matches_direct_run() {
+        // A plan cell must reproduce exactly what a direct run of the
+        // same configuration produces — same config, same seed.
+        let plan = ExperimentPlan::new(base())
+            .environments([Environment::Rural])
+            .gateway_counts([4])
+            .schemes([Scheme::Robc])
+            .fixed_seeds([9]);
+        let pts = SweepPoint::from_cells(&Runner::new().run(&plan).expect("valid plan"));
+        let mut direct = base();
+        direct.environment = Environment::Rural;
+        direct.num_gateways = 4;
+        direct.scheme = Scheme::Robc;
+        assert_eq!(pts[0].report, direct.run(9).unwrap());
+    }
+
+    #[test]
+    fn scheme_table_keys_rows_by_run_label() {
+        use mlora_core::PolicySpec;
+
+        let plan = ExperimentPlan::new(base())
+            .gateway_counts([4])
+            .policies([
+                PolicySpec::from(Scheme::NoRouting),
+                PolicySpec::from(Scheme::Robc),
+            ])
+            .fixed_seeds([3]);
+        let cells = Runner::new().run(&plan).expect("valid sweep");
+        let table = scheme_table(&cells);
+        assert!(table.contains("LoRaWAN"), "{table}");
+        assert!(table.contains("ROBC"), "{table}");
+        // The label comes from the report itself, not the scheme axis.
+        assert_eq!(cells[0].report.single().scheme, "LoRaWAN");
+        assert_eq!(cells[1].report.single().scheme, "ROBC");
     }
 
     #[test]

@@ -38,13 +38,16 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use mlora_core::Scheme;
+use mlora_core::{PolicySpec, Scheme};
 use mlora_simcore::stats::Welford;
 
 use crate::{
     ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayPlacement, SimConfig,
     SimReport, TrafficModel,
 };
+
+/// The paper's gateway counts: 40–100 in steps of 10.
+pub const PAPER_GATEWAY_COUNTS: [usize; 7] = [40, 50, 60, 70, 80, 90, 100];
 
 /// How a plan assigns seeds to replicate runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +84,11 @@ pub struct CellKey {
     /// Index into the plan's traffic axis (0 when the axis was never
     /// set — the base configuration's own model).
     pub traffic: usize,
+    /// Index into the plan's forwarding-policy axis (0 when the axis was
+    /// never set — the base configuration's own scheme or policy). The
+    /// policy's label is carried by every replicate's
+    /// [`SimReport::scheme`](crate::SimReport).
+    pub policy: usize,
 }
 
 /// One cell of a plan: its coordinates and the fully resolved config.
@@ -112,6 +120,10 @@ pub struct ExperimentPlan {
     device_classes: Vec<DeviceClassChoice>,
     disruptions: Vec<DisruptionPlan>,
     traffics: Vec<TrafficModel>,
+    /// `None` entries run the cell's scheme through its built-in policy;
+    /// `Some` plug the spec in (the default single entry mirrors the
+    /// base configuration).
+    policies: Vec<Option<PolicySpec>>,
     /// Master seed for derived replication (set by [`ExperimentPlan::seed`];
     /// remembered even while a fixed-seed policy is active).
     base_seed: u64,
@@ -131,6 +143,7 @@ impl ExperimentPlan {
             device_classes: vec![base.device_class],
             disruptions: vec![base.disruptions.clone()],
             traffics: vec![base.traffic.clone()],
+            policies: vec![base.policy.clone()],
             base_seed: 0,
             seeds: SeedPolicy::Derived { replications: 1 },
             base,
@@ -186,6 +199,24 @@ impl ExperimentPlan {
     /// position in [`CellKey::traffic`].
     pub fn traffics(mut self, axis: impl IntoIterator<Item = TrafficModel>) -> Self {
         self.traffics = axis.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the forwarding policy — built-in schemes
+    /// (`PolicySpec::from(Scheme::Robc)`) and user-defined
+    /// [`ForwardingPolicy`](mlora_core::ForwardingPolicy)
+    /// implementations side by side in one grid. Cells carry the axis
+    /// position in [`CellKey::policy`]; each run's
+    /// [`SimReport::scheme`](crate::SimReport) carries the policy's
+    /// label, which is how
+    /// [`report::scheme_table`](crate::report::scheme_table) names rows.
+    ///
+    /// Orthogonal to [`ExperimentPlan::schemes`]: a plan sweeping both
+    /// runs every policy entry under every scheme coordinate (the policy
+    /// overrides dispatch, the scheme remains a coordinate), so sweep
+    /// only one of the two axes unless that cross is intended.
+    pub fn policies(mut self, axis: impl IntoIterator<Item = PolicySpec>) -> Self {
+        self.policies = axis.into_iter().map(Some).collect();
         self
     }
 
@@ -253,6 +284,7 @@ impl ExperimentPlan {
             * self.device_classes.len()
             * self.disruptions.len()
             * self.traffics.len()
+            * self.policies.len()
     }
 
     /// Materializes every cell in plan order.
@@ -266,30 +298,34 @@ impl ExperimentPlan {
                             for &device_class in &self.device_classes {
                                 for (disruption, plan) in self.disruptions.iter().enumerate() {
                                     for (traffic, model) in self.traffics.iter().enumerate() {
-                                        let key = CellKey {
-                                            environment,
-                                            gateways,
-                                            scheme,
-                                            alpha,
-                                            placement,
-                                            device_class,
-                                            disruption,
-                                            traffic,
-                                        };
-                                        let mut config = self.base.clone();
-                                        config.environment = environment;
-                                        config.num_gateways = gateways;
-                                        config.scheme = scheme;
-                                        config.alpha = alpha;
-                                        config.placement = placement;
-                                        config.device_class = device_class;
-                                        config.disruptions = plan.clone();
-                                        config.traffic = model.clone();
-                                        out.push(PlanCell {
-                                            index: out.len(),
-                                            key,
-                                            config,
-                                        });
+                                        for (policy, spec) in self.policies.iter().enumerate() {
+                                            let key = CellKey {
+                                                environment,
+                                                gateways,
+                                                scheme,
+                                                alpha,
+                                                placement,
+                                                device_class,
+                                                disruption,
+                                                traffic,
+                                                policy,
+                                            };
+                                            let mut config = self.base.clone();
+                                            config.environment = environment;
+                                            config.num_gateways = gateways;
+                                            config.scheme = scheme;
+                                            config.alpha = alpha;
+                                            config.placement = placement;
+                                            config.device_class = device_class;
+                                            config.disruptions = plan.clone();
+                                            config.traffic = model.clone();
+                                            config.policy = spec.clone();
+                                            out.push(PlanCell {
+                                                index: out.len(),
+                                                key,
+                                                config,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -312,6 +348,7 @@ impl ExperimentPlan {
             ("device_classes", self.device_classes.len()),
             ("disruptions", self.disruptions.len()),
             ("traffics", self.traffics.len()),
+            ("policies", self.policies.len()),
             ("seeds", self.replications()),
         ] {
             if len == 0 {
@@ -825,6 +862,62 @@ mod tests {
         assert!(matches!(
             empty.validate(),
             Err(RunnerError::EmptyPlan { axis: "traffics" })
+        ));
+    }
+
+    #[test]
+    fn paper_gateway_counts_shape() {
+        assert_eq!(PAPER_GATEWAY_COUNTS.len(), 7);
+        assert_eq!(PAPER_GATEWAY_COUNTS[0], 40);
+        assert_eq!(PAPER_GATEWAY_COUNTS[6], 100);
+    }
+
+    #[test]
+    fn policy_axis_multiplies_cells_and_reaches_configs() {
+        let plan = ExperimentPlan::new(tiny())
+            .gateway_counts([4, 9])
+            .policies([
+                PolicySpec::from(Scheme::NoRouting),
+                PolicySpec::from(Scheme::Robc),
+            ]);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].key.policy, 0);
+        assert_eq!(cells[1].key.policy, 1);
+        assert_eq!(
+            cells[0].config.policy.as_ref().map(|p| p.label()),
+            Some("LoRaWAN")
+        );
+        assert_eq!(
+            cells[1].config.policy.as_ref().map(|p| p.label()),
+            Some("ROBC")
+        );
+        assert_eq!(plan.validate().map_err(|e| e.to_string()), Ok(()));
+        // A built-in spec runs bit-identically to the plain scheme cell.
+        let by_policy = Runner::single_threaded()
+            .run(
+                &ExperimentPlan::new(tiny())
+                    .policies([PolicySpec::from(Scheme::Robc)])
+                    .fixed_seeds([11]),
+            )
+            .unwrap();
+        let by_scheme = Runner::single_threaded()
+            .run(
+                &ExperimentPlan::new(tiny())
+                    .schemes([Scheme::Robc])
+                    .fixed_seeds([11]),
+            )
+            .unwrap();
+        assert_eq!(
+            by_policy[0].report.single(),
+            by_scheme[0].report.single(),
+            "policy-spec cell diverged from the scheme cell"
+        );
+        // An empty axis is rejected like any other.
+        let empty = ExperimentPlan::new(tiny()).policies([]);
+        assert!(matches!(
+            empty.validate(),
+            Err(RunnerError::EmptyPlan { axis: "policies" })
         ));
     }
 

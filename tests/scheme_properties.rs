@@ -164,7 +164,7 @@ proptest! {
         q_y in 0usize..500,
         rssi in -150.0f64..-40.0,
     ) {
-        let state = RoutingState::new(RoutingConfig::paper_default(Scheme::Robc));
+        let mut state = RoutingState::new(RoutingConfig::paper_default(Scheme::Robc));
         let beacon = Beacon { sender: NodeId::new(1), rca_etx: rca_y, queue_len: q_y };
         let d = state.decide(SimTime::from_secs(1000), 0.0, 0, &beacon, rssi);
         prop_assert_eq!(d, ForwardDecision::Keep);
