@@ -1,16 +1,19 @@
 //! Engine throughput measurement: events per second at fleet scale.
 //!
 //! Runs the `micro_engine` scenarios (200- and 2000-bus fleets on a flat
-//! activity profile, see [`mlora_bench::engine_throughput_config`]) and
-//! prints one JSON object per scenario with the processed-event count,
-//! wall-clock time and events/sec. The repo-level `BENCH_engine.json`
-//! baseline/after pair is recorded with this binary.
+//! activity profile, see [`mlora_bench::engine_throughput_config`]) plus
+//! a 20 000-bus metro-generator tier
+//! ([`mlora_bench::metro_throughput_config`]) and prints one JSON object
+//! per scenario with the processed-event count, wall-clock time and
+//! events/sec. The repo-level `BENCH_engine.json` baseline/after pair is
+//! recorded with this binary; passing `full` adds the 100 000-bus metro
+//! tier, which is measured out-of-gate (it runs for minutes).
 //!
-//! Usage: `cargo run --release -p mlora-bench --bin engine_events [runs]`
+//! Usage: `cargo run --release -p mlora-bench --bin engine_events [runs] [full]`
 
 use std::time::Instant;
 
-use mlora_bench::{engine_throughput_config, HARNESS_SEED};
+use mlora_bench::{engine_throughput_config, metro_throughput_config, HARNESS_SEED};
 use mlora_sim::Engine;
 
 fn main() {
@@ -18,9 +21,23 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
+    let full = std::env::args().any(|a| a == "full");
+    let mut scenarios = vec![
+        ("200_buses".to_string(), engine_throughput_config(200)),
+        ("2000_buses".to_string(), engine_throughput_config(2000)),
+        (
+            "20000_buses_metro".to_string(),
+            metro_throughput_config(20_000),
+        ),
+    ];
+    if full {
+        scenarios.push((
+            "100000_buses_metro".to_string(),
+            metro_throughput_config(100_000),
+        ));
+    }
     println!("[");
-    for (i, buses) in [200usize, 2000].into_iter().enumerate() {
-        let cfg = engine_throughput_config(buses);
+    for (i, (name, cfg)) in scenarios.iter().enumerate() {
         // One warm-up, then the timed runs; report the best (least-noise)
         // run, which is the standard wall-clock benching convention.
         let mut best_s = f64::INFINITY;
@@ -38,9 +55,9 @@ fn main() {
             best_s = best_s.min(elapsed);
         }
         let eps = events as f64 / best_s;
-        let comma = if i == 0 { "," } else { "" };
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
         println!(
-            "  {{\"scenario\": \"{buses}_buses\", \"events\": {events}, \
+            "  {{\"scenario\": \"{name}\", \"events\": {events}, \
              \"setup_wall_s\": {setup_s:.4}, \"best_wall_s\": {best_s:.4}, \
              \"events_per_sec\": {eps:.0}}}{comma}"
         );

@@ -11,7 +11,7 @@
 //! shared gateway-density sweep behind Figs. 8, 9, 12 and 13.
 
 use mlora_core::Scheme;
-use mlora_sim::{Environment, ExperimentPlan, Scenario, SimConfig};
+use mlora_sim::{Environment, ExperimentPlan, MetroConfig, Scenario, SimConfig};
 use mlora_simcore::SimDuration;
 
 /// The seed every harness run uses, so printed numbers are reproducible.
@@ -49,6 +49,39 @@ pub fn engine_throughput_config(buses: usize) -> SimConfig {
     cfg.network.horizon = SimDuration::from_hours(1);
     cfg.horizon = SimDuration::from_hours(1);
     cfg
+}
+
+/// The metro-scale engine-throughput scenario behind the
+/// `engine_events` 20k/100k tiers: a radial-plus-ring metro world with
+/// a flat activity profile and a 1-hour horizon, running ROBC in the
+/// urban environment. Routes are single-leg and brisk (8–12 m/s, so a
+/// line cycle stays well under the window at every tier) and the
+/// staggered fleet reaches its full `buses`-wide steady state; the area
+/// and line count scale with the square root of the fleet so bus
+/// density — and therefore per-event neighbourhood cost — is constant
+/// across tiers. The world is prebuilt once with [`HARNESS_SEED`], so
+/// the engine skips seeded generation and every run is reproducible.
+pub fn metro_throughput_config(buses: usize) -> SimConfig {
+    let scale = (buses as f64 / 20_000.0).sqrt();
+    let metro = MetroConfig {
+        area_side_m: 20_000.0 * scale,
+        num_radials: (48.0 * scale).round() as usize,
+        num_rings: (24.0 * scale).round() as usize,
+        min_speed_mps: 8.0,
+        max_speed_mps: 12.0,
+        peak_active_buses: buses,
+        min_legs: 1,
+        max_legs: 1,
+        horizon: SimDuration::from_hours(1),
+        profile: mlora_mobility::DiurnalProfile::flat(1.0),
+        ..MetroConfig::default()
+    };
+    Scenario::custom(Environment::Urban)
+        .scheme(Scheme::Robc)
+        .bench()
+        .metro(&metro, HARNESS_SEED)
+        .build()
+        .expect("metro bench preset is valid")
 }
 
 /// A quick configuration for Criterion micro-runs that must iterate many

@@ -13,6 +13,9 @@
 //!   position at any instant is computed analytically (no tick stepping).
 //! * [`BusNetwork`] — the full generated network: routes + trips, with
 //!   O(1) position queries and the Fig. 7 statistics.
+//! * [`MetroWorld`] — the metro-scale generator: radial + ring arterial
+//!   lines with depots, per-line vehicle rosters and staggered headway
+//!   schedules, emitting a city-sized [`BusNetwork`] in seconds.
 //!
 //! # Example
 //!
@@ -33,13 +36,15 @@
 #![deny(missing_docs)]
 
 mod diurnal;
+mod metro;
 mod network;
 mod route;
 mod stats;
 mod trip;
 
 pub use diurnal::DiurnalProfile;
-pub use network::{BusNetwork, BusNetworkConfig};
+pub use metro::{LineKind, MetroConfig, MetroLine, MetroWorld};
+pub use network::{BusNetwork, BusNetworkConfig, NetworkError};
 pub use route::{Route, RouteId};
 pub use stats::{active_bus_series, trip_duration_histogram};
 pub use trip::Trip;

@@ -100,7 +100,104 @@ pub struct BusNetwork {
     horizon: SimDuration,
 }
 
+/// Error returned when externally supplied network parts (a deserialized
+/// or hand-assembled world) are internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The route set was empty.
+    NoRoutes,
+    /// Route at position `index` does not carry `RouteId(index)`.
+    RouteIdMismatch {
+        /// Position in the route vector.
+        index: usize,
+    },
+    /// A trip references a route the network does not contain.
+    UnknownRoute {
+        /// Position of the offending trip.
+        trip: usize,
+    },
+    /// Trip at position `index` does not carry `NodeId(index)`.
+    NodeIdMismatch {
+        /// Position in the trip vector.
+        index: usize,
+    },
+    /// Trips are not sorted by departure time.
+    UnsortedTrips {
+        /// Position of the first out-of-order trip.
+        trip: usize,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::NoRoutes => write!(f, "network has no routes"),
+            NetworkError::RouteIdMismatch { index } => {
+                write!(f, "route at position {index} does not carry id {index}")
+            }
+            NetworkError::UnknownRoute { trip } => {
+                write!(f, "trip {trip} references a route outside the network")
+            }
+            NetworkError::NodeIdMismatch { index } => {
+                write!(f, "trip at position {index} does not carry node id {index}")
+            }
+            NetworkError::UnsortedTrips { trip } => {
+                write!(f, "trip {trip} departs before its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
 impl BusNetwork {
+    /// Assembles a network from externally supplied parts — the seam the
+    /// metro generator and the binary scenario reader build worlds
+    /// through.
+    ///
+    /// The parts must satisfy the invariants [`BusNetwork::generate`]
+    /// guarantees by construction: route `i` carries `RouteId(i)`, trip
+    /// `i` carries `NodeId(i)`, every trip references a contained route,
+    /// and trips are sorted by departure time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NetworkError`] naming the first violated invariant.
+    pub fn from_parts(
+        routes: Vec<Route>,
+        trips: Vec<Trip>,
+        area: BBox,
+        horizon: SimDuration,
+    ) -> Result<Self, NetworkError> {
+        if routes.is_empty() {
+            return Err(NetworkError::NoRoutes);
+        }
+        for (index, route) in routes.iter().enumerate() {
+            if route.id().index() != index {
+                return Err(NetworkError::RouteIdMismatch { index });
+            }
+        }
+        let mut last_depart = SimTime::ZERO;
+        for (index, trip) in trips.iter().enumerate() {
+            if trip.route().index() >= routes.len() {
+                return Err(NetworkError::UnknownRoute { trip: index });
+            }
+            if trip.node().index() != index {
+                return Err(NetworkError::NodeIdMismatch { index });
+            }
+            if trip.depart() < last_depart {
+                return Err(NetworkError::UnsortedTrips { trip: index });
+            }
+            last_depart = trip.depart();
+        }
+        Ok(BusNetwork {
+            routes,
+            trips,
+            area,
+            horizon,
+        })
+    }
+
     /// Generates a network from a configuration and a seed.
     ///
     /// Identical `(config, seed)` pairs generate identical networks.
@@ -428,6 +525,44 @@ mod tests {
         assert!(!net.trip(node).is_active(t));
         // Position queries stay valid and pinned to the parking spot.
         assert_eq!(net.position(node, t + SimDuration::from_hours(1)), pos);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_generated_network() {
+        let net = BusNetwork::generate(&small_config(), 12);
+        let rebuilt = BusNetwork::from_parts(
+            net.routes().to_vec(),
+            net.trips().to_vec(),
+            net.area(),
+            net.horizon(),
+        )
+        .expect("generated parts are consistent");
+        assert_eq!(net, rebuilt);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        let net = BusNetwork::generate(&small_config(), 13);
+        let (routes, trips) = (net.routes().to_vec(), net.trips().to_vec());
+
+        assert_eq!(
+            BusNetwork::from_parts(Vec::new(), Vec::new(), net.area(), net.horizon()),
+            Err(NetworkError::NoRoutes)
+        );
+
+        let mut swapped = trips.clone();
+        swapped.swap(0, 1);
+        assert!(matches!(
+            BusNetwork::from_parts(routes.clone(), swapped, net.area(), net.horizon()),
+            Err(NetworkError::NodeIdMismatch { .. } | NetworkError::UnsortedTrips { .. })
+        ));
+
+        let mut missing_route = routes.clone();
+        missing_route.truncate(1);
+        assert!(matches!(
+            BusNetwork::from_parts(missing_route, trips, net.area(), net.horizon()),
+            Err(NetworkError::UnknownRoute { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! The block-framed container: header, sections, checksummed blocks,
+//! and the streaming writer/reader pair.
+
+use std::io::{Read, Write};
+
+use crate::wire::{crc32, get_varint, put_varint, Enc};
+
+/// The four magic bytes every `.mlsc` file starts with.
+pub const MAGIC: [u8; 4] = *b"MLSC";
+
+/// Current container format version (little-endian `u16` after the
+/// magic). Readers reject files with a newer major version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Upper bound on one block's payload size; blocks claiming more are
+/// treated as corruption rather than allocated.
+pub const MAX_BLOCK_BYTES: usize = 256 * 1024 * 1024;
+
+/// Target payload size at which the writer cuts a block. Records never
+/// span blocks, so a block may exceed this by one record.
+const BLOCK_TARGET: usize = 64 * 1024;
+
+/// Error decoding (or, for IO failures, encoding) a scenario container.
+#[derive(Debug)]
+pub enum ScenarioIoError {
+    /// An underlying IO operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `MLSC` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader supports.
+    UnsupportedVersion(u16),
+    /// The file ended mid-structure (a short block, or no end marker).
+    Truncated,
+    /// A block's payload does not match its stored CRC32.
+    ChecksumMismatch,
+    /// A structural invariant was violated; the message names it.
+    Corrupt(&'static str),
+    /// A required section is absent; the message names it.
+    MissingSection(&'static str),
+    /// The scenario uses a feature the format cannot carry; the message
+    /// names it.
+    Unsupported(&'static str),
+    /// Decoded world parts violate a network invariant.
+    World(mlora_mobility::NetworkError),
+}
+
+impl std::fmt::Display for ScenarioIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioIoError::Io(e) => write!(f, "scenario io: {e}"),
+            ScenarioIoError::BadMagic => write!(f, "not a scenario file (bad magic)"),
+            ScenarioIoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "scenario format version {v} is newer than supported ({FORMAT_VERSION})"
+                )
+            }
+            ScenarioIoError::Truncated => write!(f, "scenario file is truncated"),
+            ScenarioIoError::ChecksumMismatch => write!(f, "scenario block checksum mismatch"),
+            ScenarioIoError::Corrupt(what) => write!(f, "corrupt scenario file: {what}"),
+            ScenarioIoError::MissingSection(what) => {
+                write!(f, "scenario file is missing its {what} section")
+            }
+            ScenarioIoError::Unsupported(what) => {
+                write!(f, "scenario cannot be serialized: {what}")
+            }
+            ScenarioIoError::World(e) => write!(f, "scenario world is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioIoError::Io(e) => Some(e),
+            ScenarioIoError::World(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScenarioIoError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ScenarioIoError::Truncated
+        } else {
+            ScenarioIoError::Io(e)
+        }
+    }
+}
+
+impl From<mlora_mobility::NetworkError> for ScenarioIoError {
+    fn from(e: mlora_mobility::NetworkError) -> Self {
+        ScenarioIoError::World(e)
+    }
+}
+
+/// Streaming scenario writer.
+///
+/// Sections are written in order; within a section, codecs encode one
+/// record at a time into [`ScenarioWriter::enc`] and seal it with
+/// [`ScenarioWriter::end_record`]. The writer cuts a checksummed block
+/// at the first record boundary past ~64 KiB, so peak buffered memory
+/// is one block regardless of world size.
+#[derive(Debug)]
+pub struct ScenarioWriter<W: Write> {
+    out: W,
+    block: Enc,
+    scratch: Vec<u8>,
+    section_open: bool,
+    records_promised: u64,
+    records_written: u64,
+}
+
+impl<W: Write> ScenarioWriter<W> {
+    /// Creates a writer over `out` and writes the container header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from `out`.
+    pub fn new(mut out: W) -> std::io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(ScenarioWriter {
+            out,
+            block: Enc::default(),
+            scratch: Vec::new(),
+            section_open: false,
+            records_promised: 0,
+            records_written: 0,
+        })
+    }
+
+    /// Opens a section that will carry exactly `records` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section is already open or `id` is the end marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the sink.
+    pub fn begin_section(&mut self, id: u8, records: u64) -> std::io::Result<()> {
+        assert!(!self.section_open, "previous section still open");
+        assert_ne!(id, crate::section::END, "section id 0 is the end marker");
+        self.section_open = true;
+        self.records_promised = records;
+        self.records_written = 0;
+        self.scratch.clear();
+        self.scratch.push(id);
+        put_varint(&mut self.scratch, records);
+        self.out.write_all(&self.scratch)
+    }
+
+    /// The encoder for the record currently being written.
+    pub fn enc(&mut self) -> &mut Enc {
+        &mut self.block
+    }
+
+    /// Seals the current record, cutting a block if the target size is
+    /// reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the sink.
+    pub fn end_record(&mut self) -> std::io::Result<()> {
+        assert!(self.section_open, "record written outside a section");
+        self.records_written += 1;
+        if self.block.len() >= BLOCK_TARGET {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Closes the current section, flushing the final block and writing
+    /// the zero-length terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is open or the record count does not match
+    /// the promise made to [`ScenarioWriter::begin_section`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the sink.
+    pub fn end_section(&mut self) -> std::io::Result<()> {
+        assert!(self.section_open, "no section open");
+        assert_eq!(
+            self.records_written, self.records_promised,
+            "section wrote a different record count than promised"
+        );
+        self.flush_block()?;
+        self.scratch.clear();
+        put_varint(&mut self.scratch, 0);
+        self.out.write_all(&self.scratch)?;
+        self.section_open = false;
+        Ok(())
+    }
+
+    /// Writes the end marker, flushes, and returns the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section is still open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        assert!(!self.section_open, "finish with a section still open");
+        self.out.write_all(&[crate::section::END])?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let payload = self.block.as_slice();
+        self.scratch.clear();
+        put_varint(&mut self.scratch, payload.len() as u64);
+        self.scratch
+            .extend_from_slice(&crc32(payload).to_le_bytes());
+        self.out.write_all(&self.scratch)?;
+        self.out.write_all(payload)?;
+        self.block.clear();
+        Ok(())
+    }
+}
+
+/// Streaming scenario reader.
+///
+/// Drive it with [`ScenarioReader::next_section`], then decode each
+/// record by calling [`ScenarioReader::begin_record`] followed by the
+/// typed getters. Only one block is resident at a time; a record that
+/// runs past its block is reported as corruption.
+#[derive(Debug)]
+pub struct ScenarioReader<R: Read> {
+    input: R,
+    block: Vec<u8>,
+    pos: usize,
+    in_section: bool,
+    records_left: u64,
+    finished: bool,
+}
+
+impl<R: Read> ScenarioReader<R> {
+    /// Creates a reader over `input`, validating the container header.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::BadMagic`] /
+    /// [`ScenarioIoError::UnsupportedVersion`] on a foreign or
+    /// newer-format file, [`ScenarioIoError::Truncated`] on a short one.
+    pub fn new(mut input: R) -> Result<Self, ScenarioIoError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(ScenarioIoError::BadMagic);
+        }
+        let mut version = [0u8; 2];
+        input.read_exact(&mut version)?;
+        let version = u16::from_le_bytes(version);
+        if version > FORMAT_VERSION {
+            return Err(ScenarioIoError::UnsupportedVersion(version));
+        }
+        Ok(ScenarioReader {
+            input,
+            block: Vec::new(),
+            pos: 0,
+            in_section: false,
+            records_left: 0,
+            finished: false,
+        })
+    }
+
+    /// Advances to the next section header, returning its id and record
+    /// count, or `None` at the end marker.
+    ///
+    /// The previous section must have been fully consumed (every record
+    /// decoded, or [`ScenarioReader::skip_section`] called).
+    ///
+    /// # Errors
+    ///
+    /// Structural errors ([`ScenarioIoError::Corrupt`],
+    /// [`ScenarioIoError::Truncated`]) and checksum failures.
+    pub fn next_section(&mut self) -> Result<Option<(u8, u64)>, ScenarioIoError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.in_section {
+            if self.records_left > 0 {
+                return Err(ScenarioIoError::Corrupt("section left mid-records"));
+            }
+            if self.pos != self.block.len() {
+                return Err(ScenarioIoError::Corrupt("trailing bytes in block"));
+            }
+            // Consume the section's zero-length terminator.
+            if self.load_block()? {
+                return Err(ScenarioIoError::Corrupt("extra blocks after last record"));
+            }
+            self.in_section = false;
+        }
+        let id = self.read_byte()?;
+        if id == crate::section::END {
+            self.finished = true;
+            return Ok(None);
+        }
+        let records = self.read_varint_stream()?;
+        self.in_section = true;
+        self.records_left = records;
+        self.block.clear();
+        self.pos = 0;
+        Ok(Some((id, records)))
+    }
+
+    /// Discards the rest of the current section (all remaining blocks),
+    /// e.g. for unknown section ids.
+    ///
+    /// # Errors
+    ///
+    /// Structural and checksum errors while draining.
+    pub fn skip_section(&mut self) -> Result<(), ScenarioIoError> {
+        if !self.in_section {
+            return Ok(());
+        }
+        while self.load_block()? {}
+        self.in_section = false;
+        self.records_left = 0;
+        Ok(())
+    }
+
+    /// Positions the reader at the start of the next record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] when the section promised fewer
+    /// records, plus structural and checksum errors.
+    pub fn begin_record(&mut self) -> Result<(), ScenarioIoError> {
+        if !self.in_section {
+            return Err(ScenarioIoError::Corrupt("record read outside a section"));
+        }
+        if self.records_left == 0 {
+            return Err(ScenarioIoError::Corrupt("more records than promised"));
+        }
+        self.records_left -= 1;
+        if self.pos == self.block.len() && !self.load_block()? {
+            return Err(ScenarioIoError::Corrupt("section ended before its records"));
+        }
+        Ok(())
+    }
+
+    /// Reads one byte of the current record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] if the record runs past its block.
+    pub fn u8(&mut self) -> Result<u8, ScenarioIoError> {
+        let &b = self
+            .block
+            .get(self.pos)
+            .ok_or(ScenarioIoError::Corrupt("record crosses block boundary"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint of the current record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] on truncation or overlength.
+    pub fn varint(&mut self) -> Result<u64, ScenarioIoError> {
+        get_varint(&self.block, &mut self.pos).ok_or(ScenarioIoError::Corrupt("bad varint"))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64` of the current record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] if the record runs past its block.
+    pub fn f64(&mut self) -> Result<f64, ScenarioIoError> {
+        let end = self.pos + 8;
+        let bytes = self
+            .block
+            .get(self.pos..end)
+            .ok_or(ScenarioIoError::Corrupt("record crosses block boundary"))?;
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().unwrap(),
+        )))
+    }
+
+    /// Reads a boolean of the current record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] on truncation or a byte other than
+    /// 0/1.
+    pub fn bool(&mut self) -> Result<bool, ScenarioIoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ScenarioIoError::Corrupt("bad boolean byte")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string of the current record.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, ScenarioIoError> {
+        let len = self.varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(ScenarioIoError::Corrupt("string length overflow"))?;
+        let bytes = self
+            .block
+            .get(self.pos..end)
+            .ok_or(ScenarioIoError::Corrupt("record crosses block boundary"))?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| ScenarioIoError::Corrupt("string is not UTF-8"))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Loads the next block of the current section into memory.
+    /// Returns `false` on the zero-length terminator.
+    fn load_block(&mut self) -> Result<bool, ScenarioIoError> {
+        let len = self.read_varint_stream()? as usize;
+        if len == 0 {
+            self.block.clear();
+            self.pos = 0;
+            return Ok(false);
+        }
+        if len > MAX_BLOCK_BYTES {
+            return Err(ScenarioIoError::Corrupt("block length out of range"));
+        }
+        let mut crc = [0u8; 4];
+        self.input.read_exact(&mut crc)?;
+        self.block.resize(len, 0);
+        self.input.read_exact(&mut self.block)?;
+        if crc32(&self.block) != u32::from_le_bytes(crc) {
+            return Err(ScenarioIoError::ChecksumMismatch);
+        }
+        self.pos = 0;
+        Ok(true)
+    }
+
+    fn read_byte(&mut self) -> Result<u8, ScenarioIoError> {
+        let mut byte = [0u8; 1];
+        self.input.read_exact(&mut byte)?;
+        Ok(byte[0])
+    }
+
+    /// Reads a varint directly from the underlying stream (framing
+    /// metadata lives outside blocks).
+    fn read_varint_stream(&mut self) -> Result<u64, ScenarioIoError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_byte()?;
+            if shift >= 64 {
+                return Err(ScenarioIoError::Corrupt("bad varint"));
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes a two-section container: `n` varint records and one
+    /// string record.
+    fn sample_file(n: u64) -> Vec<u8> {
+        let mut w = ScenarioWriter::new(Vec::new()).unwrap();
+        w.begin_section(10, n).unwrap();
+        for i in 0..n {
+            w.enc().put_varint(i * 3);
+            w.enc().put_f64(i as f64 * 0.5);
+            w.end_record().unwrap();
+        }
+        w.end_section().unwrap();
+        w.begin_section(11, 1).unwrap();
+        w.enc().put_str("metro");
+        w.end_record().unwrap();
+        w.end_section().unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_two_sections() {
+        let bytes = sample_file(10_000); // forces multiple blocks
+        let mut r = ScenarioReader::new(&bytes[..]).unwrap();
+        let (id, n) = r.next_section().unwrap().unwrap();
+        assert_eq!((id, n), (10, 10_000));
+        for i in 0..n {
+            r.begin_record().unwrap();
+            assert_eq!(r.varint().unwrap(), i * 3);
+            assert_eq!(r.f64().unwrap().to_bits(), (i as f64 * 0.5).to_bits());
+        }
+        let (id, n) = r.next_section().unwrap().unwrap();
+        assert_eq!((id, n), (11, 1));
+        r.begin_record().unwrap();
+        assert_eq!(r.string().unwrap(), "metro");
+        assert!(r.next_section().unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_sections_are_skippable() {
+        let bytes = sample_file(5_000);
+        let mut r = ScenarioReader::new(&bytes[..]).unwrap();
+        while let Some((id, n)) = r.next_section().unwrap() {
+            if id == 11 {
+                r.begin_record().unwrap();
+                assert_eq!(r.string().unwrap(), "metro");
+                assert_eq!(n, 1);
+            } else {
+                r.skip_section().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_file(100);
+        // Cut anywhere strictly inside: either a read fails early or the
+        // end marker is missing.
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = match ScenarioReader::new(&bytes[..cut]) {
+                Ok(r) => r,
+                Err(ScenarioIoError::Truncated) => continue,
+                Err(e) => panic!("unexpected header error: {e}"),
+            };
+            let mut failed = false;
+            'outer: loop {
+                match r.next_section() {
+                    Ok(Some((_, n))) => {
+                        for _ in 0..n {
+                            if r.begin_record().is_err() {
+                                failed = true;
+                                break 'outer;
+                            }
+                            while r.varint().is_ok() {}
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(failed, "cut at {cut} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn bitflip_is_detected() {
+        let mut bytes = sample_file(1_000);
+        let mid = bytes.len() / 2; // deep inside a block payload
+        bytes[mid] ^= 0x40;
+        let mut r = ScenarioReader::new(&bytes[..]).unwrap();
+        let mut saw_error = false;
+        loop {
+            match r.next_section() {
+                Ok(Some(_)) => {
+                    if let Err(e) = r.skip_section() {
+                        assert!(matches!(
+                            e,
+                            ScenarioIoError::ChecksumMismatch
+                                | ScenarioIoError::Corrupt(_)
+                                | ScenarioIoError::Truncated
+                        ));
+                        saw_error = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "flipped bit went unnoticed");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            ScenarioReader::new(&b"NOPE\x01\x00rest"[..]),
+            Err(ScenarioIoError::BadMagic)
+        ));
+        let mut bytes = sample_file(1);
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert!(matches!(
+            ScenarioReader::new(&bytes[..]),
+            Err(ScenarioIoError::UnsupportedVersion(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        assert_eq!(sample_file(123), sample_file(123));
+    }
+}

@@ -1,0 +1,97 @@
+//! Streaming binary scenario IO: the `.mlsc` container format.
+//!
+//! Metro-scale worlds (100 000 buses, millions of trips) are too large
+//! to regenerate per run or ship as text. This crate defines a
+//! versioned, sectioned binary container — little-endian fixed-width
+//! floats, LEB128 varints, per-block length prefixes and CRC32
+//! checksums — together with a streaming [`ScenarioWriter`] /
+//! [`ScenarioReader`] pair that never holds more than one compressed
+//! block (~64 KiB) of IO state in memory beyond the decoded payload
+//! itself.
+//!
+//! # Container layout
+//!
+//! ```text
+//! file    := magic "MLSC" | version u16 LE | section* | end
+//! section := id u8 (non-zero) | record-count varint | block* | len-0 block
+//! block   := payload-len varint | crc32 u32 LE | payload bytes
+//! end     := id 0
+//! ```
+//!
+//! Records are packed back-to-back inside block payloads and never span
+//! a block boundary; the writer cuts a block at the first record
+//! boundary past 64 KiB, so reader memory is bounded by the largest
+//! single record, not the file. A missing `end` marker or a short block
+//! surfaces as [`ScenarioIoError::Truncated`]; a flipped bit surfaces as
+//! [`ScenarioIoError::ChecksumMismatch`]. Unknown section ids are
+//! skippable ([`ScenarioReader::skip_section`]), so the format is
+//! forward-extensible.
+//!
+//! Section ids 1–4 (network config, world header, routes, fleet) are
+//! encoded by this crate ([`write_world`], [`WorldAssembler`]); the
+//! simulation-level sections (parameters, gateways, traffic,
+//! disruptions) are layered on top by `mlora-sim`, which owns those
+//! types.
+//!
+//! # Example
+//!
+//! ```
+//! use mlora_mobility::{BusNetwork, BusNetworkConfig};
+//! use mlora_scenario_io::{read_world_sections, write_world, ScenarioReader, ScenarioWriter};
+//!
+//! let cfg = BusNetworkConfig {
+//!     num_routes: 4,
+//!     max_active_buses: 20,
+//!     ..BusNetworkConfig::default()
+//! };
+//! let net = BusNetwork::generate(&cfg, 42);
+//!
+//! let mut bytes = Vec::new();
+//! let mut w = ScenarioWriter::new(&mut bytes)?;
+//! write_world(&mut w, &net)?;
+//! w.finish()?;
+//!
+//! let loaded = read_world_sections(&mut ScenarioReader::new(&bytes[..])?)?.unwrap();
+//! assert_eq!(net, loaded);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod container;
+mod wire;
+mod world;
+
+pub use container::{
+    ScenarioIoError, ScenarioReader, ScenarioWriter, FORMAT_VERSION, MAGIC, MAX_BLOCK_BYTES,
+};
+pub use wire::Enc;
+pub use world::{
+    read_network_config, read_world_sections, write_network_config, write_world, WorldAssembler,
+};
+
+/// Section identifiers of the `.mlsc` container.
+///
+/// Id 0 terminates the file; ids 1–4 are encoded by this crate; ids 5–8
+/// are reserved for the simulation layer; higher ids are free for
+/// future sections (readers skip unknown ids).
+pub mod section {
+    /// End-of-file marker.
+    pub const END: u8 = 0;
+    /// Mobility generator configuration ([`crate::write_network_config`]).
+    pub const NETWORK_CONFIG: u8 = 1;
+    /// Prebuilt world header: area and horizon.
+    pub const WORLD: u8 = 2;
+    /// Route geometry records.
+    pub const ROUTES: u8 = 3;
+    /// Fleet (trip schedule) records.
+    pub const FLEET: u8 = 4;
+    /// Simulation parameters (encoded by `mlora-sim`).
+    pub const SIM_PARAMS: u8 = 5;
+    /// Gateway deployment (encoded by `mlora-sim`).
+    pub const GATEWAYS: u8 = 6;
+    /// Traffic model (encoded by `mlora-sim`).
+    pub const TRAFFIC: u8 = 7;
+    /// Disruption plan (encoded by `mlora-sim`).
+    pub const DISRUPTIONS: u8 = 8;
+}

@@ -1,7 +1,9 @@
 //! Simulation configuration.
 
+use std::sync::Arc;
+
 use mlora_core::{PolicySpec, RoutingConfig, RoutingState, Scheme};
-use mlora_mobility::BusNetworkConfig;
+use mlora_mobility::{BusNetwork, BusNetworkConfig};
 use mlora_phy::{CapacityModel, LogDistanceModel, PhyParams};
 use mlora_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -70,6 +72,14 @@ pub enum DeviceClassChoice {
 pub struct SimConfig {
     /// Mobility substrate configuration.
     pub network: BusNetworkConfig,
+    /// A prebuilt world overriding seeded generation. `None` (the
+    /// default) regenerates the network from [`SimConfig::network`] and
+    /// the run seed; `Some` runs on exactly this network — the path
+    /// metro-scale worlds loaded from a scenario file
+    /// ([`crate::io`]) enter the engine through. Shared by `Arc` so
+    /// sweeps and replicated runs never clone a 100 000-bus world per
+    /// cell.
+    pub world: Option<Arc<BusNetwork>>,
     /// Number of gateways (the paper sweeps 40–100).
     pub num_gateways: usize,
     /// Gateway placement strategy.
@@ -156,6 +166,12 @@ pub enum ConfigError {
         /// Upper bound.
         hi: f64,
     },
+    /// A derived quantity overflowed the machine word; the field names
+    /// the computation.
+    Overflow {
+        /// The offending computation.
+        field: &'static str,
+    },
 }
 
 impl ConfigError {
@@ -165,7 +181,8 @@ impl ConfigError {
             ConfigError::Invalid(what) => what,
             ConfigError::Zero { field }
             | ConfigError::NotFinite { field, .. }
-            | ConfigError::OutOfRange { field, .. } => field,
+            | ConfigError::OutOfRange { field, .. }
+            | ConfigError::Overflow { field } => field,
         }
     }
 }
@@ -200,6 +217,9 @@ impl std::fmt::Display for ConfigError {
                         "invalid configuration: {field} = {value} outside ({lo}, {hi}]"
                     )
                 }
+            }
+            ConfigError::Overflow { field } => {
+                write!(f, "invalid configuration: {field} overflows a machine word")
             }
         }
     }
@@ -239,6 +259,7 @@ impl SimConfig {
     pub fn paper_default(scheme: Scheme, environment: Environment) -> Self {
         SimConfig {
             network: BusNetworkConfig::default(),
+            world: None,
             num_gateways: 60,
             placement: GatewayPlacement::Grid,
             gateway_range_m: 1_000.0,
@@ -341,6 +362,21 @@ impl SimConfig {
             return Err(ConfigError::Zero {
                 field: "num_gateways",
             });
+        }
+        if let Some(world) = &self.world {
+            // The engine sizes its neighbour-grid drift bound from
+            // `network.max_speed_mps`; a prebuilt world with faster
+            // routes would let buses outrun their grid cell.
+            let fastest = world
+                .routes()
+                .iter()
+                .map(|r| r.speed_mps())
+                .fold(0.0_f64, f64::max);
+            if fastest > self.network.max_speed_mps {
+                return Err(ConfigError::Invalid(
+                    "prebuilt world has routes faster than network.max_speed_mps",
+                ));
+            }
         }
         if !self.gateway_range_m.is_finite() {
             return Err(ConfigError::NotFinite {

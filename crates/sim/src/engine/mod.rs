@@ -133,9 +133,17 @@ impl Engine {
     pub fn new(cfg: SimConfig, seed: u64) -> Self {
         let root = SimRng::new(seed);
         let mut deploy_rng = root.fork(10);
-        let mut net_cfg = cfg.network.clone();
-        net_cfg.horizon = cfg.horizon;
-        let net = mlora_mobility::BusNetwork::generate(&net_cfg, root.fork(11).seed());
+        // A prebuilt world (a metro-scale network loaded from a scenario
+        // file) bypasses seeded generation entirely; fork(11) is then
+        // simply never drawn from, which perturbs no other stream.
+        let net = match &cfg.world {
+            Some(world) => mlora_mobility::BusNetwork::clone(world),
+            None => {
+                let mut net_cfg = cfg.network.clone();
+                net_cfg.horizon = cfg.horizon;
+                mlora_mobility::BusNetwork::generate(&net_cfg, root.fork(11).seed())
+            }
+        };
         let gateways = place_gateways(net.area(), cfg.num_gateways, cfg.placement, &mut deploy_rng);
         let collector = Collector::new(
             cfg.scheme_label().to_string(),

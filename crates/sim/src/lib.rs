@@ -81,6 +81,7 @@ mod config;
 mod deployment;
 pub mod disruption;
 mod engine;
+pub mod io;
 mod metrics;
 pub mod observer;
 pub mod report;
@@ -92,13 +93,15 @@ pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, 
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
 pub use engine::{Engine, EngineStats};
+pub use io::ScenarioFileError;
 pub use metrics::{ProfileReport, SimReport};
 pub use mlora_core::{ForwardingPolicy, PolicyContext, PolicySpec};
 pub use mlora_mac::Priority;
+pub use mlora_mobility::{BusNetwork, MetroConfig, MetroWorld};
 pub use observer::{
     BusWithdrawn, EventCounter, FrameTransmitted, GatewayOutageChanged, HandoverAccepted,
-    MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, SeriesObserver,
-    SimObserver, TraceFormat, TraceSink,
+    MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, ReportWriter,
+    SeriesObserver, SimObserver, TraceFormat, TraceSink,
 };
 pub use report::SweepPoint;
 pub use runner::PAPER_GATEWAY_COUNTS;

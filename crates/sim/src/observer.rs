@@ -306,6 +306,26 @@ impl SeriesObserver {
             delivered: TimeSeries::new(bucket, horizon),
         }
     }
+
+    /// Creates a memory-bounded series observer: each of the four series
+    /// allocates exactly `capacity` buckets up front and never grows.
+    /// When a run outlives the covered span, the series fold in place —
+    /// adjacent buckets merge and the width doubles — so peak memory is
+    /// independent of the horizon. The right constructor for
+    /// metro-scale or open-ended runs; see
+    /// [`TimeSeries::bounded`](mlora_simcore::stats::TimeSeries::bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero or `capacity` is zero.
+    pub fn bounded(bucket: SimDuration, capacity: usize) -> Self {
+        SeriesObserver {
+            generated: TimeSeries::bounded(bucket, capacity),
+            frames: TimeSeries::bounded(bucket, capacity),
+            forwarded: TimeSeries::bounded(bucket, capacity),
+            delivered: TimeSeries::bounded(bucket, capacity),
+        }
+    }
 }
 
 impl SimObserver for SeriesObserver {
@@ -323,6 +343,137 @@ impl SimObserver for SeriesObserver {
 
     fn on_delivery(&mut self, ev: &MessageDelivered) {
         self.delivered.record(ev.time);
+    }
+}
+
+/// Streams run progress to a writer as JSON Lines, incrementally.
+///
+/// One `"interval"` row is emitted each time simulation time crosses an
+/// interval boundary, carrying the cumulative generated / frame /
+/// forward / delivery counters up to that boundary; a closing `"final"`
+/// row summarises the finished [`SimReport`]. Unlike buffering the
+/// whole report in memory and serialising at the end, the output file
+/// grows as the run progresses and partial results survive a crash —
+/// the streaming counterpart to [`SeriesObserver::bounded`] for
+/// metro-scale runs.
+///
+/// Write errors are remembered and surfaced by [`ReportWriter::finish`];
+/// after the first error the writer stops writing.
+#[derive(Debug)]
+pub struct ReportWriter<W: Write> {
+    out: W,
+    interval: SimDuration,
+    next_emit: SimTime,
+    generated: u64,
+    frames: u64,
+    forwarded: u64,
+    delivered: u64,
+    rows: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> ReportWriter<W> {
+    /// A report writer over `out`, emitting a row every `interval` of
+    /// simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(out: W, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "report interval must be positive");
+        ReportWriter {
+            out,
+            interval,
+            next_emit: SimTime::ZERO + interval,
+            generated: 0,
+            frames: 0,
+            forwarded: 0,
+            delivered: 0,
+            rows: 0,
+            error: None,
+        }
+    }
+
+    /// Rows written so far (interval rows plus the final row).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Emits interval rows for every boundary at or before `time`.
+    fn catch_up(&mut self, time: SimTime) {
+        while self.error.is_none() && time >= self.next_emit {
+            let result = writeln!(
+                self.out,
+                "{{\"row\":\"interval\",\"time_s\":{:.3},\"generated\":{},\"frames\":{},\
+                 \"forwarded\":{},\"delivered\":{}}}",
+                self.next_emit.as_secs_f64(),
+                self.generated,
+                self.frames,
+                self.forwarded,
+                self.delivered
+            );
+            match result {
+                Ok(()) => self.rows += 1,
+                Err(e) => self.error = Some(e),
+            }
+            self.next_emit += self.interval;
+        }
+    }
+}
+
+impl<W: Write> SimObserver for ReportWriter<W> {
+    fn on_message_generated(&mut self, ev: &MessageGenerated) {
+        self.catch_up(ev.time);
+        self.generated += 1;
+    }
+
+    fn on_frame_tx(&mut self, ev: &FrameTransmitted) {
+        self.catch_up(ev.time);
+        self.frames += 1;
+    }
+
+    fn on_forward(&mut self, ev: &HandoverAccepted) {
+        self.catch_up(ev.time);
+        self.forwarded += ev.messages as u64;
+    }
+
+    fn on_delivery(&mut self, ev: &MessageDelivered) {
+        self.catch_up(ev.time);
+        self.delivered += 1;
+    }
+
+    fn on_run_end(&mut self, report: &SimReport) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = writeln!(
+            self.out,
+            "{{\"row\":\"final\",\"scheme\":\"{}\",\"generated\":{},\"delivered\":{},\
+             \"delivery_ratio\":{:.6},\"mean_delay_s\":{:.3},\"frames_sent\":{},\
+             \"handover_messages\":{},\"collisions\":{},\"total_energy_mj\":{:.3}}}",
+            report.scheme,
+            report.generated,
+            report.delivered,
+            report.delivery_ratio(),
+            report.mean_delay_s(),
+            report.frames_sent,
+            report.handover_messages,
+            report.collisions,
+            report.total_energy_mj
+        );
+        match result {
+            Ok(()) => self.rows += 1,
+            Err(e) => self.error = Some(e),
+        }
     }
 }
 
@@ -585,6 +736,61 @@ mod tests {
         s.on_delivery(&delivered(700));
         assert_eq!(s.delivered.counts()[0], 1);
         assert_eq!(s.delivered.counts()[1], 1);
+    }
+
+    #[test]
+    fn bounded_series_observer_pins_allocation() {
+        let mut s = SeriesObserver::bounded(SimDuration::from_mins(10), 16);
+        // 1000 hours of deliveries — far past the initial 160-minute
+        // span — must never grow any series past its capacity.
+        for h in 0..1000 {
+            s.on_delivery(&delivered(h * 3600));
+        }
+        assert_eq!(s.delivered.counts().len(), 16);
+        assert_eq!(s.generated.counts().len(), 16);
+        assert_eq!(s.frames.counts().len(), 16);
+        assert_eq!(s.forwarded.counts().len(), 16);
+        assert_eq!(s.delivered.total(), 1000);
+        assert!(s.delivered.bucket() > SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn report_writer_streams_interval_and_final_rows() {
+        let mut w = ReportWriter::new(Vec::new(), SimDuration::from_mins(10));
+        w.on_message_generated(&MessageGenerated {
+            time: SimTime::from_secs(30),
+            device: NodeId::new(0),
+            message: MessageId::new(0),
+            profile: 0,
+            payload_bytes: 20,
+        });
+        // Crossing two interval boundaries emits two cumulative rows.
+        w.on_delivery(&delivered(1300));
+        let report = crate::metrics::Collector::new(
+            "TEST".to_string(),
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(1),
+            &crate::TrafficModel::default(),
+        )
+        .finish();
+        w.on_run_end(&report);
+        assert_eq!(w.rows(), 3);
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"row\":\"interval\",\"time_s\":600.000,\"generated\":1,\"frames\":0,\
+             \"forwarded\":0,\"delivered\":0}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"row\":\"interval\",\"time_s\":1200.000,\"generated\":1,\"frames\":0,\
+             \"forwarded\":0,\"delivered\":0}"
+        );
+        assert!(
+            lines[2].starts_with("{\"row\":\"final\",\"scheme\":\"TEST\""),
+            "{out}"
+        );
     }
 
     #[test]

@@ -275,21 +275,34 @@ impl ExperimentPlan {
     }
 
     /// The number of cells in the sweep.
-    pub fn num_cells(&self) -> usize {
-        self.environments.len()
-            * self.gateway_counts.len()
-            * self.schemes.len()
-            * self.alphas.len()
-            * self.placements.len()
-            * self.device_classes.len()
-            * self.disruptions.len()
-            * self.traffics.len()
-            * self.policies.len()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Overflow`] when the product of the nine
+    /// axis lengths does not fit a machine word — a plan that could
+    /// never be materialized, caught before any allocation is sized
+    /// from the wrapped product.
+    pub fn num_cells(&self) -> Result<usize, ConfigError> {
+        [
+            self.gateway_counts.len(),
+            self.schemes.len(),
+            self.alphas.len(),
+            self.placements.len(),
+            self.device_classes.len(),
+            self.disruptions.len(),
+            self.traffics.len(),
+            self.policies.len(),
+        ]
+        .iter()
+        .try_fold(self.environments.len(), |acc, &len| acc.checked_mul(len))
+        .ok_or(ConfigError::Overflow {
+            field: "experiment plan cells",
+        })
     }
 
     /// Materializes every cell in plan order.
     pub fn cells(&self) -> Vec<PlanCell> {
-        let mut out = Vec::with_capacity(self.num_cells());
+        let mut out = Vec::with_capacity(self.num_cells().unwrap_or(0));
         for &environment in &self.environments {
             for &gateways in &self.gateway_counts {
                 for &scheme in &self.schemes {
@@ -355,6 +368,8 @@ impl ExperimentPlan {
                 return Err(RunnerError::EmptyPlan { axis });
             }
         }
+        self.num_cells()
+            .map_err(|source| RunnerError::PlanOverflow { source })?;
         Ok(())
     }
 
@@ -416,6 +431,12 @@ pub enum RunnerError {
         /// The underlying configuration error.
         source: ConfigError,
     },
+    /// The plan's cell count overflows a machine word and could never
+    /// be materialized.
+    PlanOverflow {
+        /// The underlying overflow error.
+        source: ConfigError,
+    },
     /// A simulation run panicked inside a worker thread.
     RunPanicked {
         /// Index of the offending cell in plan order.
@@ -436,6 +457,9 @@ impl std::fmt::Display for RunnerError {
             RunnerError::InvalidCell { cell, key, source } => {
                 write!(f, "cell {cell} ({key:?}) is invalid: {source}")
             }
+            RunnerError::PlanOverflow { source } => {
+                write!(f, "experiment plan is unrealizably large: {source}")
+            }
             RunnerError::RunPanicked {
                 cell,
                 seed,
@@ -448,7 +472,9 @@ impl std::fmt::Display for RunnerError {
 impl std::error::Error for RunnerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RunnerError::InvalidCell { source, .. } => Some(source),
+            RunnerError::InvalidCell { source, .. } | RunnerError::PlanOverflow { source } => {
+                Some(source)
+            }
             _ => None,
         }
     }
@@ -705,7 +731,7 @@ mod tests {
             .schemes([Scheme::NoRouting, Scheme::Robc]);
         let cells = plan.cells();
         assert_eq!(cells.len(), 8);
-        assert_eq!(plan.num_cells(), 8);
+        assert_eq!(plan.num_cells().unwrap(), 8);
         assert_eq!(cells[0].key.environment, Environment::Urban);
         assert_eq!(cells[0].key.gateways, 4);
         assert_eq!(cells[0].key.scheme, Scheme::NoRouting);
@@ -730,6 +756,38 @@ mod tests {
             plan.validate(),
             Err(RunnerError::EmptyPlan { axis: "seeds" })
         ));
+    }
+
+    #[test]
+    fn overflowing_plan_is_rejected_before_materializing() {
+        // Four axes of 2^16 entries each multiply to exactly 2^64 — one
+        // past usize::MAX on 64-bit targets. The plan must refuse with a
+        // typed overflow instead of wrapping and sizing an allocation
+        // from the wrapped product.
+        let plan = ExperimentPlan::new(tiny())
+            .gateway_counts(vec![4; 1 << 16])
+            .alphas(vec![0.5; 1 << 16])
+            .traffics(vec![crate::TrafficModel::default(); 1 << 16])
+            .disruptions(vec![crate::DisruptionPlan::default(); 1 << 16]);
+        match plan.num_cells() {
+            Err(ConfigError::Overflow { field }) => {
+                assert_eq!(field, "experiment plan cells");
+            }
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+        match plan.validate() {
+            Err(RunnerError::PlanOverflow { source }) => {
+                assert_eq!(source.field(), "experiment plan cells");
+            }
+            other => panic!("expected PlanOverflow, got {other:?}"),
+        }
+        // One entry fewer on a single axis fits again.
+        let plan = ExperimentPlan::new(tiny())
+            .gateway_counts(vec![4; (1 << 16) - 1])
+            .alphas(vec![0.5; 1 << 16])
+            .traffics(vec![crate::TrafficModel::default(); 1 << 16])
+            .disruptions(vec![crate::DisruptionPlan::default(); 1 << 16]);
+        assert_eq!(plan.num_cells().unwrap(), ((1usize << 16) - 1) << 48);
     }
 
     #[test]

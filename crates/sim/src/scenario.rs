@@ -27,8 +27,11 @@
 //! # Ok::<(), mlora_sim::ConfigError>(())
 //! ```
 
+use std::sync::Arc;
+
 use mlora_core::Scheme;
 use mlora_geo::Point;
+use mlora_mobility::{BusNetwork, MetroConfig, MetroWorld};
 use mlora_simcore::{SimDuration, SimTime};
 
 use crate::{
@@ -438,11 +441,68 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a prebuilt world, bypassing seeded network generation.
+    ///
+    /// The scenario then runs on exactly this network regardless of the
+    /// run seed — the path for metro-scale worlds built with
+    /// [`ScenarioBuilder::metro`] or loaded from a scenario file. The
+    /// builder keeps the dependent configuration fields in sync: the
+    /// simulated horizon, the area side and the mobility speed ceiling
+    /// (which sizes the engine's neighbour-grid drift bound) all follow
+    /// the attached world.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlora_mobility::{BusNetwork, BusNetworkConfig};
+    /// use mlora_sim::Scenario;
+    ///
+    /// let net = BusNetwork::generate(
+    ///     &BusNetworkConfig {
+    ///         area_side_m: 10_000.0,
+    ///         num_routes: 8,
+    ///         max_active_buses: 40,
+    ///         min_route_length_m: 2_000.0,
+    ///         ..BusNetworkConfig::default()
+    ///     },
+    ///     1,
+    /// );
+    /// let cfg = Scenario::urban().smoke().world(net).build()?;
+    /// assert!(cfg.world.is_some());
+    /// # Ok::<(), mlora_sim::ConfigError>(())
+    /// ```
+    pub fn world(mut self, world: impl Into<Arc<BusNetwork>>) -> Self {
+        let world = world.into();
+        let fastest = world
+            .routes()
+            .iter()
+            .map(|r| r.speed_mps())
+            .fold(0.0_f64, f64::max);
+        self.config.network.max_speed_mps = self.config.network.max_speed_mps.max(fastest);
+        self.config.network.area_side_m = world.area().width().max(world.area().height());
+        self.config.horizon = world.horizon();
+        self.config.network.horizon = world.horizon();
+        self.config.world = Some(world);
+        self
+    }
+
+    /// Generates a metro-scale world from `config` and `seed` and
+    /// attaches it (see [`ScenarioBuilder::world`]). Identical
+    /// `(config, seed)` pairs attach identical worlds.
+    pub fn metro(self, config: &MetroConfig, seed: u64) -> Self {
+        self.world(MetroWorld::generate(config, seed).into_network())
+    }
+
     /// Applies an arbitrary tweak to the underlying [`SimConfig`] — the
     /// escape hatch for fields without a dedicated setter.
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
         f(&mut self.config);
         self
+    }
+
+    /// The configuration as built so far, not yet validated.
+    pub(crate) fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Validates and returns the finished configuration.

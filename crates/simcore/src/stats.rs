@@ -208,10 +208,22 @@ impl Histogram {
 /// Counts events into fixed-width time buckets.
 ///
 /// Backs the "messages received per 10 minutes" series of Figs. 10–11.
+///
+/// Two allocation disciplines are available: [`TimeSeries::new`] sizes
+/// the bucket vector to a known horizon (events past it land in the
+/// last bucket), while [`TimeSeries::bounded`] pins peak memory to a
+/// fixed capacity and adaptively doubles the bucket width whenever an
+/// event lands past the current span — the right discipline for
+/// open-ended or metro-scale runs where the horizon times the wanted
+/// resolution would be unbounded.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
     bucket: SimDuration,
     counts: Vec<u64>,
+    /// Bounded mode: instead of clamping far-future events into the
+    /// last bucket, fold the series in place (halving resolution) until
+    /// they fit. The `counts` allocation never grows.
+    bounded: bool,
 }
 
 impl TimeSeries {
@@ -226,20 +238,64 @@ impl TimeSeries {
         TimeSeries {
             bucket,
             counts: vec![0; n.max(1)],
+            bounded: false,
+        }
+    }
+
+    /// Creates a memory-bounded series: at most `capacity` buckets are
+    /// ever allocated, starting at `bucket` width. An event past the
+    /// covered span folds the series in place — adjacent buckets merge
+    /// and the width doubles — until the event fits, so arbitrarily
+    /// long runs downsample instead of growing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero or `capacity` is zero.
+    pub fn bounded(bucket: SimDuration, capacity: usize) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        assert!(capacity > 0, "need at least one bucket");
+        TimeSeries {
+            bucket,
+            counts: vec![0; capacity],
+            bounded: true,
         }
     }
 
     /// Records one event at `time`; events beyond the horizon land in the
-    /// last bucket.
+    /// last bucket (fixed series) or halve the resolution until they fit
+    /// (bounded series).
     pub fn record(&mut self, time: SimTime) {
         self.record_n(time, 1);
     }
 
     /// Records `n` events at `time`.
     pub fn record_n(&mut self, time: SimTime, n: u64) {
-        let idx = (time.as_millis() / self.bucket.as_millis()) as usize;
+        let mut idx = (time.as_millis() / self.bucket.as_millis()) as usize;
+        if self.bounded {
+            while idx >= self.counts.len() {
+                self.fold();
+                idx = (time.as_millis() / self.bucket.as_millis()) as usize;
+            }
+        }
         let idx = idx.min(self.counts.len() - 1);
         self.counts[idx] += n;
+    }
+
+    /// Halves the resolution in place: bucket `i` becomes the sum of old
+    /// buckets `2i` and `2i+1`, and the bucket width doubles. Totals are
+    /// preserved exactly; the allocation is untouched.
+    fn fold(&mut self) {
+        let n = self.counts.len();
+        for i in 0..n / 2 {
+            self.counts[i] = self.counts[2 * i] + self.counts[2 * i + 1];
+        }
+        if n % 2 == 1 {
+            self.counts[n / 2] = self.counts[n - 1];
+        }
+        for c in &mut self.counts[n.div_ceil(2)..] {
+            *c = 0;
+        }
+        self.bucket = self.bucket * 2;
     }
 
     /// Bucket width.
@@ -387,6 +443,51 @@ mod tests {
         assert_eq!(ts.total(), 7);
         let first = ts.iter().next().unwrap();
         assert_eq!(first.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn bounded_timeseries_folds_instead_of_growing() {
+        let mut ts = TimeSeries::bounded(SimDuration::from_mins(10), 8);
+        // Fill the initial span: 8 buckets x 10 min = 80 min.
+        for i in 0..8u64 {
+            ts.record_n(SimTime::from_secs(i * 600), i + 1);
+        }
+        assert_eq!(ts.counts(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(ts.bucket(), SimDuration::from_mins(10));
+
+        // One event just past the span folds once: 20-min buckets.
+        ts.record(SimTime::from_secs(80 * 60));
+        assert_eq!(ts.counts().len(), 8);
+        assert_eq!(ts.bucket(), SimDuration::from_mins(20));
+        assert_eq!(ts.counts(), &[3, 7, 11, 15, 1, 0, 0, 0]);
+        assert_eq!(ts.total(), 37);
+
+        // A far-future event folds repeatedly until it fits, never
+        // growing the allocation. 8 buckets starting at 20 min cover
+        // t < 160 min; reaching 1000 h (60000 min) needs the width up
+        // at 10240 min (8 x 10240 = 81920 min of coverage).
+        ts.record(SimTime::from_secs(1000 * 3600));
+        assert_eq!(ts.counts().len(), 8);
+        assert_eq!(ts.bucket(), SimDuration::from_mins(10240));
+        assert_eq!(ts.total(), 38);
+        // Everything recorded so far collapsed into the first bucket,
+        // except the far-future event at 60000 / 10240 = bucket 5.
+        assert_eq!(ts.counts()[0], 37);
+        assert_eq!(ts.counts()[5], 1);
+    }
+
+    #[test]
+    fn bounded_timeseries_odd_capacity_preserves_total() {
+        let mut ts = TimeSeries::bounded(SimDuration::from_secs(1), 5);
+        for i in 0..5u64 {
+            ts.record_n(SimTime::from_secs(i), 10 + i);
+        }
+        assert_eq!(ts.total(), 60);
+        ts.record(SimTime::from_secs(9)); // forces a fold with odd length
+        assert_eq!(ts.counts().len(), 5);
+        assert_eq!(ts.bucket(), SimDuration::from_secs(2));
+        assert_eq!(ts.counts(), &[21, 25, 14, 0, 1]);
+        assert_eq!(ts.total(), 61);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! * [`core`] — RCA-ETX, ROBC, forwarding schemes (the paper's §IV–§V).
 //! * [`sim`] — the integration simulator and experiment runners (§VII).
-//! * [`mobility`] — the synthetic London bus network substrate.
+//! * [`mobility`] — the synthetic London bus network substrate and the
+//!   metro-scale world generator.
+//! * [`scenario_io`] — the streaming `.mlsc` binary scenario container.
 //! * [`mac`] — LoRaWAN MAC: classes, duty cycle, queues, frames (§III, §VI).
 //! * [`phy`] — LoRa airtime, path loss, capacity, collisions.
 //! * [`geo`] / [`simcore`] — geometry and discrete-event foundations.
@@ -81,5 +83,6 @@ pub use mlora_geo as geo;
 pub use mlora_mac as mac;
 pub use mlora_mobility as mobility;
 pub use mlora_phy as phy;
+pub use mlora_scenario_io as scenario_io;
 pub use mlora_sim as sim;
 pub use mlora_simcore as simcore;

@@ -1,0 +1,140 @@
+//! Property-based tests over the binary scenario format: for arbitrary
+//! small metro worlds and scenario knobs, write → read → write is
+//! byte-identical, and a run from the loaded file is bit-identical to a
+//! run from the in-memory configuration.
+//!
+//! Together these pin the two contracts the format makes: serialization
+//! is canonical (no hidden state escapes a round trip, so files can be
+//! compared byte-wise), and a world that took minutes to generate can be
+//! shipped to another machine without perturbing a single RNG draw.
+
+use mlora::core::Scheme;
+use mlora::mobility::DiurnalProfile;
+use mlora::sim::{
+    BusWithdrawal, DisruptionPlan, GatewayOutage, MetroConfig, NoiseBurst, Scenario, SimConfig,
+};
+use mlora::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Builds a small-but-arbitrary metro world and scenario from flat
+/// scalar draws. Worlds stay tiny (tens of buses, tens of minutes) so a
+/// case runs in milliseconds; every section of the format — world,
+/// routes, fleet, gateways, disruptions — varies across cases.
+#[allow(clippy::too_many_arguments)] // one flat scalar per proptest draw
+fn scenario_from(
+    radials: usize,
+    rings: usize,
+    buses: usize,
+    area_km: f64,
+    horizon_mins: u64,
+    level: f64,
+    scheme_pick: u32,
+    gateways: usize,
+    disrupt: bool,
+    open_outage: bool,
+    world_seed: u64,
+) -> SimConfig {
+    let metro = MetroConfig {
+        area_side_m: area_km * 1_000.0,
+        num_radials: radials,
+        num_rings: rings,
+        waypoints_per_line: 3,
+        peak_active_buses: buses,
+        min_legs: 1,
+        max_legs: 2,
+        horizon: SimDuration::from_mins(horizon_mins),
+        profile: DiurnalProfile::flat(level),
+        ..MetroConfig::default()
+    };
+    let scheme = Scheme::ALL[scheme_pick as usize % Scheme::ALL.len()];
+    let mut builder = Scenario::urban()
+        .scheme(scheme)
+        .gateways(gateways)
+        .metro(&metro, world_seed);
+    if disrupt {
+        let horizon = SimDuration::from_mins(horizon_mins);
+        builder = builder.disruptions(DisruptionPlan {
+            outages: vec![GatewayOutage {
+                gateway: 0,
+                start: SimTime::ZERO + horizon / 4,
+                duration: (!open_outage).then_some(horizon / 4),
+            }],
+            withdrawals: vec![BusWithdrawal {
+                at: SimTime::ZERO + horizon / 2,
+                fraction: 0.25,
+            }],
+            noise_bursts: vec![NoiseBurst {
+                center: mlora::geo::Point::new(area_km * 500.0, area_km * 500.0),
+                radius_m: area_km * 250.0,
+                start: SimTime::ZERO + horizon / 3,
+                duration: Some(horizon / 6),
+                extra_loss_db: 12.0,
+            }],
+        });
+    }
+    builder.build().expect("generated scenario is valid")
+}
+
+proptest! {
+    /// Serialization is canonical: writing a loaded scenario reproduces
+    /// the original file byte for byte, across arbitrary worlds, scheme
+    /// and gateway choices, and disruption timelines (including
+    /// open-ended outages, which exercise the `Option` encoding).
+    #[test]
+    fn scenario_files_roundtrip_byte_identically(
+        radials in 1usize..5,
+        rings in 1usize..4,
+        buses in 10usize..60,
+        area_km in 3.0f64..8.0,
+        horizon_mins in 20u64..50,
+        level in 0.3f64..1.0,
+        scheme_pick in 0u32..8,
+        gateways in 2usize..12,
+        disrupt in proptest::bool::ANY,
+        open_outage in proptest::bool::ANY,
+        world_seed in 0u64..1_000_000,
+    ) {
+        let config = scenario_from(
+            radials, rings, buses, area_km, horizon_mins, level,
+            scheme_pick, gateways, disrupt, open_outage, world_seed,
+        );
+        let mut bytes = Vec::new();
+        config.to_writer(&mut bytes).expect("scenario serializes");
+        let reloaded = SimConfig::from_reader(bytes.as_slice()).expect("file loads");
+        let mut rewritten = Vec::new();
+        reloaded.to_writer(&mut rewritten).expect("reloaded scenario serializes");
+        prop_assert_eq!(&bytes, &rewritten);
+
+        // The world survived structurally, not just byte-wise.
+        let (a, b) = (config.world.as_ref().unwrap(), reloaded.world.as_ref().unwrap());
+        prop_assert_eq!(a.routes().len(), b.routes().len());
+        prop_assert_eq!(a.trips().len(), b.trips().len());
+    }
+
+    /// A scenario loaded from its file runs bit-identically to the
+    /// in-memory original: same seed, same report, down to every float.
+    #[test]
+    fn loaded_worlds_run_bit_identically(
+        radials in 1usize..4,
+        rings in 1usize..3,
+        buses in 10usize..40,
+        area_km in 3.0f64..6.0,
+        horizon_mins in 20u64..40,
+        scheme_pick in 0u32..8,
+        gateways in 2usize..8,
+        disrupt in proptest::bool::ANY,
+        seeds in proptest::collection::vec(0u64..1_000_000, 2..3),
+    ) {
+        let config = scenario_from(
+            radials, rings, buses, area_km, horizon_mins, 0.8,
+            scheme_pick, gateways, disrupt, false, seeds[0],
+        );
+        let mut bytes = Vec::new();
+        config.to_writer(&mut bytes).expect("scenario serializes");
+        let reloaded = SimConfig::from_reader(bytes.as_slice()).expect("file loads");
+
+        let from_memory = config.run(seeds[1]).expect("in-memory run");
+        let from_file = reloaded.run(seeds[1]).expect("loaded run");
+        prop_assert_eq!(from_memory, from_file);
+    }
+}
