@@ -5,23 +5,57 @@
 //! a 20 000-bus metro-generator tier
 //! ([`mlora_bench::metro_throughput_config`]) and prints one JSON object
 //! per scenario with the processed-event count, wall-clock time and
-//! events/sec. The repo-level `BENCH_engine.json` baseline/after pair is
-//! recorded with this binary; passing `full` adds the 100 000-bus metro
-//! tier, which is measured out-of-gate (it runs for minutes).
+//! events/sec. The 2000- and 20 000-bus tiers are additionally measured
+//! with the spatially partitioned engine at 4 shards (the `_4shards`
+//! rows), so the CI regression gate covers the parallel path like the
+//! serial ones. The repo-level `BENCH_engine.json` baseline/after pair
+//! is recorded with this binary; passing `full` adds the 100 000-bus
+//! metro tier, which is measured out-of-gate (it runs for minutes).
 //!
-//! Usage: `cargo run --release -p mlora-bench --bin engine_events [runs] [full]`
+//! Usage:
+//! `cargo run --release -p mlora-bench --bin engine_events [runs] [full] [--shards <n>]`
+//!
+//! `--shards <n>` overrides the shard count of every tier (the default
+//! scenario list then drops the built-in `_4shards` rows), for probing
+//! scaling at other widths.
 
 use std::time::Instant;
 
 use mlora_bench::{engine_throughput_config, metro_throughput_config, HARNESS_SEED};
-use mlora_sim::Engine;
+use mlora_sim::{Engine, SimConfig};
+
+fn sharded(cfg: &SimConfig, shards: usize) -> SimConfig {
+    let mut cfg = cfg.clone();
+    cfg.shards = shards;
+    cfg
+}
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
-    let full = std::env::args().any(|a| a == "full");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shards_override: Option<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--shards" {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let runs: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let full = positional.iter().any(|a| **a == "full");
+
     let mut scenarios = vec![
         ("200_buses".to_string(), engine_throughput_config(200)),
         ("2000_buses".to_string(), engine_throughput_config(2000)),
@@ -30,12 +64,32 @@ fn main() {
             metro_throughput_config(20_000),
         ),
     ];
-    if full {
-        scenarios.push((
-            "100000_buses_metro".to_string(),
-            metro_throughput_config(100_000),
-        ));
+    match shards_override {
+        // Probe mode: run every tier at the requested width instead.
+        Some(n) => {
+            for (name, cfg) in &mut scenarios {
+                cfg.shards = n;
+                name.push_str(&format!("_{n}shards"));
+            }
+        }
+        // Default list: serial tiers plus the two gated 4-shard rows.
+        None => {
+            let d2d = sharded(&scenarios[1].1, 4);
+            let metro = sharded(&scenarios[2].1, 4);
+            scenarios.push(("2000_buses_4shards".to_string(), d2d));
+            scenarios.push(("20000_buses_metro_4shards".to_string(), metro));
+        }
     }
+    if full {
+        let mut cfg = metro_throughput_config(100_000);
+        let mut name = "100000_buses_metro".to_string();
+        if let Some(n) = shards_override {
+            cfg.shards = n;
+            name.push_str(&format!("_{n}shards"));
+        }
+        scenarios.push((name, cfg));
+    }
+
     println!("[");
     for (i, (name, cfg)) in scenarios.iter().enumerate() {
         // One warm-up, then the timed runs; report the best (least-noise)

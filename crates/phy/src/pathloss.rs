@@ -69,17 +69,39 @@ impl LogDistanceModel {
         tx_power_dbm - self.mean_path_loss_db(distance_m)
     }
 
+    /// One shadowing term: a fresh `N(0, σ²)` draw, or exactly `0.0` when
+    /// shadowing is disabled (so a disabled channel consumes no RNG).
+    ///
+    /// Splitting the draw out of [`LogDistanceModel::sample_rssi_dbm`]
+    /// lets a caller precompute the deterministic mean elsewhere (e.g. on
+    /// a worker thread) and recombine via
+    /// [`LogDistanceModel::compose_rssi_dbm`] bit-identically.
+    pub fn shadow_db(&self, rng: &mut SimRng) -> f64 {
+        if self.shadowing_sigma_db > 0.0 {
+            rng.normal(0.0, self.shadowing_sigma_db)
+        } else {
+            0.0
+        }
+    }
+
+    /// Recombine a precomputed mean RSSI with a shadowing term and an
+    /// extra channel impairment, preserving the exact float-operation
+    /// order of the fused sampling paths:
+    /// `(mean + shadow) - extra_loss_db`.
+    ///
+    /// `compose_rssi_dbm(mean_rssi_dbm(p, d), shadow_db(rng), x)` is
+    /// bit-identical to `sample_rssi_dbm_attenuated(p, d, x, rng)`.
+    #[inline]
+    pub fn compose_rssi_dbm(mean_rssi_dbm: f64, shadow_db: f64, extra_loss_db: f64) -> f64 {
+        (mean_rssi_dbm + shadow_db) - extra_loss_db
+    }
+
     /// Received signal strength with a fresh shadowing draw, in dBm.
     ///
     /// Each call draws an independent `N(0, σ²)` shadowing term from `rng`;
     /// with `σ = 0` this equals [`LogDistanceModel::mean_rssi_dbm`].
     pub fn sample_rssi_dbm(&self, tx_power_dbm: f64, distance_m: f64, rng: &mut SimRng) -> f64 {
-        let shadow = if self.shadowing_sigma_db > 0.0 {
-            rng.normal(0.0, self.shadowing_sigma_db)
-        } else {
-            0.0
-        };
-        self.mean_rssi_dbm(tx_power_dbm, distance_m) + shadow
+        self.mean_rssi_dbm(tx_power_dbm, distance_m) + self.shadow_db(rng)
     }
 
     /// [`LogDistanceModel::sample_rssi_dbm`] with an additional channel
@@ -202,6 +224,23 @@ mod tests {
         let clean = m.sample_rssi_dbm(14.0, 700.0, &mut SimRng::new(22));
         let noisy = m.sample_rssi_dbm_attenuated(14.0, 700.0, 0.0, &mut SimRng::new(22));
         assert_eq!(clean.to_bits(), noisy.to_bits());
+    }
+
+    #[test]
+    fn composed_rssi_is_bit_identical_to_fused_sampling() {
+        let m = LogDistanceModel::paper_default();
+        let fused = m.sample_rssi_dbm_attenuated(14.0, 700.0, 9.5, &mut SimRng::new(23));
+        let mut rng = SimRng::new(23);
+        let mean = m.mean_rssi_dbm(14.0, 700.0);
+        let composed = LogDistanceModel::compose_rssi_dbm(mean, m.shadow_db(&mut rng), 9.5);
+        assert_eq!(fused.to_bits(), composed.to_bits());
+        // A disabled channel draws nothing and composes to the exact mean.
+        let d = LogDistanceModel::deterministic();
+        assert_eq!(
+            LogDistanceModel::compose_rssi_dbm(mean, d.shadow_db(&mut SimRng::new(1)), 0.0)
+                .to_bits(),
+            mean.to_bits()
+        );
     }
 
     #[test]

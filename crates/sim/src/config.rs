@@ -132,6 +132,14 @@ pub struct SimConfig {
     /// noise bursts). Empty by default; an empty plan is bit-identical
     /// to a run without the subsystem.
     pub disruptions: DisruptionPlan,
+    /// Engine shards for one run: `1` (the default) runs the serial
+    /// engine; `n > 1` partitions the world into tile bands and
+    /// precomputes transmission-end resolution on `n` worker threads
+    /// (see [`crate::Partition`]). A host-execution knob, not scenario
+    /// content: any shard count produces bit-identical results, so
+    /// scenario files neither carry nor require it (loaded configs
+    /// default to `1`).
+    pub shards: usize,
 }
 
 /// Error returned when a [`SimConfig`] is internally inconsistent.
@@ -231,6 +239,9 @@ impl std::error::Error for ConfigError {}
 /// must stay printable inside the fixed-width report tables.
 const MAX_POLICY_LABEL: usize = 48;
 
+/// Most engine shards one run may request (see [`SimConfig::shards`]).
+const MAX_SHARDS: usize = 64;
+
 /// Validates that `value` is finite and within `(lo, hi]`.
 pub(crate) fn check_unit_interval(
     field: &'static str,
@@ -279,6 +290,7 @@ impl SimConfig {
             horizon: SimDuration::from_hours(24),
             series_bucket: SimDuration::from_mins(10),
             disruptions: DisruptionPlan::default(),
+            shards: 1,
         }
     }
 
@@ -431,6 +443,19 @@ impl SimConfig {
             });
         }
         self.disruptions.validate(self.num_gateways)?;
+        if self.shards == 0 {
+            return Err(ConfigError::Zero { field: "shards" });
+        }
+        if self.shards > MAX_SHARDS {
+            // One OS thread per shard; past the band count of any sane
+            // partition more shards only oversubscribe the host.
+            return Err(ConfigError::OutOfRange {
+                field: "shards",
+                value: self.shards as f64,
+                lo: 1.0,
+                hi: MAX_SHARDS as f64,
+            });
+        }
         Ok(())
     }
 

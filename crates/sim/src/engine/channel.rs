@@ -107,6 +107,17 @@ impl Channel {
         self.rng.gen_range_u64(0, max_exclusive)
     }
 
+    /// Sequence number of the most recently launched flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has launched yet.
+    pub(super) fn last_launched_seq(&self) -> u64 {
+        self.next_flight_seq
+            .checked_sub(1)
+            .expect("no flight launched yet")
+    }
+
     /// Puts a frame on the air; returns its slab key for the
     /// transmission-end event.
     pub(super) fn launch(
@@ -214,6 +225,62 @@ impl Channel {
             }
             self.scratch_rssi.push((seq, rssi));
         }
+        self.resolve_reception(flight_seq, flight_rssi)
+    }
+
+    /// [`Channel::receive`] for the sharded engine: the audible-set scan
+    /// is replaced by a shard-precomputed interferer slice (`planned`,
+    /// in ascending sequence order, means already computed) followed by
+    /// the commit thread's recent-launch entries (`dynamic`, sequence
+    /// numbers above every planned one — frames launched after the
+    /// subject's plan was requested). The concatenation reproduces the
+    /// serial scan's ascending-sequence draw order, and each planned
+    /// mean recombines with a fresh shadowing draw via
+    /// [`LogDistanceModel::compose_rssi_dbm`] bit-identically to the
+    /// fused sampling path.
+    pub(super) fn receive_planned(
+        &mut self,
+        planned: &[(u64, f64)],
+        dynamic: &[(u64, Point)],
+        at: Point,
+        range: f64,
+        flight_seq: u64,
+    ) -> Reception {
+        let noise_db = self.noise_penalty_at(at);
+        self.scratch_rssi.clear();
+        let mut flight_rssi = None;
+        for &(seq, mean_dbm) in planned {
+            let rssi = LogDistanceModel::compose_rssi_dbm(
+                mean_dbm,
+                self.path_loss.shadow_db(&mut self.rng),
+                noise_db,
+            );
+            if seq == flight_seq {
+                flight_rssi = Some(rssi);
+            }
+            self.scratch_rssi.push((seq, rssi));
+        }
+        for &(seq, pos) in dynamic {
+            let dist = at.distance(pos);
+            if dist > range {
+                continue;
+            }
+            let rssi = LogDistanceModel::compose_rssi_dbm(
+                self.path_loss.mean_rssi_dbm(self.tx_power_dbm, dist),
+                self.path_loss.shadow_db(&mut self.rng),
+                noise_db,
+            );
+            if seq == flight_seq {
+                flight_rssi = Some(rssi);
+            }
+            self.scratch_rssi.push((seq, rssi));
+        }
+        self.resolve_reception(flight_seq, flight_rssi)
+    }
+
+    /// Shared tail of the reception paths: capture-model resolution over
+    /// the collected audible set.
+    fn resolve_reception(&mut self, flight_seq: u64, flight_rssi: Option<f64>) -> Reception {
         let decoded = matches!(
             resolve_collision(&self.scratch_rssi, self.sensitivity_dbm, CAPTURE_MARGIN_DB),
             Some(winner) if winner == flight_seq

@@ -1,0 +1,677 @@
+//! The shard broker: edge messages, the barrier protocol, the
+//! [`ShardCommunicator`] transport trait and its in-process
+//! [`LocalCommunicator`] backend (threads + channels).
+//!
+//! # Architecture
+//!
+//! The parallel engine keeps **one commit thread** — the ordinary event
+//! loop, which owns all mutable simulation state, every RNG draw and
+//! every policy decision, processed in canonical `(time, seq)` event
+//! order exactly as the serial engine does. What it offloads to the
+//! shard workers is the *draw-free spatial work* of transmission-end
+//! resolution:
+//!
+//! * each worker owns the [tile region](super::partition::Partition) of
+//!   one shard: a halo-extended device membership grid (kept current by
+//!   exchanging boundary-crossing buses with peer workers at
+//!   synchronized time-step barriers) and a tile-local table of frames
+//!   in flight (fed by [`EdgeMessage::FlightLaunched`] broadcasts);
+//! * when a frame launches inside a worker's own tiles, the worker
+//!   computes its [`FlightPlan`]: the exact in-range gateway and
+//!   neighbour-candidate sets at the transmission-end instant, plus the
+//!   *deterministic mean* RSSI of every in-range interfering flight —
+//!   everything `Channel::receive` needs except the shadowing draws.
+//!
+//! The commit thread replays the plan at the transmission-end event:
+//! state-dependent filters (device liveness, half-duplex, device class,
+//! gateway outages), the per-pair shadowing draws in the canonical
+//! receiver × flight order, capture resolution and all mutation. The
+//! replay consumes the same RNG stream in the same order as the serial
+//! scan, so a sharded run is **bit-identical to the serial engine for
+//! any shard count** — the property `tests/partition_properties.rs`
+//! and the golden fixtures pin.
+//!
+//! Plans reference only launches the commit thread dispatched *before*
+//! the subject's own launch (channel FIFO order); frames launched in
+//! the window between a flight's start and its end are merged back at
+//! commit from a small "recent launches" ring, in sequence order, so
+//! the canonical interferer order never diverges.
+//!
+//! [`ShardCommunicator`] is deliberately object-safe and message-based:
+//! the commit thread only ever `send`s plain-data [`EdgeMessage`]s and
+//! receives [`FlightPlan`]s, so a future process- or TCP-backed
+//! implementation (node-partitioned nets in the style of petri /
+//! parallel_qsim) can slot in without touching the engine.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlora_geo::{GridIndex, Point};
+use mlora_mobility::BusNetwork;
+use mlora_phy::LogDistanceModel;
+use mlora_simcore::{NodeId, SimDuration, SimTime};
+
+use super::partition::Partition;
+
+/// How long transport receives wait before concluding a shard worker
+/// died (a worker panic would otherwise deadlock the commit thread).
+const RECV_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A message on a shard edge: commit → worker, or worker → worker at a
+/// membership barrier. Plain data, so any transport can carry it.
+#[derive(Debug, Clone)]
+pub enum EdgeMessage {
+    /// A frame went on the air within the receiving shard's flight halo.
+    FlightLaunched {
+        /// Canonical flight sequence number.
+        seq: u64,
+        /// Transmitting device.
+        sender: NodeId,
+        /// Sender position at transmission start.
+        pos: Point,
+        /// Transmission start time.
+        start: SimTime,
+        /// Transmission end time.
+        end: SimTime,
+        /// True on the copy sent to the shard owning the launch tile:
+        /// that worker must answer with the flight's [`FlightPlan`].
+        wants_plan: bool,
+    },
+    /// A membership barrier: advance device membership to `until` and
+    /// exchange boundary-crossing buses with every peer worker.
+    Barrier {
+        /// The time-step boundary to advance to.
+        until: SimTime,
+    },
+    /// One worker's batch of boundary-crossing buses for a barrier:
+    /// every tracked device the sender *owns* (by tile) whose position
+    /// lies within the receiver's halo region. Sent to every peer at
+    /// every barrier, empty or not, so receivers can count batches.
+    Crossing {
+        /// Barrier index the batch belongs to.
+        barrier: u64,
+        /// `(device, position-at-barrier)` pairs.
+        devices: Vec<(NodeId, Point)>,
+    },
+    /// Orderly end of the run.
+    Shutdown,
+}
+
+/// An in-range interferer of one planned receiver: the flight's
+/// canonical sequence number and the deterministic mean RSSI (dBm) of
+/// its signal at the receiver — everything but the shadowing draw.
+pub type PlannedInterferer = (u64, f64);
+
+/// One in-range gateway in a [`FlightPlan`], with its interferer slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedGateway {
+    /// Gateway index.
+    pub gateway: u32,
+    /// Start of this receiver's slice in [`FlightPlan::interferers`].
+    pub start: u32,
+    /// Length of the slice.
+    pub len: u32,
+}
+
+/// One in-range neighbour candidate in a [`FlightPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedCandidate {
+    /// Candidate device.
+    pub node: NodeId,
+    /// Its exact position at the transmission-end instant (the value
+    /// the serial engine would compute; the commit thread uses it for
+    /// regional-noise lookup).
+    pub pos: Point,
+    /// Start of this receiver's slice in [`FlightPlan::interferers`].
+    pub start: u32,
+    /// Length of the slice.
+    pub len: u32,
+}
+
+/// The precomputed, draw-free part of one flight's transmission-end
+/// resolution (see the module docs). Pure geometry over launch history
+/// and the static world: identical whichever shard computes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightPlan {
+    /// The subject flight's sequence number.
+    pub seq: u64,
+    /// In-range gateways, ascending by index, outage state *not*
+    /// applied (workers don't track outages; the commit thread filters).
+    pub gateways: Vec<PlannedGateway>,
+    /// Exact-distance-filtered neighbour candidates, ascending by id.
+    /// A superset of the live receivers: the commit thread applies the
+    /// state-dependent filters (activity, half-duplex, device class).
+    pub candidates: Vec<PlannedCandidate>,
+    /// Flat per-receiver interferer storage, each slice in ascending
+    /// sequence order.
+    pub interferers: Vec<PlannedInterferer>,
+}
+
+impl FlightPlan {
+    /// The interferer slice of one planned receiver.
+    pub fn slice(&self, start: u32, len: u32) -> &[PlannedInterferer] {
+        &self.interferers[start as usize..(start + len) as usize]
+    }
+}
+
+/// Commit-side transport to the shard workers.
+///
+/// Object-safe by construction (exercised by a compile-time test): the
+/// engine holds a `Box<dyn ShardCommunicator>`, so a future process- or
+/// TCP-backed transport only has to move the same plain-data messages.
+pub trait ShardCommunicator: Send + std::fmt::Debug {
+    /// Number of shards behind this transport.
+    fn num_shards(&self) -> usize;
+    /// Sends one message to one shard. Per-shard FIFO ordering is part
+    /// of the contract: plans are computed against exactly the launches
+    /// sent before the planned flight's own launch message.
+    fn send(&mut self, shard: usize, msg: EdgeMessage);
+    /// Blocks for the next flight plan, in whatever order workers
+    /// finish them (the engine reorders by sequence number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died — determinism is unrecoverable then.
+    fn recv_plan(&mut self) -> FlightPlan;
+    /// Shuts the workers down and reclaims their resources. Idempotent.
+    fn shutdown(&mut self);
+}
+
+/// The in-process [`ShardCommunicator`]: one OS thread per shard,
+/// `std::sync::mpsc` channels for commit → worker and worker → worker
+/// edges, one shared channel funnelling plans back to the commit
+/// thread.
+#[derive(Debug)]
+pub struct LocalCommunicator {
+    to_shards: Vec<mpsc::Sender<EdgeMessage>>,
+    plans: mpsc::Receiver<FlightPlan>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LocalCommunicator {
+    /// Spawns one worker thread per shard and wires the full channel
+    /// mesh (commit→worker, worker→worker, worker→commit plans).
+    pub(crate) fn launch(workers: Vec<ShardWorker>) -> LocalCommunicator {
+        let n = workers.len();
+        let (plan_tx, plan_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, worker)| {
+                let rx = rxs[i].take().expect("one receiver per worker");
+                let peers: Vec<Option<mpsc::Sender<EdgeMessage>>> = txs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, tx)| (j != i).then(|| tx.clone()))
+                    .collect();
+                let plan_tx = plan_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("mlora-shard-{i}"))
+                    .spawn(move || worker.run(rx, peers, plan_tx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        LocalCommunicator {
+            to_shards: txs,
+            plans: plan_rx,
+            handles,
+        }
+    }
+}
+
+impl ShardCommunicator for LocalCommunicator {
+    fn num_shards(&self) -> usize {
+        self.to_shards.len()
+    }
+
+    fn send(&mut self, shard: usize, msg: EdgeMessage) {
+        // A send to a dead worker surfaces on the next recv_plan.
+        let _ = self.to_shards[shard].send(msg);
+    }
+
+    fn recv_plan(&mut self) -> FlightPlan {
+        self.plans
+            .recv_timeout(RECV_TIMEOUT)
+            .expect("shard worker died or stalled; cannot preserve determinism")
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &self.to_shards {
+            let _ = tx.send(EdgeMessage::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LocalCommunicator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A frame in a worker's tile-local flight table.
+#[derive(Debug, Clone, Copy)]
+struct LocalFlight {
+    seq: u64,
+    pos: Point,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Static, read-only parameters a shard worker plans against.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardParams {
+    /// Device-to-device range, metres.
+    pub(crate) d2d_range_m: f64,
+    /// Device-to-gateway range, metres.
+    pub(crate) gateway_range_m: f64,
+    /// Transmit power, dBm.
+    pub(crate) tx_power_dbm: f64,
+    /// Path-loss model (means only; the shadowing draws stay on the
+    /// commit thread).
+    pub(crate) path_loss: LogDistanceModel,
+    /// How long an ended flight stays interference-relevant.
+    pub(crate) flight_retention: SimDuration,
+}
+
+/// One shard's worker: the tile-local membership grid and flight table,
+/// and the plan computation (see the module docs). Runs on its own
+/// thread under [`LocalCommunicator`].
+#[derive(Debug)]
+pub(crate) struct ShardWorker {
+    id: usize,
+    part: Arc<Partition>,
+    /// The worker's own immutable copy of the mobility substrate.
+    /// Withdrawals truncate trips only on the commit thread; a
+    /// withdrawn bus may therefore linger in candidate supersets with a
+    /// stale position, which the commit thread's liveness filter
+    /// removes before any RNG draw.
+    net: Arc<BusNetwork>,
+    params: ShardParams,
+    /// Gateways within `gateway_range + 1 m` of this shard's region,
+    /// ascending by index (static superset; exact range re-checked per
+    /// plan).
+    gateways: Vec<(u32, Point)>,
+    /// All trips, ascending by `(depart, node)`, shared by every worker.
+    departures: Arc<Vec<(SimTime, NodeId)>>,
+    /// Departures below this index are folded into `tracked`; the tail
+    /// up to the query instant is side-scanned per plan, so membership
+    /// never misses a bus that activated since the last barrier.
+    cursor: usize,
+    /// Barriers completed so far.
+    barrier: u64,
+    /// Tracked device positions as of the last barrier (`None` =
+    /// untracked), indexed by node.
+    tracked_pos: Vec<Option<Point>>,
+    /// Tracked device ids (unordered; plans sort their candidates).
+    tracked_ids: Vec<NodeId>,
+    /// Spatial index over `tracked_ids` at barrier positions.
+    grid: GridIndex<NodeId>,
+    /// Per-device polyline cursors (worker-local; hints never change
+    /// position values).
+    hints: Vec<u32>,
+    /// Tile-local flights, ascending by sequence (insertion order).
+    flights: Vec<LocalFlight>,
+    /// Early-arrived crossing batches for future barriers.
+    stash: Vec<(u64, Vec<(NodeId, Point)>)>,
+    scratch_overlaps: Vec<(u64, Point)>,
+    scratch_within: Vec<(NodeId, Point)>,
+    scratch_ids: Vec<NodeId>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        id: usize,
+        part: Arc<Partition>,
+        net: Arc<BusNetwork>,
+        departures: Arc<Vec<(SimTime, NodeId)>>,
+        gateways: Vec<(u32, Point)>,
+        params: ShardParams,
+    ) -> ShardWorker {
+        let trips = net.trips().len();
+        ShardWorker {
+            id,
+            part,
+            net,
+            params,
+            gateways,
+            departures,
+            cursor: 0,
+            barrier: 0,
+            tracked_pos: vec![None; trips],
+            tracked_ids: Vec::new(),
+            grid: GridIndex::new(200.0_f64.max(0.0)),
+            hints: vec![0; trips],
+            flights: Vec::new(),
+            stash: Vec::new(),
+            scratch_overlaps: Vec::new(),
+            scratch_within: Vec::new(),
+            scratch_ids: Vec::new(),
+        }
+    }
+
+    /// The worker thread body: drain edge messages until shutdown.
+    fn run(
+        mut self,
+        rx: mpsc::Receiver<EdgeMessage>,
+        peers: Vec<Option<mpsc::Sender<EdgeMessage>>>,
+        plans: mpsc::Sender<FlightPlan>,
+    ) {
+        // Messages that arrived while a barrier was synchronizing, to be
+        // replayed in order afterwards.
+        let mut backlog: VecDeque<EdgeMessage> = VecDeque::new();
+        loop {
+            let msg = match backlog.pop_front() {
+                Some(m) => m,
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => return,
+                },
+            };
+            match msg {
+                EdgeMessage::FlightLaunched {
+                    seq,
+                    sender,
+                    pos,
+                    start,
+                    end,
+                    wants_plan,
+                } => {
+                    debug_assert!(self.flights.last().is_none_or(|f| f.seq < seq));
+                    self.flights.push(LocalFlight {
+                        seq,
+                        pos,
+                        start,
+                        end,
+                    });
+                    if wants_plan {
+                        let plan = self.plan_for(seq, sender, pos, start, end);
+                        if plans.send(plan).is_err() {
+                            return;
+                        }
+                    }
+                }
+                EdgeMessage::Barrier { until } => {
+                    if !self.advance_to(until, &peers, &rx, &mut backlog) {
+                        return;
+                    }
+                }
+                EdgeMessage::Crossing { barrier, devices } => {
+                    // A peer raced ahead into a barrier this worker has
+                    // not reached yet; hold the batch.
+                    debug_assert!(barrier >= self.barrier);
+                    self.stash.push((barrier, devices));
+                }
+                EdgeMessage::Shutdown => return,
+            }
+        }
+    }
+
+    /// Starts tracking `n` at `pos`.
+    fn track(&mut self, n: NodeId, pos: Point) {
+        if self.tracked_pos[n.index()].is_some() {
+            return;
+        }
+        self.tracked_pos[n.index()] = Some(pos);
+        self.tracked_ids.push(n);
+        self.grid.insert(n, pos);
+    }
+
+    /// Advances membership to the barrier time `until` and exchanges
+    /// boundary-crossing buses with every peer. Returns `false` when
+    /// the run is over (channels torn down).
+    fn advance_to(
+        &mut self,
+        until: SimTime,
+        peers: &[Option<mpsc::Sender<EdgeMessage>>],
+        rx: &mpsc::Receiver<EdgeMessage>,
+        backlog: &mut VecDeque<EdgeMessage>,
+    ) -> bool {
+        let halo = self.part.device_halo_m();
+        // 1. Fold activations up to the barrier into the tracked set.
+        while self.cursor < self.departures.len() && self.departures[self.cursor].0 <= until {
+            let (_, n) = self.departures[self.cursor];
+            self.cursor += 1;
+            if self.net.trip(n).end() <= until {
+                continue;
+            }
+            let pos = self
+                .net
+                .position_hinted(n, until, &mut self.hints[n.index()]);
+            if self.part.shard_in_range(self.id, pos, halo) {
+                self.track(n, pos);
+            }
+        }
+        // 2. Refresh tracked positions; drop departures from the halo
+        // region and statically ended trips; collect the crossing
+        // announcement for every peer whose halo now contains a bus
+        // whose tile this shard owns.
+        let mut announce: Vec<Vec<(NodeId, Point)>> = vec![Vec::new(); peers.len()];
+        let mut i = 0;
+        while i < self.tracked_ids.len() {
+            let n = self.tracked_ids[i];
+            let old = self.tracked_pos[n.index()].expect("tracked device has a position");
+            let ended = self.net.trip(n).end() <= until;
+            let pos = self
+                .net
+                .position_hinted(n, until, &mut self.hints[n.index()]);
+            if ended || !self.part.shard_in_range(self.id, pos, halo) {
+                let removed = self.grid.remove(n, old);
+                debug_assert!(removed, "tracked device missing from shard grid");
+                self.tracked_pos[n.index()] = None;
+                self.tracked_ids.swap_remove(i);
+                continue;
+            }
+            let moved = self.grid.relocate(n, old, pos);
+            debug_assert!(moved, "tracked device missing from shard grid");
+            self.tracked_pos[n.index()] = Some(pos);
+            if self.part.shard_of(pos) == self.id {
+                for (s, peer) in peers.iter().enumerate() {
+                    if peer.is_some() && self.part.shard_in_range(s, pos, halo) {
+                        announce[s].push((n, pos));
+                    }
+                }
+            }
+            i += 1;
+        }
+        // 3. Flights that can no longer overlap any future subject are
+        // done (every future subject starts at or after this barrier).
+        let retention = self.params.flight_retention;
+        self.flights.retain(|f| f.end + retention >= until);
+        // 4. Exchange crossings: send one batch to every peer (empty or
+        // not, so batches are countable), then collect one from each.
+        for (s, peer) in peers.iter().enumerate() {
+            if let Some(tx) = peer {
+                let _ = tx.send(EdgeMessage::Crossing {
+                    barrier: self.barrier,
+                    devices: std::mem::take(&mut announce[s]),
+                });
+            }
+        }
+        let need = peers.iter().flatten().count();
+        let mut got = 0;
+        // Batches that arrived before this worker reached the barrier.
+        let mut k = 0;
+        while k < self.stash.len() {
+            if self.stash[k].0 == self.barrier {
+                let (_, devices) = self.stash.swap_remove(k);
+                self.apply_crossing(devices);
+                got += 1;
+            } else {
+                k += 1;
+            }
+        }
+        while got < need {
+            match rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(EdgeMessage::Crossing { barrier, devices }) => {
+                    if barrier == self.barrier {
+                        self.apply_crossing(devices);
+                        got += 1;
+                    } else {
+                        self.stash.push((barrier, devices));
+                    }
+                }
+                // Anything else replays in order once the barrier is
+                // synchronized (plans must not be computed against
+                // pre-barrier membership).
+                Ok(other) => backlog.push_back(other),
+                Err(_) => return false,
+            }
+        }
+        self.barrier += 1;
+        true
+    }
+
+    /// Applies one peer's crossing batch.
+    fn apply_crossing(&mut self, devices: Vec<(NodeId, Point)>) {
+        for (n, pos) in devices {
+            self.track(n, pos);
+        }
+    }
+
+    /// Computes the [`FlightPlan`] of a flight launched in this shard's
+    /// tiles (see the module docs for why every filter below matches
+    /// the serial engine's bit for bit).
+    fn plan_for(
+        &mut self,
+        seq: u64,
+        sender: NodeId,
+        pos: Point,
+        start: SimTime,
+        end: SimTime,
+    ) -> FlightPlan {
+        let p = &self.params;
+        let (d2d, gw_range, tx_dbm) = (p.d2d_range_m, p.gateway_range_m, p.tx_power_dbm);
+        let path_loss = p.path_loss;
+        // Temporal overlaps, ascending by sequence (table insertion
+        // order) — the same predicate as `Channel::overlaps_into`.
+        let mut overlaps = std::mem::take(&mut self.scratch_overlaps);
+        overlaps.clear();
+        overlaps.extend(
+            self.flights
+                .iter()
+                .filter(|f| f.start < end && f.end > start)
+                .map(|f| (f.seq, f.pos)),
+        );
+        let mut plan = FlightPlan {
+            seq,
+            gateways: Vec::new(),
+            candidates: Vec::new(),
+            interferers: Vec::new(),
+        };
+        // Gateways: static superset, ascending by index, exact range
+        // re-check — the sequence `Delivery::resolve_gateways` iterates,
+        // before its outage filter.
+        for &(gi, gw) in &self.gateways {
+            if gw.distance(pos) > gw_range {
+                continue;
+            }
+            let s = plan.interferers.len() as u32;
+            for &(fseq, fpos) in &overlaps {
+                let dist = gw.distance(fpos);
+                if dist <= gw_range {
+                    plan.interferers
+                        .push((fseq, path_loss.mean_rssi_dbm(tx_dbm, dist)));
+                }
+            }
+            plan.gateways.push(PlannedGateway {
+                gateway: gi,
+                start: s,
+                len: plan.interferers.len() as u32 - s,
+            });
+        }
+        // Neighbour candidates: the barrier-snapshot grid (slack covers
+        // drift since the barrier) plus buses that activated after it.
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        self.grid.within_into(
+            pos,
+            d2d + self.part.query_slack_m(),
+            &mut self.scratch_within,
+        );
+        ids.clear();
+        ids.extend(self.scratch_within.iter().map(|&(n, _)| n));
+        let mut k = self.cursor;
+        while k < self.departures.len() && self.departures[k].0 <= end {
+            ids.push(self.departures[k].1);
+            k += 1;
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        for &n in &ids {
+            if n == sender {
+                continue;
+            }
+            let pos_n = self.net.position_hinted(n, end, &mut self.hints[n.index()]);
+            if pos_n.distance(pos) > d2d {
+                continue;
+            }
+            let s = plan.interferers.len() as u32;
+            for &(fseq, fpos) in &overlaps {
+                let dist = pos_n.distance(fpos);
+                if dist <= d2d {
+                    plan.interferers
+                        .push((fseq, path_loss.mean_rssi_dbm(tx_dbm, dist)));
+                }
+            }
+            plan.candidates.push(PlannedCandidate {
+                node: n,
+                pos: pos_n,
+                start: s,
+                len: plan.interferers.len() as u32 - s,
+            });
+        }
+        self.scratch_ids = ids;
+        self.scratch_overlaps = overlaps;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe for future transport backends.
+    #[test]
+    fn communicator_is_object_safe() {
+        fn _takes_dyn(_: &mut dyn ShardCommunicator) {}
+        fn _boxed(c: LocalCommunicator) -> Box<dyn ShardCommunicator> {
+            Box::new(c)
+        }
+    }
+
+    #[test]
+    fn plan_slices_index_flat_storage() {
+        let plan = FlightPlan {
+            seq: 7,
+            gateways: vec![PlannedGateway {
+                gateway: 2,
+                start: 1,
+                len: 2,
+            }],
+            candidates: Vec::new(),
+            interferers: vec![(5, -80.0), (6, -90.0), (7, -100.0)],
+        };
+        assert_eq!(plan.slice(1, 2), &[(6, -90.0), (7, -100.0)]);
+        assert_eq!(plan.slice(0, 0), &[] as &[PlannedInterferer]);
+    }
+
+    #[test]
+    fn local_communicator_shuts_down_cleanly_with_no_work() {
+        let comm = LocalCommunicator::launch(Vec::new());
+        let mut boxed: Box<dyn ShardCommunicator> = Box::new(comm);
+        assert_eq!(boxed.num_shards(), 0);
+        boxed.shutdown();
+        boxed.shutdown(); // idempotent
+    }
+}

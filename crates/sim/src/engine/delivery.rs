@@ -13,6 +13,7 @@ use mlora_mac::AppMessage;
 use mlora_simcore::SimTime;
 
 use super::channel::{Channel, Flight};
+use super::comm::FlightPlan;
 use crate::metrics::Collector;
 use crate::observer::{GatewayOutageChanged, MessageDelivered, SimObserver};
 
@@ -144,6 +145,43 @@ impl Delivery {
             }
         }
         self.scratch_gateways = nearby;
+        best
+    }
+
+    /// [`Delivery::resolve_gateways`] for the sharded engine: the
+    /// grid query is replaced by the flight's precomputed plan. The
+    /// planned gateways are exactly the in-range set in ascending index
+    /// order — the sequence the serial grid query + sort + range check
+    /// yields — with the outage filter (worker-invisible state) applied
+    /// here, reproducing the serial path's receiver sequence and RNG
+    /// draw order bit for bit.
+    pub(super) fn resolve_gateways_planned(
+        &mut self,
+        channel: &mut Channel,
+        plan: &FlightPlan,
+        dynamic: &[(u64, Point)],
+        flight: &Flight,
+    ) -> Option<f64> {
+        let range = self.gateway_range_m;
+        let mut best: Option<f64> = None;
+        for pg in &plan.gateways {
+            if self.gateway_down_depth[pg.gateway as usize] != 0 {
+                continue;
+            }
+            let gw = self.gateways[pg.gateway as usize];
+            let reception = channel.receive_planned(
+                plan.slice(pg.start, pg.len),
+                dynamic,
+                gw,
+                range,
+                flight.seq,
+            );
+            match reception.rssi {
+                Some(rssi) => best = Some(best.map_or(rssi, |b: f64| b.max(rssi))),
+                None if reception.interfered => self.collector.on_collision(),
+                None => {}
+            }
+        }
         best
     }
 

@@ -6,12 +6,20 @@
 //! pluggable [`ForwardingPolicy`](mlora_core::ForwardingPolicy) the
 //! scenario configured — the paper's built-in schemes and user-defined
 //! policies ride exactly the same code path.
+//!
+//! The serial and sharded engines share one candidate pipeline: the
+//! geometric prefilter (sender/range) differs — a live grid query versus
+//! a shard-precomputed [`FlightPlan`] — but the state-dependent
+//! admission filters ([`Engine::neighbour_admitted`]) and the
+//! post-reception policy dispatch ([`Engine::apply_reception`]) are the
+//! same functions, so the two paths cannot drift apart.
 
 use mlora_core::{Beacon, ForwardDecision};
 use mlora_geo::Point;
 use mlora_simcore::NodeId;
 
-use super::channel::Flight;
+use super::channel::{Flight, Reception};
+use super::comm::FlightPlan;
 use super::Engine;
 use crate::observer::{HandoverAccepted, SimObserver};
 
@@ -28,7 +36,6 @@ impl Engine {
         observer: &mut dyn SimObserver,
     ) -> bool {
         let d2d = self.cfg.environment.d2d_range_m();
-        let gen_interval = self.cfg.gen_interval;
         let now = self.now;
 
         let mut accepted = false;
@@ -41,88 +48,150 @@ impl Engine {
             if pos_x.distance(flight.pos) > d2d {
                 continue;
             }
-            let Some(dev) = self.world.devices.get(x) else {
-                continue;
-            };
-            if !dev.active {
-                continue;
-            }
-            // Half-duplex: a device transmitting during any part of the
-            // frame cannot receive it.
-            if let Some((s, e)) = dev.tx_window {
-                if s < flight.end && e > flight.start {
-                    continue;
-                }
-            }
-            if !dev
-                .class
-                .overhears(now, dev.last_tx_end, gen_interval, dev.gamma)
-            {
+            if !self.neighbour_admitted(x, flight) {
                 continue;
             }
             // Collision resolution at x, under any regional noise at
             // its position.
             let reception = self.channel.receive(overlaps, pos_x, d2d, flight.seq);
-            let Some(rssi) = reception.rssi else {
-                if reception.interfered {
-                    self.delivery.collector.on_collision();
-                }
-                continue;
-            };
-
-            if flight.target == Some(x) {
-                // Accept the handover: enqueue the bundle, bar the donor,
-                // try to move the data onwards.
-                let dev = self.world.devices.get_mut(x).expect("neighbour exists");
-                let dropped = dev.queue.push_bundle(&flight.frame.messages);
-                if dropped > 0 {
-                    self.delivery.collector.on_queue_drop(dropped);
-                }
-                dev.routing.on_received_data(flight.sender);
-                self.delivery
-                    .collector
-                    .on_handover_accepted(&flight.frame.messages);
-                observer.on_forward(&HandoverAccepted {
-                    time: now,
-                    donor: flight.sender,
-                    acceptor: x,
-                    messages: flight.frame.messages.len(),
-                });
-                accepted = true;
-                // The acceptor holds the data until its own next slot
-                // (§V.B.2); it does not transmit reactively.
-            } else {
-                // Treat as a beacon: should x hand its own data to the
-                // flight's sender?
-                let beacon = Beacon {
-                    sender: flight.sender,
-                    rca_etx: flight.frame.rca_etx,
-                    queue_len: flight.frame.queue_len,
-                };
-                let dev = self.world.devices.get_mut(x).expect("neighbour exists");
-                // An already-armed offer wins: don't consult the policy
-                // again, so stateful policies never spend budget on a
-                // decision that would be discarded. (Built-in policies
-                // are pure and draw no RNG, so skipping the call is
-                // bit-identical to the historical always-decide path.)
-                if dev.pending_handover.is_some() {
-                    continue;
-                }
-                let wait_s = dev
-                    .duty
-                    .next_opportunity(now)
-                    .saturating_since(now)
-                    .as_secs_f64();
-                let decision = dev
-                    .routing
-                    .decide(now, wait_s, dev.queue.len(), &beacon, rssi);
-                if let ForwardDecision::Forward { target, count } = decision {
-                    dev.pending_handover = Some((target, count));
-                    to_schedule.push(x);
-                }
-            }
+            self.apply_reception(flight, x, reception, to_schedule, observer, &mut accepted);
         }
         accepted
+    }
+
+    /// [`Engine::resolve_neighbours`] for the sharded engine: the grid
+    /// query + range check are replaced by the flight's precomputed
+    /// candidate list (already sender-excluded, exact-range-filtered and
+    /// id-sorted — the serial prefilter's output), while the
+    /// state-dependent admission filters and policy dispatch run
+    /// unchanged on the commit thread.
+    pub(super) fn resolve_neighbours_planned(
+        &mut self,
+        flight: &Flight,
+        plan: &FlightPlan,
+        dynamic: &[(u64, Point)],
+        to_schedule: &mut Vec<NodeId>,
+        observer: &mut dyn SimObserver,
+    ) -> bool {
+        let d2d = self.cfg.environment.d2d_range_m();
+        let mut accepted = false;
+        for pc in &plan.candidates {
+            if !self.neighbour_admitted(pc.node, flight) {
+                continue;
+            }
+            let reception = self.channel.receive_planned(
+                plan.slice(pc.start, pc.len),
+                dynamic,
+                pc.pos,
+                d2d,
+                flight.seq,
+            );
+            self.apply_reception(
+                flight,
+                pc.node,
+                reception,
+                to_schedule,
+                observer,
+                &mut accepted,
+            );
+        }
+        accepted
+    }
+
+    /// The state-dependent admission filters every reception candidate
+    /// passes after the geometric prefilter: liveness, half-duplex and
+    /// device-class receive windows. Draw-free, so rejected candidates
+    /// leave no trace on the RNG stream.
+    fn neighbour_admitted(&self, x: NodeId, flight: &Flight) -> bool {
+        let Some(dev) = self.world.devices.get(x) else {
+            return false;
+        };
+        if !dev.active {
+            return false;
+        }
+        // Half-duplex: a device transmitting during any part of the
+        // frame cannot receive it.
+        if let Some((s, e)) = dev.tx_window {
+            if s < flight.end && e > flight.start {
+                return false;
+            }
+        }
+        dev.class
+            .overhears(self.now, dev.last_tx_end, self.cfg.gen_interval, dev.gamma)
+    }
+
+    /// Applies one neighbour's reception outcome: handover acceptance
+    /// when `x` is the flight's target, beacon-driven policy dispatch
+    /// otherwise, collision accounting when the frame was lost to
+    /// interference.
+    fn apply_reception(
+        &mut self,
+        flight: &Flight,
+        x: NodeId,
+        reception: Reception,
+        to_schedule: &mut Vec<NodeId>,
+        observer: &mut dyn SimObserver,
+        accepted: &mut bool,
+    ) {
+        let now = self.now;
+        let Some(rssi) = reception.rssi else {
+            if reception.interfered {
+                self.delivery.collector.on_collision();
+            }
+            return;
+        };
+
+        if flight.target == Some(x) {
+            // Accept the handover: enqueue the bundle, bar the donor,
+            // try to move the data onwards.
+            let dev = self.world.devices.get_mut(x).expect("neighbour exists");
+            let dropped = dev.queue.push_bundle(&flight.frame.messages);
+            if dropped > 0 {
+                self.delivery.collector.on_queue_drop(dropped);
+            }
+            dev.routing.on_received_data(flight.sender);
+            self.delivery
+                .collector
+                .on_handover_accepted(&flight.frame.messages);
+            observer.on_forward(&HandoverAccepted {
+                time: now,
+                donor: flight.sender,
+                acceptor: x,
+                messages: flight.frame.messages.len(),
+            });
+            *accepted = true;
+            // The acceptor holds the data until its own next slot
+            // (§V.B.2); it does not transmit reactively.
+        } else {
+            // Treat as a beacon: should x hand its own data to the
+            // flight's sender?
+            let beacon = Beacon {
+                sender: flight.sender,
+                rca_etx: flight.frame.rca_etx,
+                queue_len: flight.frame.queue_len,
+            };
+            let dev = self.world.devices.get_mut(x).expect("neighbour exists");
+            // An already-armed offer wins: don't consult the policy
+            // again, so stateful policies never spend budget on a
+            // decision that would be discarded. (Built-in policies
+            // are pure and draw no RNG, so skipping the call is
+            // bit-identical to the historical always-decide path.)
+            if dev.pending_handover.is_some() {
+                return;
+            }
+            let wait_s = dev
+                .duty
+                .next_opportunity(now)
+                .saturating_since(now)
+                .as_secs_f64();
+            let decision = dev
+                .routing
+                .decide(now, wait_s, dev.queue.len(), &beacon, rssi);
+            if let ForwardDecision::Forward { target, count } = decision {
+                dev.pending_handover = Some((target, count));
+                to_schedule.push(x);
+            }
+        }
     }
 
     /// Applies the transmission outcome to the sender: queue updates,

@@ -1,10 +1,19 @@
 //! The event-driven network engine.
 //!
-//! A single-threaded discrete-event loop over five event kinds: trips
-//! starting and ending, message generation, and transmission start/end.
-//! All physics (ranges, RSSI, collisions) resolve at transmission end;
-//! positions are computed analytically from the mobility substrate, so
-//! there is no per-tick stepping anywhere.
+//! A discrete-event loop over five event kinds: trips starting and
+//! ending, message generation, and transmission start/end. All physics
+//! (ranges, RSSI, collisions) resolve at transmission end; positions
+//! are computed analytically from the mobility substrate, so there is
+//! no per-tick stepping anywhere.
+//!
+//! The loop itself is single-threaded and processes events in canonical
+//! `(time, seq)` order. With `shards > 1` the *spatial* work of
+//! transmission-end resolution — the candidate/gateway/interferer
+//! queries that dominate at metro scale — is precomputed by per-tile
+//! shard workers ([`partition`], [`comm`]) while frames are on the air;
+//! the loop replays those plans with every RNG draw, filter and
+//! mutation in the serial order, so a sharded run is bit-identical to a
+//! single-shard run.
 //!
 //! # Layout
 //!
@@ -40,10 +49,16 @@
 //! neighbour-resolution path.
 
 mod channel;
+pub mod comm;
 mod delivery;
 mod forwarding;
+pub mod partition;
 mod world;
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use mlora_geo::Point;
 use mlora_mac::{
     AppMessage, DataQueue, DeviceClass, DutyCycleTracker, Priority, RetransmitPolicy, UplinkFrame,
     MAX_BUNDLE, MAX_BUNDLE_BYTES,
@@ -52,7 +67,11 @@ use mlora_phy::time_on_air;
 use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime, SlabKey};
 
 use self::channel::Channel;
+use self::comm::{
+    EdgeMessage, FlightPlan, LocalCommunicator, ShardCommunicator, ShardParams, ShardWorker,
+};
 use self::delivery::Delivery;
+use self::partition::Partition;
 use self::world::{Device, DeviceTraffic, World};
 use crate::disruption::DisruptionEvent;
 use crate::metrics::Collector;
@@ -88,6 +107,108 @@ pub struct EngineStats {
     pub events_processed: u64,
 }
 
+/// Commit-thread state of a sharded run: the transport to the shard
+/// workers, barrier pacing, out-of-order plan buffering and the
+/// recent-launch ring that supplies interferers launched after a
+/// flight's plan was requested (see the [`comm`] module docs).
+#[derive(Debug)]
+struct ShardRuntime {
+    comm: Box<dyn ShardCommunicator>,
+    part: Arc<Partition>,
+    /// Next membership barrier to broadcast.
+    next_barrier: SimTime,
+    /// Plans received ahead of their transmission-end event, by flight
+    /// sequence number.
+    pending: HashMap<u64, FlightPlan>,
+    /// Recent launches `(seq, pos, start, end)` in ascending sequence
+    /// order; entries older than one worst-case airtime can no longer
+    /// overlap any pending flight and are pruned on push.
+    ring: VecDeque<(u64, Point, SimTime, SimTime)>,
+    /// Worst-case frame airtime under the configured PHY.
+    max_airtime: SimDuration,
+    /// Scratch: the subject flight's dynamic interferers.
+    dyn_scratch: Vec<(u64, Point)>,
+}
+
+impl ShardRuntime {
+    /// Broadcasts every membership barrier due at or before `t` —
+    /// called before each event, so workers always plan against the
+    /// latest barrier at or before the flight's launch. The commit
+    /// thread never blocks here; synchronization happens worker-side.
+    fn pump_barriers(&mut self, t: SimTime) {
+        while t >= self.next_barrier {
+            let until = self.next_barrier;
+            for s in 0..self.comm.num_shards() {
+                self.comm.send(s, EdgeMessage::Barrier { until });
+            }
+            self.next_barrier = until + self.part.barrier_every();
+        }
+    }
+
+    /// Announces a launch to every shard whose region the frame's
+    /// interference disc can touch; the tile owner also computes the
+    /// flight's plan (requested now so the frame's airtime hides the
+    /// round-trip).
+    fn on_launch(&mut self, seq: u64, sender: NodeId, pos: Point, start: SimTime, end: SimTime) {
+        while self
+            .ring
+            .front()
+            .is_some_and(|&(_, _, s, _)| s + self.max_airtime < start)
+        {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((seq, pos, start, end));
+        let owner = self.part.shard_of(pos);
+        let reach = self.part.flight_halo_m();
+        for s in 0..self.comm.num_shards() {
+            if self.part.shard_in_range(s, pos, reach) {
+                self.comm.send(
+                    s,
+                    EdgeMessage::FlightLaunched {
+                        seq,
+                        sender,
+                        pos,
+                        start,
+                        end,
+                        wants_plan: s == owner,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Blocks until the plan for flight `seq` is in hand; plans for
+    /// other flights arriving first are buffered.
+    fn take_plan(&mut self, seq: u64) -> FlightPlan {
+        if let Some(plan) = self.pending.remove(&seq) {
+            return plan;
+        }
+        loop {
+            let plan = self.comm.recv_plan();
+            if plan.seq == seq {
+                return plan;
+            }
+            self.pending.insert(plan.seq, plan);
+        }
+    }
+
+    /// Collects into `dyn_scratch` the frames launched *after* flight
+    /// `seq`'s plan was requested that overlap it in time and whose
+    /// sender is close enough to interfere at any of its receivers —
+    /// ascending by sequence, continuing exactly where the plan's
+    /// interferer slices stop.
+    fn dynamic_overlaps(&mut self, seq: u64, pos: Point, start: SimTime, end: SimTime) {
+        self.dyn_scratch.clear();
+        let from = self.ring.partition_point(|&(s, _, _, _)| s <= seq);
+        let reach = self.part.flight_halo_m();
+        for &(s, p, st, en) in self.ring.iter().skip(from) {
+            if st < end && en > start && p.distance(pos) <= reach {
+                self.dyn_scratch.push((s, p));
+            }
+        }
+    }
+}
+
 /// The simulation engine. Construct with [`Engine::new`], execute with
 /// [`Engine::run`].
 #[derive(Debug)]
@@ -118,9 +239,12 @@ pub struct Engine {
     /// a device's traffic is a pure function of the seed and its
     /// identity. Never drawn from when the model is empty.
     traffic_root: SimRng,
-    /// Set once [`Engine::execute`] has run: the engine keeps end-of-run
-    /// state for inspection and must not be executed again.
+    /// Set once the engine has run: the engine keeps end-of-run state
+    /// for inspection and must not be executed again.
     executed: bool,
+    /// Commit-side state of a sharded run; `None` while idle and for
+    /// single-shard runs, which take the serial path untouched.
+    shard_rt: Option<ShardRuntime>,
 }
 
 impl Engine {
@@ -188,6 +312,7 @@ impl Engine {
             disruption_rng: root.fork(13),
             traffic_root: root.fork(14),
             executed: false,
+            shard_rt: None,
             cfg,
         }
     }
@@ -202,9 +327,17 @@ impl Engine {
         &self.world.net
     }
 
+    /// The one internal run driver: every public `run*` entry point is a
+    /// thin projection of this. Consumes the engine (state is spent
+    /// after a run) and returns everything any wrapper needs.
+    fn drive(mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats, Engine) {
+        let (report, stats) = self.execute(observer);
+        (report, stats, self)
+    }
+
     /// Runs the simulation to the horizon and returns the report.
-    pub fn run(mut self) -> SimReport {
-        self.execute(&mut NullObserver).0
+    pub fn run(self) -> SimReport {
+        self.drive(&mut NullObserver).0
     }
 
     /// Runs the simulation and additionally returns execution statistics
@@ -212,8 +345,9 @@ impl Engine {
     ///
     /// The report is identical to [`Engine::run`] for the same
     /// configuration and seed.
-    pub fn run_instrumented(mut self) -> (SimReport, EngineStats) {
-        self.execute(&mut NullObserver)
+    pub fn run_instrumented(self) -> (SimReport, EngineStats) {
+        let (report, stats, _) = self.drive(&mut NullObserver);
+        (report, stats)
     }
 
     /// Runs the simulation, streaming events to `observer`.
@@ -221,8 +355,8 @@ impl Engine {
     /// Observers are passive: the event stream and the returned report
     /// are identical to [`Engine::run`] for the same configuration and
     /// seed.
-    pub fn run_with_observer(mut self, observer: &mut dyn SimObserver) -> SimReport {
-        self.execute(observer).0
+    pub fn run_with_observer(self, observer: &mut dyn SimObserver) -> SimReport {
+        self.drive(observer).0
     }
 
     /// Runs the simulation and returns the spent engine alongside the
@@ -232,9 +366,9 @@ impl Engine {
     ///
     /// The returned engine holds end-of-run state and is inspection-only:
     /// feeding it back into any `run*` method panics.
-    pub fn run_returning_engine(mut self) -> (SimReport, Engine) {
-        let (report, _) = self.execute(&mut NullObserver);
-        (report, self)
+    pub fn run_returning_engine(self) -> (SimReport, Engine) {
+        let (report, _, engine) = self.drive(&mut NullObserver);
+        (report, engine)
     }
 
     /// Which gateways are in service after (or before) a run: `true`
@@ -256,6 +390,11 @@ impl Engine {
         // `run_returning_engine` — whose state is spent.
         assert!(!self.executed, "engine already ran; build a new one");
         self.executed = true;
+        // Spin up the shard workers for a parallel run; a single-shard
+        // configuration takes the serial path with zero new machinery.
+        if self.cfg.shards > 1 {
+            self.shard_rt = Some(self.build_shard_runtime());
+        }
         // Seed trip lifecycle events.
         for trip in self.world.net.trips() {
             if trip.depart() >= self.horizon {
@@ -281,6 +420,13 @@ impl Engine {
             if t > self.horizon {
                 break;
             }
+            // Sharded runs broadcast membership barriers before the
+            // event that crosses them, so shard-side state is always
+            // synchronized to the latest barrier at or before any plan
+            // request.
+            if let Some(rt) = self.shard_rt.as_mut() {
+                rt.pump_barriers(t);
+            }
             self.now = t;
             events_processed += 1;
             match ev {
@@ -291,6 +437,11 @@ impl Engine {
                 Event::TxEnd(key) => self.on_tx_end(key, observer),
                 Event::Disruption(i) => self.on_disruption(i, observer),
             }
+        }
+
+        // The run is over: release the shard workers.
+        if let Some(mut rt) = self.shard_rt.take() {
+            rt.comm.shutdown();
         }
 
         // Retire any device still in service at the horizon.
@@ -605,10 +756,20 @@ impl Engine {
         let key = self
             .channel
             .launch(n, frame, target, self.now, self.now + airtime, pos);
+        // A sharded run announces the launch immediately: the owning
+        // shard computes the flight's plan while the frame is on the
+        // air, so the commit thread rarely waits at transmission end.
+        if let Some(rt) = self.shard_rt.as_mut() {
+            let seq = self.channel.last_launched_seq();
+            rt.on_launch(seq, n, pos, self.now, self.now + airtime);
+        }
         self.events.schedule(self.now + airtime, Event::TxEnd(key));
     }
 
     fn on_tx_end(&mut self, key: SlabKey, observer: &mut dyn SimObserver) {
+        if self.shard_rt.is_some() {
+            return self.on_tx_end_sharded(key, observer);
+        }
         // Prune flights that can no longer overlap anything before
         // scanning; vacated slab slots are recycled by later
         // transmissions. (The subject flight ends exactly now, so it
@@ -659,6 +820,109 @@ impl Engine {
         self.scratch_candidates = candidates;
         self.channel.scratch_overlaps = overlaps;
         self.channel.flights = flights;
+    }
+
+    /// [`Engine::on_tx_end`] for a sharded run: the overlap scan and
+    /// the two spatial queries are replaced by the flight's precomputed
+    /// [`FlightPlan`] plus the commit-side dynamic-interferer ring;
+    /// every draw, filter and mutation then runs in the serial order.
+    fn on_tx_end_sharded(&mut self, key: SlabKey, observer: &mut dyn SimObserver) {
+        self.channel.prune(self.now);
+        let flights = std::mem::take(&mut self.channel.flights);
+        let Some(flight) = flights.get(key) else {
+            self.channel.flights = flights;
+            return;
+        };
+        let sender = flight.sender;
+
+        // Sender leaves the transmit state.
+        if let Some(dev) = self.world.devices.get_mut(sender) {
+            dev.transmitting = false;
+            dev.last_tx_end = Some(self.now);
+        }
+
+        let mut rt = self.shard_rt.take().expect("sharded path");
+        let plan = rt.take_plan(flight.seq);
+        rt.dynamic_overlaps(flight.seq, flight.pos, flight.start, flight.end);
+        let dynamic = std::mem::take(&mut rt.dyn_scratch);
+
+        let gateway_rssi =
+            self.delivery
+                .resolve_gateways_planned(&mut self.channel, &plan, &dynamic, flight);
+        let mut to_schedule = std::mem::take(&mut self.scratch_schedule);
+        to_schedule.clear();
+        let accepted_by_target =
+            self.resolve_neighbours_planned(flight, &plan, &dynamic, &mut to_schedule, observer);
+        self.settle_sender(flight, gateway_rssi, accepted_by_target, observer);
+        for &n in &to_schedule {
+            self.maybe_schedule_tx(n);
+        }
+
+        self.scratch_schedule = to_schedule;
+        rt.dyn_scratch = dynamic;
+        self.shard_rt = Some(rt);
+        self.channel.flights = flights;
+    }
+
+    /// Builds the partition, the per-shard workers and the local
+    /// transport for a parallel run.
+    fn build_shard_runtime(&self) -> ShardRuntime {
+        let shards = self.cfg.shards;
+        let d2d = self.cfg.environment.d2d_range_m();
+        let gw_range = self.cfg.gateway_range_m;
+        let max_airtime = time_on_air(255, &self.cfg.phy);
+        let part = Arc::new(Partition::new(
+            self.world.net.area(),
+            shards,
+            d2d,
+            gw_range,
+            self.cfg.network.max_speed_mps,
+            max_airtime,
+        ));
+        let net = Arc::new(self.world.net.clone());
+        let mut departures: Vec<(SimTime, NodeId)> =
+            net.trips().iter().map(|t| (t.depart(), t.node())).collect();
+        departures.sort_unstable_by_key(|&(d, n)| (d, n.index()));
+        let departures = Arc::new(departures);
+        let params = ShardParams {
+            d2d_range_m: d2d,
+            gateway_range_m: gw_range,
+            tx_power_dbm: self.cfg.phy.tx_power_dbm,
+            path_loss: self.cfg.path_loss,
+            flight_retention: max_airtime.max(SimDuration::from_secs(2)),
+        };
+        let workers = (0..shards)
+            .map(|id| {
+                // The static superset of gateways any tile-local flight
+                // can reach (the serial grid query's `range + 1 m`
+                // margin kept for float safety).
+                let gateways = self
+                    .delivery
+                    .gateways()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| part.shard_in_range(id, p, gw_range + 1.0))
+                    .map(|(i, &p)| (i as u32, p))
+                    .collect();
+                ShardWorker::new(
+                    id,
+                    Arc::clone(&part),
+                    Arc::clone(&net),
+                    Arc::clone(&departures),
+                    gateways,
+                    params.clone(),
+                )
+            })
+            .collect();
+        ShardRuntime {
+            comm: Box::new(LocalCommunicator::launch(workers)),
+            part,
+            next_barrier: SimTime::ZERO,
+            pending: HashMap::new(),
+            ring: VecDeque::new(),
+            max_airtime,
+            dyn_scratch: Vec::new(),
+        }
     }
 }
 

@@ -1,0 +1,312 @@
+//! Spatial partitioning of the world into grid tiles and shard regions.
+//!
+//! The parallel engine splits the plane into a uniform tile grid and
+//! assigns contiguous row bands of tiles to shards. Each shard is
+//! responsible for the *plans* of flights launched inside its own tiles
+//! and tracks every device inside its tiles plus a **halo** — sized so
+//! that any device that can possibly be a reception candidate for a
+//! tile-local flight is already tracked, even though shard membership is
+//! only refreshed at time-step barriers:
+//!
+//! * `device_halo_m` = device-to-device range + drift slack, where the
+//!   slack covers the worst-case movement between a membership barrier
+//!   and the latest reception it can serve (one barrier period plus one
+//!   maximum frame airtime, at the fleet's top speed).
+//! * `flight_halo_m` = twice the maximum RSSI range (+ float slack): a
+//!   frame can interfere at a receiver of a tile-local flight only if
+//!   its sender is within two radio ranges of the flight's position, by
+//!   the triangle inequality.
+//!
+//! Everything here is pure geometry — tile assignment and halo
+//! membership are exact functions of position, so `tests/
+//! partition_properties.rs` checks them against brute-force
+//! recomputation.
+
+use mlora_geo::{BBox, Point};
+use mlora_simcore::SimDuration;
+
+use super::world::GRID_MARGIN_M;
+
+/// Spatial partition of the simulation area: a uniform tile grid with
+/// contiguous row bands of tiles assigned to shards, plus the halo and
+/// barrier-pacing parameters derived from the radio and mobility
+/// configuration (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Lower-left corner of tile (0, 0).
+    min: Point,
+    /// Tile side length, metres.
+    tile_m: f64,
+    /// Tile columns (x direction).
+    cols: u32,
+    /// Tile rows (y direction).
+    rows: u32,
+    /// Per-shard owned row range `[lo, hi)`.
+    shard_rows: Vec<(u32, u32)>,
+    /// Device-membership halo around a shard's own tiles, metres.
+    device_halo_m: f64,
+    /// Flight-broadcast halo around a shard's own tiles, metres.
+    flight_halo_m: f64,
+    /// Extra radius on shard-side candidate queries, absorbing position
+    /// drift since the last membership barrier, metres.
+    query_slack_m: f64,
+    /// Membership-barrier period.
+    barrier_every: SimDuration,
+}
+
+impl Partition {
+    /// Builds the partition for `shards` shards over `area`.
+    ///
+    /// `d2d_range_m`/`gateway_range_m` are the radio ranges,
+    /// `max_speed_mps` the fleet's top service speed and `max_airtime`
+    /// the worst-case frame airtime under the configured PHY — together
+    /// they size the halos and the barrier period.
+    pub fn new(
+        area: BBox,
+        shards: usize,
+        d2d_range_m: f64,
+        gateway_range_m: f64,
+        max_speed_mps: f64,
+        max_airtime: SimDuration,
+    ) -> Partition {
+        assert!(shards >= 1, "partition needs at least one shard");
+        // Aim for a few rows of tiles per shard band (load balance)
+        // without letting tiles degenerate below radio scale.
+        let side = area.width().max(area.height());
+        let tile_m = (side / (4.0 * shards as f64)).max(200.0);
+        let cols = ((area.width() / tile_m).ceil() as u32).max(1);
+        let rows = ((area.height() / tile_m).ceil() as u32).max(1);
+        let shard_rows = (0..shards as u32)
+            .map(|s| {
+                let lo = (s * rows) / shards as u32;
+                let hi = ((s + 1) * rows) / shards as u32;
+                (lo, hi)
+            })
+            .collect();
+        // Pace barriers like the serial engine's grid drift sweep, and
+        // size the drift slack for the longest interval a barrier
+        // snapshot must serve: one period plus one maximum airtime
+        // (plans are requested at transmission start, consumed at end).
+        let barrier_secs = (GRID_MARGIN_M / max_speed_mps * 0.95).max(0.5);
+        let barrier_every = SimDuration::from_secs_f64(barrier_secs);
+        let staleness_s =
+            barrier_every.as_millis() as f64 / 1_000.0 + max_airtime.as_millis() as f64 / 1_000.0;
+        let query_slack_m = max_speed_mps * staleness_s * 1.05 + 2.0;
+        let max_range = d2d_range_m.max(gateway_range_m);
+        Partition {
+            min: area.min(),
+            tile_m,
+            cols,
+            rows,
+            shard_rows,
+            device_halo_m: d2d_range_m + query_slack_m,
+            flight_halo_m: 2.0 * max_range + 2.0,
+            query_slack_m,
+            barrier_every,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shard_rows.len()
+    }
+
+    /// Number of tiles (`cols × rows`).
+    pub fn num_tiles(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Tile columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Tile rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Tile side length, metres.
+    pub fn tile_m(&self) -> f64 {
+        self.tile_m
+    }
+
+    /// Device-membership halo around a shard's own tiles, metres.
+    pub fn device_halo_m(&self) -> f64 {
+        self.device_halo_m
+    }
+
+    /// Flight-broadcast halo around a shard's own tiles, metres.
+    pub fn flight_halo_m(&self) -> f64 {
+        self.flight_halo_m
+    }
+
+    /// Extra candidate-query radius absorbing barrier-snapshot drift,
+    /// metres.
+    pub fn query_slack_m(&self) -> f64 {
+        self.query_slack_m
+    }
+
+    /// Membership-barrier period.
+    pub fn barrier_every(&self) -> SimDuration {
+        self.barrier_every
+    }
+
+    /// The tile containing `p` (row-major index). Positions outside the
+    /// area clamp to the boundary tiles, so every point has an owner.
+    pub fn tile_of(&self, p: Point) -> u32 {
+        let col =
+            (((p.x - self.min.x) / self.tile_m).floor() as i64).clamp(0, self.cols as i64 - 1);
+        let row =
+            (((p.y - self.min.y) / self.tile_m).floor() as i64).clamp(0, self.rows as i64 - 1);
+        row as u32 * self.cols + col as u32
+    }
+
+    /// The rectangle of tile `t` as `(lower-left, upper-right)`.
+    pub fn tile_rect(&self, t: u32) -> (Point, Point) {
+        let row = t / self.cols;
+        let col = t % self.cols;
+        let lo = Point::new(
+            self.min.x + col as f64 * self.tile_m,
+            self.min.y + row as f64 * self.tile_m,
+        );
+        (lo, Point::new(lo.x + self.tile_m, lo.y + self.tile_m))
+    }
+
+    /// The shard owning tile `t`: the unique band in `shard_rows`
+    /// containing the tile's row. `lo_s = ⌊s·rows/shards⌋` bands invert
+    /// to `s = ⌈(row+1)·shards/rows⌉ − 1`, the smallest shard whose
+    /// band ends past `row` — NOT `⌊row·shards/rows⌋`, which disagrees
+    /// with the band table whenever `rows % shards != 0`.
+    pub fn shard_of_tile(&self, t: u32) -> usize {
+        let row = t / self.cols;
+        let shards = self.num_shards() as u32;
+        (((row + 1) * shards).div_ceil(self.rows) - 1) as usize
+    }
+
+    /// The shard owning the tile containing `p`.
+    pub fn shard_of(&self, p: Point) -> usize {
+        self.shard_of_tile(self.tile_of(p))
+    }
+
+    /// Distance from `p` to the union of tiles owned by `shard` (zero
+    /// inside it; infinite for a shard that owns no tiles).
+    pub fn region_distance(&self, shard: usize, p: Point) -> f64 {
+        let (lo, hi) = self.shard_rows[shard];
+        if lo == hi {
+            return f64::INFINITY;
+        }
+        // A shard's tiles form one axis-aligned band: full tile-grid
+        // width, rows [lo, hi).
+        let x0 = self.min.x;
+        let x1 = self.min.x + self.cols as f64 * self.tile_m;
+        let y0 = self.min.y + lo as f64 * self.tile_m;
+        let y1 = self.min.y + hi as f64 * self.tile_m;
+        let dx = (x0 - p.x).max(p.x - x1).max(0.0);
+        let dy = (y0 - p.y).max(p.y - y1).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Whether disc(`p`, `radius`) touches the region of `shard`.
+    pub fn shard_in_range(&self, shard: usize, p: Point, radius: f64) -> bool {
+        self.region_distance(shard, p) <= radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(shards: usize) -> Partition {
+        Partition::new(
+            BBox::square(Point::ORIGIN, 20_000.0),
+            shards,
+            500.0,
+            1_000.0,
+            21.0,
+            SimDuration::from_millis(400),
+        )
+    }
+
+    #[test]
+    fn every_tile_has_an_owner_and_bands_are_contiguous() {
+        let p = part(4);
+        let mut last = 0;
+        for t in 0..p.num_tiles() {
+            let s = p.shard_of_tile(t);
+            assert!(s < 4);
+            assert!(s >= last || t % p.cols() != 0);
+            if t % p.cols() == 0 {
+                last = s;
+            }
+        }
+        // All shards own at least one row at this scale.
+        let owned: std::collections::BTreeSet<usize> =
+            (0..p.num_tiles()).map(|t| p.shard_of_tile(t)).collect();
+        assert_eq!(owned.len(), 4);
+    }
+
+    #[test]
+    fn tile_of_clamps_outside_points() {
+        let p = part(2);
+        assert_eq!(p.tile_of(Point::new(-500.0, -500.0)), 0);
+        let far = p.tile_of(Point::new(1e9, 1e9));
+        assert_eq!(far, p.num_tiles() - 1);
+    }
+
+    #[test]
+    fn region_distance_zero_inside_own_tiles() {
+        let p = part(4);
+        for pt in [
+            Point::new(1_000.0, 1_000.0),
+            Point::new(19_000.0, 19_000.0),
+            Point::new(10_000.0, 5_000.0),
+        ] {
+            let s = p.shard_of(pt);
+            assert_eq!(p.region_distance(s, pt), 0.0);
+        }
+    }
+
+    #[test]
+    fn region_distance_matches_min_over_owned_tile_rects() {
+        let p = part(3);
+        for &pt in &[
+            Point::new(3_333.0, 7_777.0),
+            Point::new(0.0, 19_999.0),
+            Point::new(20_000.0, 0.0),
+            Point::new(-250.0, 10_000.0),
+        ] {
+            for s in 0..p.num_shards() {
+                let brute = (0..p.num_tiles())
+                    .filter(|&t| p.shard_of_tile(t) == s)
+                    .map(|t| {
+                        let (lo, hi) = p.tile_rect(t);
+                        let dx = (lo.x - pt.x).max(pt.x - hi.x).max(0.0);
+                        let dy = (lo.y - pt.y).max(pt.y - hi.y).max(0.0);
+                        (dx * dx + dy * dy).sqrt()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    (p.region_distance(s, pt) - brute).abs() < 1e-9,
+                    "shard {s} point {pt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = part(1);
+        assert_eq!(p.shard_of(Point::new(12.0, 19_000.0)), 0);
+        assert_eq!(p.region_distance(0, Point::new(-100.0, 5_000.0)), 100.0);
+    }
+
+    #[test]
+    fn halos_cover_radio_ranges() {
+        let p = part(4);
+        assert!(p.device_halo_m() > 500.0);
+        assert!(p.flight_halo_m() >= 2_000.0);
+        assert!(p.query_slack_m() > 0.0);
+        assert!(p.barrier_every() > SimDuration::ZERO);
+    }
+}

@@ -92,6 +92,11 @@ pub mod traffic;
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
+pub use engine::comm::{
+    EdgeMessage, FlightPlan, LocalCommunicator, PlannedCandidate, PlannedGateway,
+    PlannedInterferer, ShardCommunicator,
+};
+pub use engine::partition::Partition;
 pub use engine::{Engine, EngineStats};
 pub use io::ScenarioFileError;
 pub use metrics::{ProfileReport, SimReport};

@@ -638,7 +638,14 @@ impl Runner {
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<RunnerError>> = Mutex::new(None);
 
-        let worker_count = self.workers.min(jobs).max(1);
+        // One thread budget for both parallelism levels: a plan whose
+        // cells request intra-run sharding (`SimConfig::shards`) spends
+        // `shards` threads per concurrent run, so divide the budget by
+        // the largest request rather than oversubscribe the host.
+        // Results are unaffected either way — runs are placed by plan
+        // position and every shard count is bit-identical.
+        let max_shards = cells.iter().map(|c| c.config.shards).max().unwrap_or(1);
+        let worker_count = (self.workers / max_shards.max(1)).max(1).min(jobs).max(1);
         std::thread::scope(|scope| {
             for _ in 0..worker_count {
                 scope.spawn(|| loop {

@@ -256,6 +256,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the engine shard count (see [`SimConfig::shards`]): `1`
+    /// runs serially, `n > 1` spreads transmission-end resolution over
+    /// `n` worker threads per run. Results are bit-identical for every
+    /// shard count; [`Runner`](crate::Runner) divides its thread budget
+    /// by this so plan-level × intra-run parallelism cannot
+    /// oversubscribe the host.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Sets the duty-cycle cap (paper: 1 %).
     pub fn duty_cycle(mut self, fraction: f64) -> Self {
         self.config.duty_cycle = fraction;

@@ -1,0 +1,209 @@
+//! Property-based tests over the spatially partitioned engine: the
+//! partition geometry (tile assignment, shard bands, halo membership)
+//! matches brute-force recomputation for arbitrary worlds, and full
+//! engine runs — heterogeneous traffic and mid-run disruptions
+//! included — are bit-identical across shard counts 1, 2 and 4.
+
+use mlora::geo::{BBox, Point};
+use mlora::mobility::DiurnalProfile;
+use mlora::sim::{
+    ArrivalProcess, BusWithdrawal, DisruptionPlan, GatewayOutage, NoiseBurst, Partition,
+    PayloadModel, Priority, Scenario, SimConfig, TrafficModel, TrafficProfile,
+};
+use mlora::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Gateways deployed by the smoke preset every engine property runs
+/// against (its 3×3 grid).
+const GATEWAYS: usize = 9;
+
+/// Point-to-rectangle distance, the brute-force primitive the partition
+/// accessors are checked against.
+fn rect_distance(lo: Point, hi: Point, p: Point) -> f64 {
+    let dx = (lo.x - p.x).max(p.x - hi.x).max(0.0);
+    let dy = (lo.y - p.y).max(p.y - hi.y).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
+proptest! {
+    /// Tile assignment is the exact floor-and-clamp function of
+    /// position: for arbitrary partition shapes and probe points
+    /// (inside and outside the area), `tile_of` matches a brute-force
+    /// scan for the nearest containing tile rectangle, every tile's
+    /// owning shard is a contiguous row band, and `region_distance` /
+    /// `shard_in_range` agree with the minimum over the shard's owned
+    /// tile rectangles.
+    #[test]
+    fn partition_geometry_matches_brute_force(
+        side in 2_000.0f64..40_000.0,
+        shards in 1usize..7,
+        d2d in 100.0f64..1_500.0,
+        gw in 100.0f64..3_000.0,
+        speed in 3.0f64..30.0,
+        airtime_ms in 50u64..3_000,
+        xs in proptest::collection::vec(-0.2f64..1.2, 8..9),
+        ys in proptest::collection::vec(-0.2f64..1.2, 8..9),
+        radius in 0.0f64..5_000.0,
+    ) {
+        let area = BBox::square(Point::ORIGIN, side);
+        let part = Partition::new(
+            area,
+            shards,
+            d2d,
+            gw,
+            speed,
+            SimDuration::from_millis(airtime_ms),
+        );
+        prop_assert_eq!(part.num_shards(), shards);
+        prop_assert_eq!(part.num_tiles(), part.cols() * part.rows());
+        prop_assert!(part.tile_m() >= 200.0);
+        // Halos always cover their radio range plus positive slack.
+        prop_assert!(part.device_halo_m() > d2d);
+        prop_assert!(part.flight_halo_m() >= 2.0 * d2d.max(gw));
+        prop_assert!(part.query_slack_m() > 0.0);
+
+        // Shard bands: row-monotone, contiguous, and jointly exhaustive.
+        let mut prev_shard = 0;
+        for row in 0..part.rows() {
+            let s = part.shard_of_tile(row * part.cols());
+            prop_assert!(s >= prev_shard, "shard bands out of order");
+            prop_assert!(s < shards);
+            for col in 1..part.cols() {
+                prop_assert_eq!(part.shard_of_tile(row * part.cols() + col), s);
+            }
+            prev_shard = s;
+        }
+
+        for (&fx, &fy) in xs.iter().zip(&ys) {
+            let p = Point::new(fx * side, fy * side);
+            // Brute-force owner: the tile whose rectangle is nearest
+            // (distance zero when the point is inside the area).
+            let t = part.tile_of(p);
+            prop_assert!(t < part.num_tiles());
+            let (lo, hi) = part.tile_rect(t);
+            let own = rect_distance(lo, hi, p);
+            for other in 0..part.num_tiles() {
+                let (olo, ohi) = part.tile_rect(other);
+                prop_assert!(
+                    own <= rect_distance(olo, ohi, p) + 1e-9,
+                    "tile {t} is not nearest to {p:?} (beaten by {other})"
+                );
+            }
+            prop_assert_eq!(part.shard_of(p), part.shard_of_tile(t));
+            // Halo membership: region_distance equals the minimum over
+            // the shard's owned tile rectangles (infinite for bandless
+            // shards), and shard_in_range is exactly the disc test.
+            for s in 0..shards {
+                let brute = (0..part.num_tiles())
+                    .filter(|&t| part.shard_of_tile(t) == s)
+                    .map(|t| {
+                        let (lo, hi) = part.tile_rect(t);
+                        rect_distance(lo, hi, p)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let got = part.region_distance(s, p);
+                if brute.is_finite() {
+                    prop_assert!(
+                        (got - brute).abs() < 1e-9,
+                        "shard {s} point {p:?}: {got} vs brute {brute}"
+                    );
+                } else {
+                    prop_assert!(got.is_infinite());
+                }
+                prop_assert_eq!(part.shard_in_range(s, p, radius), got <= radius);
+            }
+        }
+    }
+
+    /// For arbitrary smoke scenarios — a generated traffic mix plus a
+    /// generated disruption plan — the partitioned engine at 2 and 4
+    /// shards reproduces the serial run bit for bit, per-profile
+    /// breakdowns and resilience counters included.
+    #[test]
+    fn sharded_runs_are_bit_identical_to_serial(
+        seed in 0u64..1_000_000,
+        kinds in proptest::collection::vec(0u32..5, 0..3),
+        intervals in proptest::collection::vec(30u64..600, 3..4),
+        payload_los in proptest::collection::vec(1usize..100, 3..4),
+        outage_gws in proptest::collection::vec(0usize..32, 0..3),
+        outage_starts in proptest::collection::vec(0u64..1_800, 3..4),
+        outage_durs in proptest::collection::vec(0u64..1_500, 3..4),
+        withdraw_at in 0u64..1_800,
+        withdraw_frac in 0.05f64..0.9,
+        withdraw in proptest::bool::ANY,
+        burst in proptest::bool::ANY,
+        burst_start in 0u64..1_800,
+    ) {
+        let profiles: Vec<TrafficProfile> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let interval = SimDuration::from_secs(intervals[i]);
+                let arrivals = match kind % 4 {
+                    0 => ArrivalProcess::Periodic { interval },
+                    1 => ArrivalProcess::Jittered { interval, jitter: 0.3 },
+                    2 => ArrivalProcess::Poisson { mean_interval: interval },
+                    _ => ArrivalProcess::Diurnal {
+                        base_interval: interval,
+                        profile: DiurnalProfile::london_buses(),
+                    },
+                };
+                TrafficProfile::new(
+                    format!("p{i}"),
+                    arrivals,
+                    PayloadModel::Fixed { bytes: payload_los[i] },
+                )
+                .priority(Priority::ALL[i % 3])
+            })
+            .collect();
+        let plan = DisruptionPlan {
+            outages: outage_gws
+                .iter()
+                .zip(&outage_starts)
+                .zip(&outage_durs)
+                .map(|((&gateway, &start), &dur)| GatewayOutage {
+                    gateway: gateway % GATEWAYS,
+                    start: SimTime::from_secs(start),
+                    duration: (dur > 0).then(|| SimDuration::from_secs(dur)),
+                })
+                .collect(),
+            withdrawals: withdraw
+                .then(|| BusWithdrawal {
+                    at: SimTime::from_secs(withdraw_at),
+                    fraction: withdraw_frac,
+                })
+                .into_iter()
+                .collect(),
+            noise_bursts: burst
+                .then(|| NoiseBurst {
+                    center: Point::new(5_000.0, 5_000.0),
+                    radius_m: 4_000.0,
+                    start: SimTime::from_secs(burst_start),
+                    duration: Some(SimDuration::from_mins(10)),
+                    extra_loss_db: 10.0,
+                })
+                .into_iter()
+                .collect(),
+        };
+        let config = Scenario::urban()
+            .smoke()
+            .duration(SimDuration::from_mins(30))
+            .traffic(TrafficModel::mix(profiles))
+            .disruptions(plan)
+            .build()
+            .expect("generated scenario is valid");
+        let serial = config.run(seed).expect("serial run");
+        for shards in [2usize, 4] {
+            let mut cfg: SimConfig = config.clone();
+            cfg.shards = shards;
+            let sharded = cfg.run(seed).expect("sharded run");
+            prop_assert_eq!(
+                &sharded,
+                &serial,
+                "{} shards diverged from serial at seed {}",
+                shards,
+                seed
+            );
+        }
+    }
+}
