@@ -113,6 +113,39 @@ impl CaEtxEstimator {
     pub fn contacts(&self) -> u64 {
         self.capacities.count()
     }
+
+    /// The estimator's raw state `(packet_bits, gaps, capacities,
+    /// last_contact)` — the checkpoint counterpart of
+    /// [`CaEtxEstimator::from_raw_parts`].
+    pub fn raw_parts(&self) -> (f64, Welford, Welford, Option<SimTime>) {
+        (
+            self.packet_bits,
+            self.gaps,
+            self.capacities,
+            self.last_contact,
+        )
+    }
+
+    /// Rebuilds an estimator from state captured by
+    /// [`CaEtxEstimator::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bits` is not strictly positive.
+    pub fn from_raw_parts(
+        packet_bits: f64,
+        gaps: Welford,
+        capacities: Welford,
+        last_contact: Option<SimTime>,
+    ) -> Self {
+        assert!(packet_bits > 0.0, "packet size must be positive");
+        CaEtxEstimator {
+            packet_bits,
+            gaps,
+            capacities,
+            last_contact,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,36 @@ impl ContactTracker {
         self.failures
     }
 
+    /// The tracker's raw state `(last_success, in_contact, successes,
+    /// failures)` — the checkpoint counterpart of
+    /// [`ContactTracker::from_raw_parts`]. Unlike the individual
+    /// accessors this exposes the capacity observed at the last
+    /// successful slot, which the RPST of Eq. 3 depends on.
+    pub fn raw_parts(&self) -> (Option<(SimTime, f64)>, bool, u64, u64) {
+        (
+            self.last_success,
+            self.in_contact,
+            self.successes,
+            self.failures,
+        )
+    }
+
+    /// Rebuilds a tracker from state captured by
+    /// [`ContactTracker::raw_parts`].
+    pub fn from_raw_parts(
+        last_success: Option<(SimTime, f64)>,
+        in_contact: bool,
+        successes: u64,
+        failures: u64,
+    ) -> Self {
+        ContactTracker {
+            last_success,
+            in_contact,
+            successes,
+            failures,
+        }
+    }
+
     /// The real-time packet service time µ′(t) of Eq. 3, in seconds.
     ///
     /// `wait_s` is `t_Δ`, the time before the device may next transmit
@@ -186,6 +216,27 @@ impl RcaEtxEstimator {
     /// The EWMA smoothing factor.
     pub fn alpha(&self) -> f64 {
         self.ewma.alpha()
+    }
+
+    /// The estimator's raw state `(tracker, ewma, packet_bits)` — the
+    /// checkpoint counterpart of [`RcaEtxEstimator::from_raw_parts`].
+    pub fn raw_parts(&self) -> (ContactTracker, Ewma, f64) {
+        (self.tracker, self.ewma, self.packet_bits)
+    }
+
+    /// Rebuilds an estimator from state captured by
+    /// [`RcaEtxEstimator::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bits` is not strictly positive.
+    pub fn from_raw_parts(tracker: ContactTracker, ewma: Ewma, packet_bits: f64) -> Self {
+        assert!(packet_bits > 0.0, "packet size must be positive");
+        RcaEtxEstimator {
+            tracker,
+            ewma,
+            packet_bits,
+        }
     }
 }
 

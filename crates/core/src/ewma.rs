@@ -71,6 +71,18 @@ impl Ewma {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    /// Rebuilds an average from `(alpha, value)` parts — the checkpoint
+    /// counterpart of [`Ewma::alpha`] and [`Ewma::value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` lies in `(0, 1]`.
+    pub fn from_raw_parts(alpha: f64, value: Option<f64>) -> Self {
+        let mut ewma = Ewma::new(alpha);
+        ewma.value = value;
+        ewma
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,34 @@ impl RoutingState {
         self.policy.as_ref()
     }
 
+    /// The routing brain's raw state `(estimator, ca_estimator, ledger)`
+    /// — the checkpoint counterpart of [`RoutingState::from_raw_parts`].
+    /// The config and policy are not included: built-in policies are
+    /// stateless values reconstructible from the scheme, so a checkpoint
+    /// stores only the scenario configuration they derive from.
+    pub fn raw_parts(&self) -> (RcaEtxEstimator, CaEtxEstimator, DonorLedger) {
+        (self.estimator, self.ca_estimator, self.ledger.clone())
+    }
+
+    /// Rebuilds a routing state running `policy` under `config`, with
+    /// the estimator/ledger state captured by
+    /// [`RoutingState::raw_parts`].
+    pub fn from_raw_parts(
+        config: RoutingConfig,
+        policy: Box<dyn ForwardingPolicy>,
+        estimator: RcaEtxEstimator,
+        ca_estimator: CaEtxEstimator,
+        ledger: DonorLedger,
+    ) -> Self {
+        RoutingState {
+            config,
+            estimator,
+            ca_estimator,
+            ledger,
+            policy,
+        }
+    }
+
     /// The context view policies receive, for the given hook inputs.
     fn ctx(&self, now: SimTime, wait_s: f64, queue_len: usize) -> PolicyContext<'_> {
         PolicyContext::new(

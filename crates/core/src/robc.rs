@@ -97,6 +97,22 @@ impl DonorLedger {
     pub fn is_empty(&self) -> bool {
         self.donors.is_empty()
     }
+
+    /// The barred donors in ascending id order — a deterministic view of
+    /// the internal set, the checkpoint counterpart of
+    /// [`DonorLedger::from_donors`].
+    pub fn donors_sorted(&self) -> Vec<NodeId> {
+        let mut donors: Vec<NodeId> = self.donors.iter().copied().collect();
+        donors.sort_unstable();
+        donors
+    }
+
+    /// Rebuilds a ledger barring exactly `donors`.
+    pub fn from_donors(donors: impl IntoIterator<Item = NodeId>) -> Self {
+        DonorLedger {
+            donors: donors.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]

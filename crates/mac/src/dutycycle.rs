@@ -86,6 +86,39 @@ impl DutyCycleTracker {
     pub fn tx_count(&self) -> u64 {
         self.tx_count
     }
+
+    /// The tracker's raw state `(duty_cycle, next_allowed, total_airtime,
+    /// tx_count)` — the checkpoint counterpart of
+    /// [`DutyCycleTracker::from_raw_parts`]. Unlike the individual
+    /// accessors this exposes `next_allowed`, the silent-until instant the
+    /// duty-cycle gate turns on.
+    pub fn raw_parts(&self) -> (f64, SimTime, SimDuration, u64) {
+        (
+            self.duty_cycle,
+            self.next_allowed,
+            self.total_airtime,
+            self.tx_count,
+        )
+    }
+
+    /// Rebuilds a tracker from state captured by
+    /// [`DutyCycleTracker::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty_cycle` is not in `(0, 1]`.
+    pub fn from_raw_parts(
+        duty_cycle: f64,
+        next_allowed: SimTime,
+        total_airtime: SimDuration,
+        tx_count: u64,
+    ) -> Self {
+        let mut dc = DutyCycleTracker::new(duty_cycle);
+        dc.next_allowed = next_allowed;
+        dc.total_airtime = total_airtime;
+        dc.tx_count = tx_count;
+        dc
+    }
 }
 
 #[cfg(test)]

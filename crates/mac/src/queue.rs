@@ -200,6 +200,36 @@ impl DataQueue {
     pub fn iter(&self) -> impl Iterator<Item = &AppMessage> {
         self.buf.iter()
     }
+
+    /// Rebuilds a queue from checkpoint parts: `messages` front-first in
+    /// the exact stored order (already descending by class), plus the
+    /// historical overflow count. The counterpart of
+    /// [`DataQueue::iter`]/[`DataQueue::capacity`]/[`DataQueue::dropped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `messages` exceeds it.
+    pub fn from_parts(
+        capacity: usize,
+        dropped: u64,
+        messages: impl IntoIterator<Item = AppMessage>,
+    ) -> Self {
+        let mut q = DataQueue::new(capacity);
+        q.buf.extend(messages);
+        assert!(
+            q.buf.len() <= capacity,
+            "restored queue exceeds its capacity"
+        );
+        debug_assert!(
+            q.buf
+                .iter()
+                .zip(q.buf.iter().skip(1))
+                .all(|(a, b)| a.priority >= b.priority),
+            "restored queue must be ordered by descending priority"
+        );
+        q.dropped = dropped;
+        q
+    }
 }
 
 #[cfg(test)]

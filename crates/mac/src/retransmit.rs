@@ -70,6 +70,20 @@ impl RetransmitPolicy {
     pub fn exhausted(&self) -> bool {
         self.attempts >= self.max_attempts
     }
+
+    /// Rebuilds a policy from `(max_attempts, attempts)` parts — the
+    /// checkpoint counterpart of [`RetransmitPolicy::max_attempts`] and
+    /// [`RetransmitPolicy::attempts`]. `attempts` may exceed
+    /// `max_attempts`: denied post-exhaustion failures still count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn from_parts(max_attempts: u32, attempts: u32) -> Self {
+        let mut rt = RetransmitPolicy::new(max_attempts);
+        rt.attempts = attempts;
+        rt
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ const BLOCK_TARGET: usize = 64 * 1024;
 pub enum ScenarioIoError {
     /// An underlying IO operation failed.
     Io(std::io::Error),
-    /// The file does not start with the `MLSC` magic.
+    /// The file does not start with the expected magic bytes.
     BadMagic,
     /// The file's format version is newer than this reader supports.
     UnsupportedVersion(u16),
@@ -118,8 +118,19 @@ impl<W: Write> ScenarioWriter<W> {
     /// # Errors
     ///
     /// Propagates IO errors from `out`.
-    pub fn new(mut out: W) -> std::io::Result<Self> {
-        out.write_all(&MAGIC)?;
+    pub fn new(out: W) -> std::io::Result<Self> {
+        ScenarioWriter::with_magic(out, MAGIC)
+    }
+
+    /// Creates a writer whose header carries `magic` instead of
+    /// [`MAGIC`] — for sibling formats (e.g. engine snapshots) that
+    /// reuse the block framing under their own four-byte signature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from `out`.
+    pub fn with_magic(mut out: W, magic: [u8; 4]) -> std::io::Result<Self> {
+        out.write_all(&magic)?;
         out.write_all(&FORMAT_VERSION.to_le_bytes())?;
         Ok(ScenarioWriter {
             out,
@@ -257,10 +268,21 @@ impl<R: Read> ScenarioReader<R> {
     /// [`ScenarioIoError::BadMagic`] /
     /// [`ScenarioIoError::UnsupportedVersion`] on a foreign or
     /// newer-format file, [`ScenarioIoError::Truncated`] on a short one.
-    pub fn new(mut input: R) -> Result<Self, ScenarioIoError> {
+    pub fn new(input: R) -> Result<Self, ScenarioIoError> {
+        ScenarioReader::with_magic(input, MAGIC)
+    }
+
+    /// Creates a reader expecting `expected_magic` instead of [`MAGIC`]
+    /// — the counterpart of [`ScenarioWriter::with_magic`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioReader::new`], with [`ScenarioIoError::BadMagic`]
+    /// judged against `expected_magic`.
+    pub fn with_magic(mut input: R, expected_magic: [u8; 4]) -> Result<Self, ScenarioIoError> {
         let mut magic = [0u8; 4];
         input.read_exact(&mut magic)?;
-        if magic != MAGIC {
+        if magic != expected_magic {
             return Err(ScenarioIoError::BadMagic);
         }
         let mut version = [0u8; 2];
@@ -431,6 +453,27 @@ impl<R: Read> ScenarioReader<R> {
         Ok(s)
     }
 
+    /// Reads a length-prefixed opaque byte blob of the current record —
+    /// the counterpart of [`Enc::put_bytes`](crate::Enc::put_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioIoError::Corrupt`] on truncation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, ScenarioIoError> {
+        let len = self.varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(ScenarioIoError::Corrupt("blob length overflow"))?;
+        let bytes = self
+            .block
+            .get(self.pos..end)
+            .ok_or(ScenarioIoError::Corrupt("record crosses block boundary"))?
+            .to_vec();
+        self.pos = end;
+        Ok(bytes)
+    }
+
     /// Loads the next block of the current section into memory.
     /// Returns `false` on the zero-length terminator.
     fn load_block(&mut self) -> Result<bool, ScenarioIoError> {
@@ -445,8 +488,17 @@ impl<R: Read> ScenarioReader<R> {
         }
         let mut crc = [0u8; 4];
         self.input.read_exact(&mut crc)?;
-        self.block.resize(len, 0);
-        self.input.read_exact(&mut self.block)?;
+        // Grow the buffer in bounded steps as payload actually arrives
+        // rather than pre-allocating the claimed length: a file
+        // truncated (or corrupted) in its length prefix must not commit
+        // 256 MiB up front on the strength of a varint.
+        self.block.clear();
+        while self.block.len() < len {
+            let start = self.block.len();
+            let step = (len - start).min(BLOCK_TARGET);
+            self.block.resize(start + step, 0);
+            self.input.read_exact(&mut self.block[start..])?;
+        }
         if crc32(&self.block) != u32::from_le_bytes(crc) {
             return Err(ScenarioIoError::ChecksumMismatch);
         }
@@ -597,6 +649,185 @@ mod tests {
             }
         }
         assert!(saw_error, "flipped bit went unnoticed");
+    }
+
+    /// Fully decodes a container produced by `sample_file`, mirroring
+    /// the writer record-for-record (no loose draining that could mask a
+    /// silent short read).
+    fn drive(bytes: &[u8]) -> Result<(), ScenarioIoError> {
+        let mut r = ScenarioReader::new(bytes)?;
+        while let Some((id, n)) = r.next_section()? {
+            for _ in 0..n {
+                r.begin_record()?;
+                match id {
+                    10 => {
+                        r.varint()?;
+                        r.f64()?;
+                    }
+                    11 => {
+                        r.string()?;
+                    }
+                    _ => return Err(ScenarioIoError::Corrupt("unexpected section")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn every_truncation_point_is_truncated_never_eof() {
+        // Cut a single-block container at EVERY byte position. Each
+        // proper prefix is missing at least the end marker, so a full
+        // decode must fail — and because every structural read is an
+        // exact fill against the stream, the failure must be the typed
+        // `Truncated`, never a panic, a silent success, or a
+        // misclassified corruption. This sweeps every frame boundary:
+        // mid-magic, mid-version, after the section id, inside the
+        // record-count varint, inside a block-length varint, inside the
+        // CRC, inside the payload, at the section terminator, and before
+        // the end marker.
+        let bytes = sample_file(40);
+        assert!(drive(&bytes).is_ok(), "untruncated file must decode");
+        for cut in 0..bytes.len() {
+            match drive(&bytes[..cut]) {
+                Err(ScenarioIoError::Truncated) => {}
+                Err(e) => panic!("cut at {cut}/{}: wrong error {e}", bytes.len()),
+                Ok(()) => panic!("cut at {cut}/{} decoded successfully", bytes.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn multiblock_truncation_points_are_truncated() {
+        // The multi-block shape (~10 000 records spill past the 64 KiB
+        // block target) exercised at targeted boundaries: the full
+        // header region (covers the multi-byte block-length varint and
+        // the first block's CRC), a mid-payload cut, the first block
+        // boundary region, and the file tail (final block, section
+        // terminator, end marker).
+        let bytes = sample_file(10_000);
+        assert!(drive(&bytes).is_ok(), "untruncated file must decode");
+        let len = bytes.len();
+        let cuts = (0..32)
+            .chain([33, 100, 5_000, 64 * 1024, 64 * 1024 + 21])
+            .chain(len - 32..len);
+        for cut in cuts {
+            match drive(&bytes[..cut]) {
+                Err(ScenarioIoError::Truncated) => {}
+                Err(e) => panic!("cut at {cut}/{len}: wrong error {e}"),
+                Ok(()) => panic!("cut at {cut}/{len} decoded successfully"),
+            }
+        }
+    }
+
+    /// A byte source that records the largest buffer a single `read`
+    /// call was handed — the witness for allocation-trusting readers,
+    /// which pass the whole claimed block length to one `read`.
+    struct BufferSpy<'a> {
+        data: &'a [u8],
+        max_buf: usize,
+    }
+
+    impl Read for BufferSpy<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_buf = self.max_buf.max(buf.len());
+            let n = buf.len().min(self.data.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn truncated_length_prefix_does_not_preallocate() {
+        // A file whose block-length varint claims a near-maximum payload
+        // but ends a few bytes later must fail as truncated without
+        // first committing the claimed allocation. The spy observes the
+        // buffers handed to `read`: a reader that trusts the length
+        // prefix presents one claimed-length buffer, a bounded reader
+        // never exceeds its chunk size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(10); // section id
+        put_varint(&mut bytes, 1); // one record promised
+        put_varint(&mut bytes, MAX_BLOCK_BYTES as u64); // huge block claim
+        bytes.extend_from_slice(&[0u8; 4]); // CRC
+        bytes.extend_from_slice(&[0u8; 100]); // a sliver of payload
+        let mut spy = BufferSpy {
+            data: &bytes,
+            max_buf: 0,
+        };
+        let mut r = ScenarioReader::new(&mut spy).unwrap();
+        r.next_section().unwrap();
+        assert!(matches!(r.begin_record(), Err(ScenarioIoError::Truncated)));
+        assert!(
+            spy.max_buf <= 64 * 1024,
+            "reader trusted the claimed length: a {} byte buffer was \
+             presented to a single read call",
+            spy.max_buf
+        );
+    }
+
+    #[test]
+    fn custom_magic_roundtrip_and_mismatch() {
+        let mut w = ScenarioWriter::with_magic(Vec::new(), *b"MLSS").unwrap();
+        w.begin_section(7, 1).unwrap();
+        w.enc().put_varint(99);
+        w.end_record().unwrap();
+        w.end_section().unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..4], b"MLSS");
+        // Matching magic decodes.
+        let mut r = ScenarioReader::with_magic(&bytes[..], *b"MLSS").unwrap();
+        assert_eq!(r.next_section().unwrap(), Some((7, 1)));
+        r.begin_record().unwrap();
+        assert_eq!(r.varint().unwrap(), 99);
+        assert!(r.next_section().unwrap().is_none());
+        // The default reader (expecting MLSC) refuses the file, and the
+        // custom reader refuses a default file.
+        assert!(matches!(
+            ScenarioReader::new(&bytes[..]),
+            Err(ScenarioIoError::BadMagic)
+        ));
+        assert!(matches!(
+            ScenarioReader::with_magic(&sample_file(1)[..], *b"MLSS"),
+            Err(ScenarioIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn byte_blob_roundtrips_arbitrary_data() {
+        // Non-UTF-8 payloads (e.g. an embedded nested container) must
+        // come back byte-identical, and an empty blob is legal.
+        let blob: Vec<u8> = (0..=255u8).rev().collect();
+        let mut w = ScenarioWriter::new(Vec::new()).unwrap();
+        w.begin_section(3, 2).unwrap();
+        w.enc().put_bytes(&blob);
+        w.end_record().unwrap();
+        w.enc().put_bytes(&[]);
+        w.end_record().unwrap();
+        w.end_section().unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ScenarioReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.next_section().unwrap(), Some((3, 2)));
+        r.begin_record().unwrap();
+        assert_eq!(r.bytes().unwrap(), blob);
+        r.begin_record().unwrap();
+        assert_eq!(r.bytes().unwrap(), Vec::<u8>::new());
+        // A blob whose claimed length overruns the record is corrupt,
+        // not a crash.
+        let mut w = ScenarioWriter::new(Vec::new()).unwrap();
+        w.begin_section(3, 1).unwrap();
+        w.enc().put_varint(1_000);
+        w.enc().put_u8(7);
+        w.end_record().unwrap();
+        w.end_section().unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ScenarioReader::new(&bytes[..]).unwrap();
+        r.next_section().unwrap();
+        r.begin_record().unwrap();
+        assert!(matches!(r.bytes(), Err(ScenarioIoError::Corrupt(_))));
     }
 
     #[test]

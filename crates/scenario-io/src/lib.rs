@@ -33,6 +33,21 @@
 //! disruptions) are layered on top by `mlora-sim`, which owns those
 //! types.
 //!
+//! # Sibling formats: the `.mlss` engine snapshot
+//!
+//! The container layer is magic-parameterized
+//! ([`ScenarioWriter::with_magic`] / [`ScenarioReader::with_magic`]), so
+//! other formats can reuse the exact framing — version word, sectioning,
+//! block checksums, truncation detection — under their own four-byte
+//! magic. `mlora-sim` uses this for its `.mlss` engine snapshots (magic
+//! `MLSS`): the same `section*`/`block*` grammar as above, with
+//! snapshot-owned section ids (header, embedded `.mlsc` scenario blob,
+//! event queue, devices, flights, RNG streams, delivery, collector).
+//! One consequence worth knowing when sizing records: a record never
+//! spans blocks, but a single record may occupy a whole oversized block
+//! (up to the 256 MiB cap) — that is how the snapshot embeds its
+//! scenario as one opaque byte record.
+//!
 //! # Example
 //!
 //! ```

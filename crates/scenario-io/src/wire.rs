@@ -121,6 +121,15 @@ impl Enc {
         self.put_varint(v.len() as u64);
         self.buf.extend_from_slice(v.as_bytes());
     }
+
+    /// Appends an opaque byte blob as a varint length followed by the
+    /// raw bytes. Unlike [`Enc::put_str`] no UTF-8 validity is implied;
+    /// the blob roundtrips byte-identically through
+    /// [`ScenarioReader::bytes`](crate::ScenarioReader::bytes).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
 }
 
 #[cfg(test)]

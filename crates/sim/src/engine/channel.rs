@@ -278,6 +278,31 @@ impl Channel {
         self.resolve_reception(flight_seq, flight_rssi)
     }
 
+    /// The channel's checkpoint state: the shadowing-stream RNG words,
+    /// the monotone flight counter and the active-noise stack (in
+    /// activation order). The flight slab is read directly — it is
+    /// already exposed to the engine.
+    pub(super) fn checkpoint_parts(&self) -> ((u64, [u64; 4]), u64, &[u32]) {
+        (self.rng.state(), self.next_flight_seq, &self.active_noise)
+    }
+
+    /// Restores the state captured by [`Channel::checkpoint_parts`] plus
+    /// the flight slab. The static tables (noise bursts, path loss,
+    /// retention) are reconstructed from the scenario config and stay
+    /// untouched.
+    pub(super) fn restore(
+        &mut self,
+        rng: SimRng,
+        flights: Slab<Flight>,
+        next_flight_seq: u64,
+        active_noise: Vec<u32>,
+    ) {
+        self.rng = rng;
+        self.flights = flights;
+        self.next_flight_seq = next_flight_seq;
+        self.active_noise = active_noise;
+    }
+
     /// Shared tail of the reception paths: capture-model resolution over
     /// the collected audible set.
     fn resolve_reception(&mut self, flight_seq: u64, flight_rssi: Option<f64>) -> Reception {

@@ -207,6 +207,31 @@ impl Delivery {
         }
     }
 
+    /// Per-gateway outage depths — checkpoint counterpart of
+    /// [`Delivery::restore_outages`].
+    pub(super) fn outage_depths(&self) -> &[u32] {
+        &self.gateway_down_depth
+    }
+
+    /// Restores checkpointed outage depths, pulling downed gateways out
+    /// of the grid *silently* — no collector bookkeeping, no observer
+    /// events: the checkpoint's collector already carries the outage
+    /// history, and the outage-start events fired before the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depths` does not cover every gateway.
+    pub(super) fn restore_outages(&mut self, depths: Vec<u32>) {
+        assert_eq!(depths.len(), self.gateways.len(), "outage depth count");
+        for (g, &depth) in depths.iter().enumerate() {
+            if depth > 0 {
+                let removed = self.gateway_grid.remove(g as u32, self.gateways[g]);
+                debug_assert!(removed, "downed gateway missing from grid");
+            }
+        }
+        self.gateway_down_depth = depths;
+    }
+
     /// Verifies that the incrementally maintained gateway grid matches a
     /// from-scratch rebuild over the gateways currently in service —
     /// the invariant the outage/recovery mutation paths preserve.

@@ -53,7 +53,10 @@ pub mod comm;
 mod delivery;
 mod forwarding;
 pub mod partition;
+mod snapshot;
 mod world;
+
+pub use self::snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC};
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -158,6 +161,23 @@ impl ShardRuntime {
             self.ring.pop_front();
         }
         self.ring.push_back((seq, pos, start, end));
+        self.announce(seq, sender, pos, start, end, true);
+    }
+
+    /// The shared announcement path: sends `FlightLaunched` to every
+    /// shard in reach of the flight's interference disc. The tile owner
+    /// computes a plan only when `wants_plan` — true for live launches;
+    /// a snapshot resume re-announcing retained flights requests plans
+    /// only for those whose transmission-end event is still pending.
+    fn announce(
+        &mut self,
+        seq: u64,
+        sender: NodeId,
+        pos: Point,
+        start: SimTime,
+        end: SimTime,
+        wants_plan: bool,
+    ) {
         let owner = self.part.shard_of(pos);
         let reach = self.part.flight_halo_m();
         for s in 0..self.comm.num_shards() {
@@ -170,7 +190,7 @@ impl ShardRuntime {
                         pos,
                         start,
                         end,
-                        wants_plan: s == owner,
+                        wants_plan: wants_plan && s == owner,
                     },
                 );
             }
@@ -214,6 +234,10 @@ impl ShardRuntime {
 #[derive(Debug)]
 pub struct Engine {
     cfg: SimConfig,
+    /// The master seed the engine was built with; a snapshot carries it
+    /// so a resume can regenerate the deterministic substrate (network,
+    /// gateway placement, RNG stream identities).
+    seed: u64,
     events: EventQueue<Event>,
     now: SimTime,
     horizon: SimTime,
@@ -242,6 +266,16 @@ pub struct Engine {
     /// Set once the engine has run: the engine keeps end-of-run state
     /// for inspection and must not be executed again.
     executed: bool,
+    /// Set once initial events are seeded (and shard workers launched):
+    /// stepping entry points start lazily, exactly once.
+    started: bool,
+    /// Events processed since the run began, across every stepping call.
+    events_processed: u64,
+    /// Every scripted withdrawal applied so far, as `(node, when)` in
+    /// application order. A snapshot resume replays these against the
+    /// freshly regenerated mobility substrate before anything else, so
+    /// trip truncations survive the checkpoint.
+    withdrawn: Vec<(NodeId, SimTime)>,
     /// Commit-side state of a sharded run; `None` while idle and for
     /// single-shard runs, which take the serial path untouched.
     shard_rt: Option<ShardRuntime>,
@@ -299,6 +333,7 @@ impl Engine {
         let delivery = Delivery::new(gateways, cfg.gateway_range_m, collector);
         let timeline = cfg.disruptions.compile(cfg.horizon);
         Engine {
+            seed,
             events: EventQueue::with_capacity(1 << 16),
             now: SimTime::ZERO,
             horizon,
@@ -312,6 +347,9 @@ impl Engine {
             disruption_rng: root.fork(13),
             traffic_root: root.fork(14),
             executed: false,
+            started: false,
+            events_processed: 0,
+            withdrawn: Vec::new(),
             shard_rt: None,
             cfg,
         }
@@ -377,6 +415,42 @@ impl Engine {
         self.delivery.gateways_up()
     }
 
+    /// The current simulation time: the timestamp of the last processed
+    /// event ([`SimTime::ZERO`] before any), the horizon after a full
+    /// run.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the simulation through every event due at or before `t`
+    /// (clamped to the horizon) and returns the number of events
+    /// processed. The first call seeds the initial events (and launches
+    /// shard workers for a parallel configuration); stepping to
+    /// `t1 < t2 < …` processes exactly the event sequence one
+    /// uninterrupted [`Engine::run`] would, so a [`Engine::snapshot`]
+    /// taken between steps resumes bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an engine whose run already completed.
+    pub fn run_until(&mut self, t: SimTime) -> u64 {
+        self.advance_until(t, &mut NullObserver)
+    }
+
+    /// Completes the run from wherever the engine stands — the remaining
+    /// events, horizon retirement and stranded accounting — and returns
+    /// the report. `run_until(t)` followed by `finish()` yields a report
+    /// bit-identical to [`Engine::run`] on the same configuration and
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an engine whose run already completed.
+    pub fn finish(mut self) -> SimReport {
+        self.advance_until(self.horizon, &mut NullObserver);
+        self.finalize(&mut NullObserver).0
+    }
+
     /// Verifies that the incrementally maintained gateway grid matches a
     /// from-scratch rebuild over the gateways currently in service —
     /// the invariant the outage/recovery mutation paths preserve.
@@ -385,11 +459,19 @@ impl Engine {
     }
 
     fn execute(&mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
-        // The run consumers all take `self` by value, so this can only
-        // trip if a future caller tries to re-run the engine returned by
-        // `run_returning_engine` — whose state is spent.
-        assert!(!self.executed, "engine already ran; build a new one");
-        self.executed = true;
+        self.advance_until(self.horizon, observer);
+        self.finalize(observer)
+    }
+
+    /// Seeds the initial events (trip lifecycle, compiled disruption
+    /// timeline) and launches the shard workers of a parallel run.
+    /// Idempotent: stepping entry points call it lazily; a snapshot
+    /// resume marks the engine started and never seeds.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         // Spin up the shard workers for a parallel run; a single-shard
         // configuration takes the serial path with zero new machinery.
         if self.cfg.shards > 1 {
@@ -414,12 +496,26 @@ impl Engine {
                 self.events.schedule(t, Event::Disruption(i as u32));
             }
         }
+    }
 
+    /// Processes every event due at or before `limit` (clamped to the
+    /// horizon), in canonical `(time, seq)` order. Events past the limit
+    /// stay queued, so stepping to `t1 < t2 < …` processes exactly the
+    /// event sequence one uninterrupted run to the horizon would.
+    /// Returns the number of events processed by this call.
+    fn advance_until(&mut self, limit: SimTime, observer: &mut dyn SimObserver) -> u64 {
+        // The run consumers all take `self` by value, so this can only
+        // trip if a future caller tries to re-run the engine returned by
+        // `run_returning_engine` — whose state is spent.
+        assert!(!self.executed, "engine already ran; build a new one");
+        self.start();
+        let limit = limit.min(self.horizon);
         let mut events_processed: u64 = 0;
-        while let Some((t, ev)) = self.events.pop() {
-            if t > self.horizon {
+        while let Some(t) = self.events.peek_time() {
+            if t > limit {
                 break;
             }
+            let (t, ev) = self.events.pop().expect("peeked above");
             // Sharded runs broadcast membership barriers before the
             // event that crosses them, so shard-side state is always
             // synchronized to the latest barrier at or before any plan
@@ -438,6 +534,17 @@ impl Engine {
                 Event::Disruption(i) => self.on_disruption(i, observer),
             }
         }
+        self.events_processed += events_processed;
+        events_processed
+    }
+
+    /// Ends the run: retires the surviving fleet at the horizon, closes
+    /// open outage windows, counts stranded messages and finishes the
+    /// collector into the report. The engine is spent afterwards.
+    fn finalize(&mut self, observer: &mut dyn SimObserver) -> (SimReport, EngineStats) {
+        assert!(!self.executed, "engine already ran; build a new one");
+        self.start();
+        self.executed = true;
 
         // The run is over: release the shard workers.
         if let Some(mut rt) = self.shard_rt.take() {
@@ -476,7 +583,12 @@ impl Engine {
         );
         let report = collector.finish();
         observer.on_run_end(&report);
-        (report, EngineStats { events_processed })
+        (
+            report,
+            EngineStats {
+                events_processed: self.events_processed,
+            },
+        )
     }
 
     /// Applies one compiled disruption event.
@@ -527,6 +639,7 @@ impl Engine {
             .take_withdraw_pool(count, &mut self.disruption_rng);
         for &node in &pool {
             self.world.withdraw_trip(node, self.now);
+            self.withdrawn.push((node, self.now));
             self.retire(node);
             self.delivery.collector.on_bus_withdrawn();
             observer.on_bus_withdrawn(&BusWithdrawn {

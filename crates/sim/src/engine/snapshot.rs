@@ -1,0 +1,1396 @@
+//! Engine snapshots: serialize complete mid-run state into a versioned
+//! `.mlss` container, resume it bit-identically, and fork what-if
+//! branches under additional disruption overlays.
+//!
+//! A [`Snapshot`] captures *everything* the event loop's future depends
+//! on: the scenario configuration (embedded verbatim in the `.mlsc`
+//! wire format), the pending event queue with its sequence counter, the
+//! full per-device state (queues, duty-cycle clocks, retransmission
+//! counters, routing estimators, traffic cursors), the flight slab with
+//! its generation structure and free list, every RNG stream's exact
+//! words, gateway outage depths, applied withdrawals and the mid-run
+//! metric collector. [`Engine::resume`] rebuilds the deterministic
+//! substrate (mobility network, gateway placement) from the stored
+//! master seed and overlays the captured dynamic state, so stepping the
+//! resumed engine processes exactly the event sequence the original
+//! uninterrupted run would — bit for bit, for any scheme, with traffic
+//! and disruptions active, across shard counts.
+//!
+//! The container reuses the scenario format's block framing (checksummed
+//! 64 KiB blocks, varint/f64 primitives) under its own `MLSS` magic;
+//! see the format notes in the `scenario-io` crate docs.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use mlora_core::{
+    CaEtxEstimator, ContactTracker, DonorLedger, Ewma, RcaEtxEstimator, RoutingState,
+};
+use mlora_geo::Point;
+use mlora_mac::{AppMessage, DataQueue, DutyCycleTracker, Priority, RetransmitPolicy, UplinkFrame};
+use mlora_scenario_io::{Enc, ScenarioIoError, ScenarioReader, ScenarioWriter};
+use mlora_simcore::stats::{TimeSeries, Welford};
+use mlora_simcore::{
+    DenseMap, EventQueue, MessageId, NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey,
+};
+
+use super::channel::Flight;
+use super::world::{Device, DeviceTraffic};
+use super::{Engine, Event};
+use crate::metrics::Collector;
+use crate::{
+    DeviceClassChoice, DisruptionEvent, DisruptionPlan, ProfileReport, ScenarioFileError,
+    SimConfig, SimReport,
+};
+
+/// The four magic bytes every engine snapshot starts with — the `.mlss`
+/// sibling of the scenario format's `MLSC`.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MLSS";
+
+// Section ids, in file order. The layout is strict: resume decodes the
+// sections in exactly this sequence and treats any other order as
+// corruption, so the format stays trivially versionable.
+const SEC_HEADER: u8 = 1;
+const SEC_CONFIG: u8 = 2;
+const SEC_EVENTS: u8 = 3;
+const SEC_DEVICES: u8 = 4;
+const SEC_WITHDRAWN: u8 = 5;
+const SEC_FLIGHT_SLOTS: u8 = 6;
+const SEC_FLIGHT_FREE: u8 = 7;
+const SEC_STREAMS: u8 = 8;
+const SEC_DELIVERY: u8 = 9;
+const SEC_COLLECTOR: u8 = 10;
+
+/// Error taking, loading or resuming an engine snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying IO operation failed.
+    Io(std::io::Error),
+    /// The snapshot container is malformed (bad magic, truncation,
+    /// checksum mismatch, structural corruption).
+    Format(ScenarioIoError),
+    /// The embedded scenario configuration failed to encode or decode —
+    /// including [`ScenarioFileError::UnsupportedPolicy`] when the
+    /// engine runs an explicit forwarding policy, which cannot be
+    /// serialized.
+    Scenario(ScenarioFileError),
+    /// [`Engine::snapshot`] was called outside the snapshottable window;
+    /// the message says which side was violated.
+    NotRunning(&'static str),
+    /// A fork overlay is inconsistent with the snapshot (invalid plan,
+    /// or events scheduled at or before the snapshot instant).
+    Overlay(String),
+    /// A forked branch panicked inside
+    /// [`Runner::fork`](crate::Runner::fork).
+    BranchPanicked {
+        /// Index of the overlay whose branch died.
+        branch: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Format(e) => write!(f, "snapshot container: {e}"),
+            SnapshotError::Scenario(e) => write!(f, "snapshot scenario: {e}"),
+            SnapshotError::NotRunning(what) => {
+                write!(f, "engine cannot be snapshotted: {what}")
+            }
+            SnapshotError::Overlay(what) => write!(f, "fork overlay rejected: {what}"),
+            SnapshotError::BranchPanicked { branch, message } => {
+                write!(f, "fork branch {branch} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Format(e) => Some(e),
+            SnapshotError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<ScenarioIoError> for SnapshotError {
+    fn from(e: ScenarioIoError) -> Self {
+        SnapshotError::Format(e)
+    }
+}
+
+impl From<ScenarioFileError> for SnapshotError {
+    fn from(e: ScenarioFileError) -> Self {
+        SnapshotError::Scenario(e)
+    }
+}
+
+/// A complete mid-run engine checkpoint (see the module docs).
+///
+/// Opaque bytes plus a cached header; [`Engine::resume`] reconstructs a
+/// running engine from it, [`Snapshot::to_file`]/[`Snapshot::from_file`]
+/// move it through the `.mlss` on-disk format.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+    seed: u64,
+    shards: usize,
+    time: SimTime,
+}
+
+impl Snapshot {
+    /// The simulation instant the snapshot was taken at (the timestamp
+    /// of the last processed event).
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The master seed of the captured run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard count the captured run executes with (resume rebuilds
+    /// the same spatial partitioning).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The raw serialized container, exactly what
+    /// [`Snapshot::to_writer`] emits.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The scenario configuration embedded in the snapshot (with the
+    /// captured shard count restored — the scenario wire format itself
+    /// does not carry one).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Format`] on a corrupt container,
+    /// [`SnapshotError::Scenario`] when the embedded configuration does
+    /// not decode.
+    pub fn config(&self) -> Result<SimConfig, SnapshotError> {
+        let mut r = ScenarioReader::with_magic(self.bytes.as_slice(), SNAPSHOT_MAGIC)?;
+        let header = read_header(&mut r)?;
+        read_config(&mut r, header.shards)
+    }
+
+    /// Writes the serialized snapshot into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from `out`.
+    pub fn to_writer<W: Write>(&self, mut out: W) -> Result<(), SnapshotError> {
+        out.write_all(&self.bytes)?;
+        Ok(())
+    }
+
+    /// Writes the snapshot to a `.mlss` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors.
+    pub fn to_file(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        self.to_writer(&mut out)?;
+        out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads a serialized snapshot from `input`, validating its magic,
+    /// version and header section.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on read failures, [`SnapshotError::Format`]
+    /// on a foreign, newer-format or corrupt container.
+    pub fn from_reader<R: Read>(mut input: R) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Snapshot::from_bytes(bytes)
+    }
+
+    /// Loads a snapshot from a `.mlss` file.
+    ///
+    /// # Errors
+    ///
+    /// As [`Snapshot::from_reader`].
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        Snapshot::from_reader(std::io::BufReader::new(file))
+    }
+
+    /// Wraps already-serialized snapshot bytes, validating the magic,
+    /// version and header section (deep validation of the remaining
+    /// sections happens at [`Engine::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Format`] on a foreign, newer-format or corrupt
+    /// container.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        let mut r = ScenarioReader::with_magic(bytes.as_slice(), SNAPSHOT_MAGIC)?;
+        let header = read_header(&mut r)?;
+        Ok(Snapshot {
+            seed: header.seed,
+            shards: header.shards,
+            time: header.now,
+            bytes,
+        })
+    }
+}
+
+/// The decoded header section: run identity and loop counters.
+struct Header {
+    seed: u64,
+    shards: usize,
+    now: SimTime,
+    next_msg: u64,
+    events_processed: u64,
+    event_seq: u64,
+}
+
+impl Engine {
+    /// Captures the engine's complete mid-run state as a [`Snapshot`].
+    ///
+    /// The engine must be *mid-run*: started (at least one
+    /// [`Engine::run_until`] call) and not yet finished. The engine is
+    /// not perturbed — stepping on after a snapshot produces exactly
+    /// the run that would have happened without one.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotRunning`] outside the snapshottable window,
+    /// [`SnapshotError::Scenario`] when the configuration cannot be
+    /// serialized (explicit forwarding policies have no wire form).
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        if !self.started {
+            return Err(SnapshotError::NotRunning(
+                "not started; step it with run_until first",
+            ));
+        }
+        if self.executed {
+            return Err(SnapshotError::NotRunning(
+                "run already finished; nothing left to capture",
+            ));
+        }
+        let mut cfg_blob = Vec::new();
+        self.cfg.to_writer(&mut cfg_blob)?;
+
+        let mut w = ScenarioWriter::with_magic(Vec::new(), SNAPSHOT_MAGIC)?;
+
+        // Header: run identity and loop counters.
+        let (heap, event_seq) = self.events.raw_parts();
+        w.begin_section(SEC_HEADER, 1)?;
+        let enc = w.enc();
+        enc.put_varint(self.seed);
+        enc.put_varint(self.cfg.shards as u64);
+        enc.put_varint(self.now.as_millis());
+        enc.put_varint(self.next_msg);
+        enc.put_varint(self.events_processed);
+        enc.put_varint(event_seq);
+        w.end_record()?;
+        w.end_section()?;
+
+        // The scenario, embedded verbatim as one `.mlsc` blob (records
+        // never span blocks, but one record may fill a whole block).
+        w.begin_section(SEC_CONFIG, 1)?;
+        w.enc().put_bytes(&cfg_blob);
+        w.end_record()?;
+        w.end_section()?;
+
+        // The event queue, in raw heap layout order so the restored
+        // queue pops in exactly the original sequence.
+        w.begin_section(SEC_EVENTS, heap.len() as u64)?;
+        for &(key, ev) in heap {
+            let enc = w.enc();
+            enc.put_varint((key >> 64) as u64);
+            enc.put_varint(key as u64);
+            put_event(enc, ev);
+            w.end_record()?;
+        }
+        w.end_section()?;
+
+        // Every device ever activated, active or retired, in id order.
+        w.begin_section(SEC_DEVICES, self.world.devices.len() as u64)?;
+        for (idx, dev) in self.world.devices.iter() {
+            let enc = w.enc();
+            enc.put_varint(idx as u64);
+            put_device(enc, dev);
+            w.end_record()?;
+        }
+        w.end_section()?;
+
+        // Applied withdrawals, in application order: resume replays the
+        // trip truncations against the freshly regenerated network.
+        w.begin_section(SEC_WITHDRAWN, self.withdrawn.len() as u64)?;
+        for &(node, t) in &self.withdrawn {
+            let enc = w.enc();
+            enc.put_varint(node.raw() as u64);
+            enc.put_varint(t.as_millis());
+            w.end_record()?;
+        }
+        w.end_section()?;
+
+        // The flight slab, slot by slot (vacant included) plus the free
+        // list, so restored slab keys resolve identically.
+        let slot_count = self.channel.flights.raw_slots().count() as u64;
+        w.begin_section(SEC_FLIGHT_SLOTS, slot_count)?;
+        for (generation, flight) in self.channel.flights.raw_slots() {
+            let enc = w.enc();
+            enc.put_varint(generation as u64);
+            match flight {
+                None => enc.put_bool(false),
+                Some(f) => {
+                    enc.put_bool(true);
+                    put_flight(enc, f);
+                }
+            }
+            w.end_record()?;
+        }
+        w.end_section()?;
+        let free = self.channel.flights.free_list();
+        w.begin_section(SEC_FLIGHT_FREE, free.len() as u64)?;
+        for &i in free {
+            w.enc().put_varint(i as u64);
+            w.end_record()?;
+        }
+        w.end_section()?;
+
+        // Every RNG stream's exact words plus the channel and world
+        // runtime scalars.
+        let (channel_rng, next_flight_seq, active_noise) = self.channel.checkpoint_parts();
+        w.begin_section(SEC_STREAMS, 1)?;
+        let enc = w.enc();
+        put_rng(enc, channel_rng);
+        enc.put_varint(next_flight_seq);
+        enc.put_varint(active_noise.len() as u64);
+        for &b in active_noise {
+            enc.put_varint(b as u64);
+        }
+        put_rng(enc, self.disruption_rng.state());
+        put_rng(enc, self.traffic_root.state());
+        enc.put_varint(self.world.grid_refresh_due().as_millis());
+        w.end_record()?;
+        w.end_section()?;
+
+        // Gateway outage depths.
+        let depths = self.delivery.outage_depths();
+        w.begin_section(SEC_DELIVERY, 1)?;
+        let enc = w.enc();
+        enc.put_varint(depths.len() as u64);
+        for &d in depths {
+            enc.put_varint(d as u64);
+        }
+        w.end_record()?;
+        w.end_section()?;
+
+        // The mid-run metric collector, wholesale.
+        let c = &self.delivery.collector;
+        w.begin_section(SEC_COLLECTOR, 1)?;
+        let enc = w.enc();
+        put_report(enc, &c.report);
+        enc.put_varint(c.arrived.len() as u64);
+        for (idx, &t) in c.arrived.iter() {
+            enc.put_varint(idx as u64);
+            enc.put_varint(t.as_millis());
+        }
+        enc.put_varint(c.transfers.len() as u64);
+        for (idx, &n) in c.transfers.iter() {
+            enc.put_varint(idx as u64);
+            enc.put_varint(n as u64);
+        }
+        enc.put_varint(c.outage_depth as u64);
+        enc.put_varint(c.outage_since.as_millis());
+        enc.put_varint(c.outage_generated.len() as u64);
+        for (idx, _) in c.outage_generated.iter() {
+            enc.put_varint(idx as u64);
+        }
+        w.end_record()?;
+        w.end_section()?;
+
+        let bytes = w.finish()?;
+        Ok(Snapshot {
+            bytes,
+            seed: self.seed,
+            shards: self.cfg.shards,
+            time: self.now,
+        })
+    }
+
+    /// Reconstructs a running engine from `snapshot`, positioned exactly
+    /// where the capture left off. Stepping it (or [`Engine::finish`])
+    /// produces results bit-identical to the uninterrupted original run.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Format`]/[`SnapshotError::Scenario`] on a
+    /// corrupt or undecodable container.
+    pub fn resume(snapshot: &Snapshot) -> Result<Engine, SnapshotError> {
+        Engine::resume_with_overlay(snapshot, DisruptionPlan::default())
+    }
+
+    /// [`Engine::resume`] with an additional [`DisruptionPlan`] overlay
+    /// — the what-if fork primitive. The resumed branch replays the
+    /// captured state exactly, then diverges only once the overlay's
+    /// first event fires: overlay outages, withdrawals and noise bursts
+    /// are appended to the scenario's own plan (original disruption
+    /// indices stay stable) and their compiled events are scheduled on
+    /// top of the restored queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Overlay`] when the overlay is invalid for the
+    /// captured scenario or schedules an event at or before the
+    /// snapshot instant; container errors as [`Engine::resume`].
+    pub fn resume_with_overlay(
+        snapshot: &Snapshot,
+        overlay: DisruptionPlan,
+    ) -> Result<Engine, SnapshotError> {
+        let mut r = ScenarioReader::with_magic(snapshot.bytes.as_slice(), SNAPSHOT_MAGIC)?;
+        let header = read_header(&mut r)?;
+        let mut cfg = read_config(&mut r, header.shards)?;
+        let original = cfg.disruptions.clone();
+
+        // Compile the overlay against the captured horizon, offsetting
+        // its plan-internal indices past the original plan's tables
+        // (gateway indices are global and need none).
+        let overlay_events = if overlay.is_empty() {
+            Vec::new()
+        } else {
+            overlay
+                .validate(cfg.num_gateways)
+                .map_err(|e| SnapshotError::Overlay(e.to_string()))?;
+            let withdraw_off = original.withdrawals.len() as u32;
+            let noise_off = original.noise_bursts.len() as u32;
+            let compiled: Vec<(SimTime, DisruptionEvent)> = overlay
+                .compile(cfg.horizon)
+                .into_iter()
+                .map(|(t, ev)| (t, offset_event(ev, withdraw_off, noise_off)))
+                .collect();
+            if let Some(&(t, _)) = compiled.iter().find(|&&(t, _)| t <= header.now) {
+                return Err(SnapshotError::Overlay(format!(
+                    "overlay event at {} s is not after the snapshot instant ({} s)",
+                    t.as_millis() as f64 / 1e3,
+                    header.now.as_millis() as f64 / 1e3,
+                )));
+            }
+            // Merge the overlay into the scenario's own plan by
+            // appending, so the channel's noise table and the
+            // withdrawal table grow without renumbering.
+            cfg.disruptions
+                .outages
+                .extend(overlay.outages.iter().cloned());
+            cfg.disruptions
+                .withdrawals
+                .extend(overlay.withdrawals.iter().cloned());
+            cfg.disruptions
+                .noise_bursts
+                .extend(overlay.noise_bursts.iter().cloned());
+            compiled
+        };
+
+        let mut engine = Engine::new(cfg, header.seed);
+        // Engine::new compiled the *merged* plan, which interleaves
+        // overlay events among the originals by time — breaking the
+        // index stability the restored `Disruption(i)` queue events
+        // rely on. Rebuild: original timeline verbatim, overlay events
+        // appended past it.
+        let overlay_base = {
+            let mut timeline = original.compile(engine.cfg.horizon);
+            let base = timeline.len();
+            timeline.extend(overlay_events.iter().cloned());
+            engine.timeline = timeline;
+            base
+        };
+        engine.started = true;
+        engine.now = header.now;
+        engine.next_msg = header.next_msg;
+        engine.events_processed = header.events_processed;
+
+        // Pending events, in raw heap layout order.
+        let n = expect_section(&mut r, SEC_EVENTS, "snapshot events")?;
+        let mut heap = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            r.begin_record()?;
+            let time_ms = r.varint()?;
+            let seq = r.varint()?;
+            let ev = get_event(&mut r)?;
+            heap.push(((u128::from(time_ms) << 64) | u128::from(seq), ev));
+        }
+        engine.events = EventQueue::from_raw_parts(heap, header.event_seq);
+        // Overlay disruptions are scheduled *after* the queue restore so
+        // they take fresh (higher) sequence numbers: at equal times they
+        // fire after everything the original run had already scheduled.
+        for (j, &(t, _)) in overlay_events.iter().enumerate() {
+            engine
+                .events
+                .schedule(t, Event::Disruption((overlay_base + j) as u32));
+        }
+
+        // Devices: active ones re-enter the world through activate()
+        // (which rebuilds the sorted active set and the neighbour grid),
+        // retired ones only re-enter the device map.
+        let n = expect_section(&mut r, SEC_DEVICES, "snapshot devices")?;
+        for _ in 0..n {
+            r.begin_record()?;
+            let node = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+            let dev = get_device(&mut r, &engine.cfg)?;
+            if dev.active {
+                let pos = dev.grid_pos;
+                engine.world.activate(node, dev, pos);
+            } else {
+                engine.world.devices.insert(node, dev);
+            }
+        }
+
+        // Replay withdrawals against the regenerated network — before
+        // the shard runtime below clones it for the workers.
+        let n = expect_section(&mut r, SEC_WITHDRAWN, "snapshot withdrawals")?;
+        for _ in 0..n {
+            r.begin_record()?;
+            let node = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+            let t = SimTime::from_millis(r.varint()?);
+            engine.world.withdraw_trip(node, t);
+            engine.withdrawn.push((node, t));
+        }
+
+        // The flight slab: slots verbatim (vacant included), then the
+        // free list.
+        let n = expect_section(&mut r, SEC_FLIGHT_SLOTS, "snapshot flight slots")?;
+        let mut slots = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            r.begin_record()?;
+            let generation = u32::try_from(r.varint()?).map_err(bad_index)?;
+            let flight = if r.bool()? {
+                Some(get_flight(&mut r)?)
+            } else {
+                None
+            };
+            slots.push((generation, flight));
+        }
+        let n = expect_section(&mut r, SEC_FLIGHT_FREE, "snapshot flight free list")?;
+        let mut free = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            r.begin_record()?;
+            free.push(u32::try_from(r.varint()?).map_err(bad_index)?);
+        }
+        let flights = Slab::from_raw_parts(slots, free);
+
+        // RNG streams and runtime scalars.
+        expect_section(&mut r, SEC_STREAMS, "snapshot streams")?;
+        r.begin_record()?;
+        let channel_rng = get_rng(&mut r)?;
+        let next_flight_seq = r.varint()?;
+        let n_noise = r.varint()?;
+        let mut active_noise = Vec::with_capacity(n_noise as usize);
+        for _ in 0..n_noise {
+            active_noise.push(u32::try_from(r.varint()?).map_err(bad_index)?);
+        }
+        engine
+            .channel
+            .restore(channel_rng, flights, next_flight_seq, active_noise);
+        engine.disruption_rng = get_rng(&mut r)?;
+        engine.traffic_root = get_rng(&mut r)?;
+        let grid_refresh_due = SimTime::from_millis(r.varint()?);
+        engine.world.restore_runtime(grid_refresh_due);
+
+        // Gateway outage depths (silently re-applied to the grid).
+        expect_section(&mut r, SEC_DELIVERY, "snapshot delivery")?;
+        r.begin_record()?;
+        let n_gw = r.varint()? as usize;
+        if n_gw != engine.delivery.gateways().len() {
+            return Err(ScenarioIoError::Corrupt("gateway count mismatch").into());
+        }
+        let mut depths = Vec::with_capacity(n_gw);
+        for _ in 0..n_gw {
+            depths.push(u32::try_from(r.varint()?).map_err(bad_index)?);
+        }
+        engine.delivery.restore_outages(depths);
+
+        // The mid-run collector, wholesale.
+        expect_section(&mut r, SEC_COLLECTOR, "snapshot collector")?;
+        r.begin_record()?;
+        let report = get_report(&mut r)?;
+        let n = r.varint()?;
+        let mut arrived = DenseMap::new();
+        for _ in 0..n {
+            let id = MessageId::new(r.varint()?);
+            arrived.insert(id, SimTime::from_millis(r.varint()?));
+        }
+        let n = r.varint()?;
+        let mut transfers = DenseMap::new();
+        for _ in 0..n {
+            let id = MessageId::new(r.varint()?);
+            transfers.insert(id, u32::try_from(r.varint()?).map_err(bad_index)?);
+        }
+        let outage_depth = u32::try_from(r.varint()?).map_err(bad_index)?;
+        let outage_since = SimTime::from_millis(r.varint()?);
+        let n = r.varint()?;
+        let mut outage_generated = DenseMap::new();
+        for _ in 0..n {
+            outage_generated.insert(MessageId::new(r.varint()?), ());
+        }
+        engine.delivery.collector = Collector {
+            report,
+            arrived,
+            transfers,
+            outage_depth,
+            outage_since,
+            outage_generated,
+        };
+
+        if r.next_section()?.is_some() {
+            return Err(ScenarioIoError::Corrupt("unexpected trailing section").into());
+        }
+
+        // A sharded run rebuilds its commit-side runtime from scratch:
+        // fresh workers, the original barrier sequence re-broadcast up
+        // to `now`, and every retained flight re-announced (ascending by
+        // sequence, as launches were). Only flights whose
+        // transmission-end event is still pending request a plan.
+        if engine.cfg.shards > 1 {
+            let mut rt = engine.build_shard_runtime();
+            rt.pump_barriers(engine.now);
+            let mut pending: HashSet<u64> = HashSet::new();
+            let (heap, _) = engine.events.raw_parts();
+            for &(_, ev) in heap {
+                if let Event::TxEnd(key) = ev {
+                    if let Some(f) = engine.channel.flights.get(key) {
+                        pending.insert(f.seq);
+                    }
+                }
+            }
+            let mut retained: Vec<(u64, NodeId, Point, SimTime, SimTime)> = engine
+                .channel
+                .flights
+                .iter()
+                .map(|(_, f)| (f.seq, f.sender, f.pos, f.start, f.end))
+                .collect();
+            retained.sort_unstable_by_key(|&(seq, ..)| seq);
+            for (seq, sender, pos, start, end) in retained {
+                rt.ring.push_back((seq, pos, start, end));
+                rt.announce(seq, sender, pos, start, end, pending.contains(&seq));
+            }
+            engine.shard_rt = Some(rt);
+        }
+
+        Ok(engine)
+    }
+}
+
+/// Maps an out-of-range stored index to a typed corruption error.
+fn bad_index(_: std::num::TryFromIntError) -> ScenarioIoError {
+    ScenarioIoError::Corrupt("stored index out of range")
+}
+
+/// Requires the next section to be `id`; `what` names it for the error.
+fn expect_section<R: Read>(
+    r: &mut ScenarioReader<R>,
+    id: u8,
+    what: &'static str,
+) -> Result<u64, ScenarioIoError> {
+    match r.next_section()? {
+        Some((got, records)) if got == id => Ok(records),
+        Some(_) => Err(ScenarioIoError::Corrupt("snapshot sections out of order")),
+        None => Err(ScenarioIoError::MissingSection(what)),
+    }
+}
+
+/// Decodes the header section (which must come first).
+fn read_header<R: Read>(r: &mut ScenarioReader<R>) -> Result<Header, ScenarioIoError> {
+    match expect_section(r, SEC_HEADER, "snapshot header")? {
+        1 => {}
+        _ => return Err(ScenarioIoError::Corrupt("snapshot header record count")),
+    }
+    r.begin_record()?;
+    let seed = r.varint()?;
+    let shards = r.varint()? as usize;
+    if shards == 0 {
+        return Err(ScenarioIoError::Corrupt("snapshot shard count is zero"));
+    }
+    let now = SimTime::from_millis(r.varint()?);
+    let next_msg = r.varint()?;
+    let events_processed = r.varint()?;
+    let event_seq = r.varint()?;
+    Ok(Header {
+        seed,
+        shards,
+        now,
+        next_msg,
+        events_processed,
+        event_seq,
+    })
+}
+
+/// Decodes the embedded scenario, restoring the captured shard count
+/// (the scenario wire format does not carry one).
+fn read_config<R: Read>(
+    r: &mut ScenarioReader<R>,
+    shards: usize,
+) -> Result<SimConfig, SnapshotError> {
+    match expect_section(r, SEC_CONFIG, "snapshot config")? {
+        1 => {}
+        _ => return Err(ScenarioIoError::Corrupt("snapshot config record count").into()),
+    }
+    r.begin_record()?;
+    let blob = r.bytes()?;
+    let mut cfg = SimConfig::from_reader(blob.as_slice())?;
+    cfg.shards = shards;
+    Ok(cfg)
+}
+
+/// Shifts an overlay event's plan-internal indices past the original
+/// plan's tables; gateway indices are global and pass through.
+fn offset_event(ev: DisruptionEvent, withdraw_off: u32, noise_off: u32) -> DisruptionEvent {
+    match ev {
+        DisruptionEvent::Withdraw { withdrawal } => DisruptionEvent::Withdraw {
+            withdrawal: withdrawal + withdraw_off,
+        },
+        DisruptionEvent::NoiseStart { burst } => DisruptionEvent::NoiseStart {
+            burst: burst + noise_off,
+        },
+        DisruptionEvent::NoiseEnd { burst } => DisruptionEvent::NoiseEnd {
+            burst: burst + noise_off,
+        },
+        gateway => gateway,
+    }
+}
+
+fn put_event(enc: &mut Enc, ev: Event) {
+    match ev {
+        Event::TripStart(n) => {
+            enc.put_u8(0);
+            enc.put_varint(n.raw() as u64);
+        }
+        Event::TripEnd(n) => {
+            enc.put_u8(1);
+            enc.put_varint(n.raw() as u64);
+        }
+        Event::Generate(n) => {
+            enc.put_u8(2);
+            enc.put_varint(n.raw() as u64);
+        }
+        Event::TxStart(n) => {
+            enc.put_u8(3);
+            enc.put_varint(n.raw() as u64);
+        }
+        Event::TxEnd(key) => {
+            enc.put_u8(4);
+            enc.put_varint(key.index() as u64);
+            enc.put_varint(key.generation() as u64);
+        }
+        Event::Disruption(i) => {
+            enc.put_u8(5);
+            enc.put_varint(i as u64);
+        }
+    }
+}
+
+fn get_event<R: Read>(r: &mut ScenarioReader<R>) -> Result<Event, ScenarioIoError> {
+    let node = |raw: u64| u32::try_from(raw).map(NodeId::new).map_err(bad_index);
+    Ok(match r.u8()? {
+        0 => Event::TripStart(node(r.varint()?)?),
+        1 => Event::TripEnd(node(r.varint()?)?),
+        2 => Event::Generate(node(r.varint()?)?),
+        3 => Event::TxStart(node(r.varint()?)?),
+        4 => {
+            let index = u32::try_from(r.varint()?).map_err(bad_index)?;
+            let generation = u32::try_from(r.varint()?).map_err(bad_index)?;
+            Event::TxEnd(SlabKey::from_parts(index, generation))
+        }
+        5 => Event::Disruption(u32::try_from(r.varint()?).map_err(bad_index)?),
+        _ => return Err(ScenarioIoError::Corrupt("unknown event tag")),
+    })
+}
+
+fn put_time(enc: &mut Enc, t: SimTime) {
+    enc.put_varint(t.as_millis());
+}
+
+fn get_time<R: Read>(r: &mut ScenarioReader<R>) -> Result<SimTime, ScenarioIoError> {
+    Ok(SimTime::from_millis(r.varint()?))
+}
+
+fn put_dur(enc: &mut Enc, d: SimDuration) {
+    enc.put_varint(d.as_millis());
+}
+
+fn get_dur<R: Read>(r: &mut ScenarioReader<R>) -> Result<SimDuration, ScenarioIoError> {
+    Ok(SimDuration::from_millis(r.varint()?))
+}
+
+fn put_opt_time(enc: &mut Enc, t: Option<SimTime>) {
+    match t {
+        None => enc.put_bool(false),
+        Some(t) => {
+            enc.put_bool(true);
+            put_time(enc, t);
+        }
+    }
+}
+
+fn get_opt_time<R: Read>(r: &mut ScenarioReader<R>) -> Result<Option<SimTime>, ScenarioIoError> {
+    Ok(if r.bool()? { Some(get_time(r)?) } else { None })
+}
+
+fn put_rng(enc: &mut Enc, state: (u64, [u64; 4])) {
+    enc.put_varint(state.0);
+    for w in state.1 {
+        enc.put_varint(w);
+    }
+}
+
+fn get_rng<R: Read>(r: &mut ScenarioReader<R>) -> Result<SimRng, ScenarioIoError> {
+    let seed = r.varint()?;
+    let mut words = [0u64; 4];
+    for w in &mut words {
+        *w = r.varint()?;
+    }
+    Ok(SimRng::from_state(seed, words))
+}
+
+fn put_welford(enc: &mut Enc, w: &Welford) {
+    let (count, mean, m2, min, max) = w.raw_parts();
+    enc.put_varint(count);
+    enc.put_f64(mean);
+    enc.put_f64(m2);
+    enc.put_f64(min);
+    enc.put_f64(max);
+}
+
+fn get_welford<R: Read>(r: &mut ScenarioReader<R>) -> Result<Welford, ScenarioIoError> {
+    let count = r.varint()?;
+    let mean = r.f64()?;
+    let m2 = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    Ok(Welford::from_raw_parts(count, mean, m2, min, max))
+}
+
+fn put_message(enc: &mut Enc, m: &AppMessage) {
+    enc.put_varint(m.id.raw());
+    enc.put_varint(m.origin.raw() as u64);
+    put_time(enc, m.created);
+    enc.put_varint(m.payload_bytes as u64);
+    enc.put_u8(m.profile);
+    enc.put_u8(match m.priority {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    });
+}
+
+fn get_message<R: Read>(r: &mut ScenarioReader<R>) -> Result<AppMessage, ScenarioIoError> {
+    let id = MessageId::new(r.varint()?);
+    let origin = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+    let created = get_time(r)?;
+    let payload_bytes = u16::try_from(r.varint()?)
+        .map_err(|_| ScenarioIoError::Corrupt("payload size out of range"))?;
+    let profile = r.u8()?;
+    let priority = match r.u8()? {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        2 => Priority::High,
+        _ => return Err(ScenarioIoError::Corrupt("unknown priority tag")),
+    };
+    Ok(AppMessage {
+        id,
+        origin,
+        created,
+        payload_bytes,
+        profile,
+        priority,
+    })
+}
+
+fn put_flight(enc: &mut Enc, f: &Flight) {
+    enc.put_varint(f.seq);
+    enc.put_varint(f.sender.raw() as u64);
+    match f.target {
+        None => enc.put_bool(false),
+        Some(t) => {
+            enc.put_bool(true);
+            enc.put_varint(t.raw() as u64);
+        }
+    }
+    put_time(enc, f.start);
+    put_time(enc, f.end);
+    enc.put_f64(f.pos.x);
+    enc.put_f64(f.pos.y);
+    enc.put_varint(f.frame.sender.raw() as u64);
+    enc.put_varint(f.frame.messages.len() as u64);
+    for m in &f.frame.messages {
+        put_message(enc, m);
+    }
+    enc.put_f64(f.frame.rca_etx);
+    enc.put_varint(f.frame.queue_len as u64);
+}
+
+fn get_flight<R: Read>(r: &mut ScenarioReader<R>) -> Result<Flight, ScenarioIoError> {
+    let seq = r.varint()?;
+    let sender = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+    let target = if r.bool()? {
+        Some(NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?))
+    } else {
+        None
+    };
+    let start = get_time(r)?;
+    let end = get_time(r)?;
+    let pos = Point {
+        x: r.f64()?,
+        y: r.f64()?,
+    };
+    let frame_sender = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+    let n = r.varint()?;
+    let mut messages = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        messages.push(get_message(r)?);
+    }
+    let rca_etx = r.f64()?;
+    let queue_len = r.varint()? as usize;
+    Ok(Flight {
+        seq,
+        sender,
+        frame: UplinkFrame {
+            sender: frame_sender,
+            messages,
+            rca_etx,
+            queue_len,
+        },
+        target,
+        start,
+        end,
+        pos,
+    })
+}
+
+fn put_device(enc: &mut Enc, dev: &Device) {
+    enc.put_bool(dev.active);
+    put_time(enc, dev.activated_at);
+    put_opt_time(enc, dev.retired_at);
+
+    enc.put_varint(dev.queue.capacity() as u64);
+    enc.put_varint(dev.queue.dropped());
+    enc.put_varint(dev.queue.len() as u64);
+    for m in dev.queue.iter() {
+        put_message(enc, m);
+    }
+
+    let (duty_cycle, next_allowed, total_airtime, tx_count) = dev.duty.raw_parts();
+    enc.put_f64(duty_cycle);
+    put_time(enc, next_allowed);
+    put_dur(enc, total_airtime);
+    enc.put_varint(tx_count);
+
+    enc.put_varint(dev.retransmit.max_attempts() as u64);
+    enc.put_varint(dev.retransmit.attempts() as u64);
+
+    let (estimator, ca, ledger) = dev.routing.raw_parts();
+    let (tracker, ewma, rca_bits) = estimator.raw_parts();
+    let (last_success, in_contact, successes, failures) = tracker.raw_parts();
+    match last_success {
+        None => enc.put_bool(false),
+        Some((t, capacity)) => {
+            enc.put_bool(true);
+            put_time(enc, t);
+            enc.put_f64(capacity);
+        }
+    }
+    enc.put_bool(in_contact);
+    enc.put_varint(successes);
+    enc.put_varint(failures);
+    enc.put_f64(ewma.alpha());
+    match ewma.value() {
+        None => enc.put_bool(false),
+        Some(v) => {
+            enc.put_bool(true);
+            enc.put_f64(v);
+        }
+    }
+    enc.put_f64(rca_bits);
+    let (ca_bits, gaps, capacities, last_contact) = ca.raw_parts();
+    enc.put_f64(ca_bits);
+    put_welford(enc, &gaps);
+    put_welford(enc, &capacities);
+    put_opt_time(enc, last_contact);
+    let donors = ledger.donors_sorted();
+    enc.put_varint(donors.len() as u64);
+    for d in donors {
+        enc.put_varint(d.raw() as u64);
+    }
+
+    enc.put_bool(dev.transmitting);
+    enc.put_bool(dev.tx_scheduled);
+    match dev.pending_handover {
+        None => enc.put_bool(false),
+        Some((target, count)) => {
+            enc.put_bool(true);
+            enc.put_varint(target.raw() as u64);
+            enc.put_varint(count as u64);
+        }
+    }
+    put_opt_time(enc, dev.last_tx_end);
+    match dev.tx_window {
+        None => enc.put_bool(false),
+        Some((a, b)) => {
+            enc.put_bool(true);
+            put_time(enc, a);
+            put_time(enc, b);
+        }
+    }
+    enc.put_f64(dev.gamma);
+    put_dur(enc, dev.tx_time);
+    put_dur(enc, dev.rx_window_time);
+    enc.put_varint(dev.frames_sent);
+    enc.put_f64(dev.grid_pos.x);
+    enc.put_f64(dev.grid_pos.y);
+    match &dev.traffic {
+        None => enc.put_bool(false),
+        Some(t) => {
+            enc.put_bool(true);
+            enc.put_varint(t.profile as u64);
+            put_rng(enc, t.rng.state());
+            enc.put_varint(t.burst_left as u64);
+        }
+    }
+}
+
+fn get_device<R: Read>(
+    r: &mut ScenarioReader<R>,
+    cfg: &SimConfig,
+) -> Result<Device, ScenarioIoError> {
+    let active = r.bool()?;
+    let activated_at = get_time(r)?;
+    let retired_at = get_opt_time(r)?;
+
+    let capacity = r.varint()? as usize;
+    let dropped = r.varint()?;
+    let n = r.varint()?;
+    let mut messages = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        messages.push(get_message(r)?);
+    }
+    let queue = DataQueue::from_parts(capacity, dropped, messages);
+
+    let duty_cycle = r.f64()?;
+    let next_allowed = get_time(r)?;
+    let total_airtime = get_dur(r)?;
+    let tx_count = r.varint()?;
+    let duty = DutyCycleTracker::from_raw_parts(duty_cycle, next_allowed, total_airtime, tx_count);
+
+    let max_attempts = u32::try_from(r.varint()?).map_err(bad_index)?;
+    let attempts = u32::try_from(r.varint()?).map_err(bad_index)?;
+    let retransmit = RetransmitPolicy::from_parts(max_attempts, attempts);
+
+    let last_success = if r.bool()? {
+        Some((get_time(r)?, r.f64()?))
+    } else {
+        None
+    };
+    let in_contact = r.bool()?;
+    let successes = r.varint()?;
+    let failures = r.varint()?;
+    let tracker = ContactTracker::from_raw_parts(last_success, in_contact, successes, failures);
+    let alpha = r.f64()?;
+    let ewma_value = if r.bool()? { Some(r.f64()?) } else { None };
+    let ewma = Ewma::from_raw_parts(alpha, ewma_value);
+    let rca_bits = r.f64()?;
+    let estimator = RcaEtxEstimator::from_raw_parts(tracker, ewma, rca_bits);
+    let ca_bits = r.f64()?;
+    let gaps = get_welford(r)?;
+    let capacities = get_welford(r)?;
+    let last_contact = get_opt_time(r)?;
+    let ca = CaEtxEstimator::from_raw_parts(ca_bits, gaps, capacities, last_contact);
+    let n_donors = r.varint()?;
+    let mut donors = Vec::with_capacity(n_donors as usize);
+    for _ in 0..n_donors {
+        donors.push(NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?));
+    }
+    let ledger = DonorLedger::from_donors(donors);
+    let routing_config = cfg.routing_config();
+    let policy = routing_config.scheme.policy();
+    let routing = RoutingState::from_raw_parts(routing_config, policy, estimator, ca, ledger);
+
+    let transmitting = r.bool()?;
+    let tx_scheduled = r.bool()?;
+    let pending_handover = if r.bool()? {
+        let target = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
+        let count = r.varint()? as usize;
+        Some((target, count))
+    } else {
+        None
+    };
+    let last_tx_end = get_opt_time(r)?;
+    let tx_window = if r.bool()? {
+        Some((get_time(r)?, get_time(r)?))
+    } else {
+        None
+    };
+    let gamma = r.f64()?;
+    let tx_time = get_dur(r)?;
+    let rx_window_time = get_dur(r)?;
+    let frames_sent = r.varint()?;
+    let grid_pos = Point {
+        x: r.f64()?,
+        y: r.f64()?,
+    };
+    let traffic = if r.bool()? {
+        let profile = u32::try_from(r.varint()?).map_err(bad_index)?;
+        let rng = get_rng(r)?;
+        let burst_left = u32::try_from(r.varint()?).map_err(bad_index)?;
+        Some(DeviceTraffic {
+            profile,
+            rng,
+            burst_left,
+        })
+    } else {
+        None
+    };
+
+    let class = match cfg.device_class {
+        DeviceClassChoice::ModifiedClassC => mlora_mac::DeviceClass::ModifiedClassC,
+        DeviceClassChoice::QueueBasedClassA => mlora_mac::DeviceClass::QueueBasedClassA,
+    };
+
+    Ok(Device {
+        active,
+        activated_at,
+        retired_at,
+        queue,
+        duty,
+        retransmit,
+        routing,
+        class,
+        transmitting,
+        tx_scheduled,
+        pending_handover,
+        last_tx_end,
+        tx_window,
+        gamma,
+        tx_time,
+        rx_window_time,
+        frames_sent,
+        grid_pos,
+        traffic,
+    })
+}
+
+fn put_report(enc: &mut Enc, r: &SimReport) {
+    enc.put_str(&r.scheme);
+    enc.put_varint(r.generated);
+    enc.put_varint(r.delivered);
+    enc.put_varint(r.duplicates);
+    enc.put_varint(r.stranded);
+    enc.put_varint(r.queue_drops);
+    put_welford(enc, &r.delay);
+    put_welford(enc, &r.hops);
+    put_dur(enc, r.throughput_series.bucket());
+    enc.put_bool(r.throughput_series.is_bounded());
+    enc.put_varint(r.throughput_series.counts().len() as u64);
+    for &c in r.throughput_series.counts() {
+        enc.put_varint(c);
+    }
+    enc.put_varint(r.frames_sent);
+    enc.put_varint(r.messages_sent);
+    enc.put_varint(r.handover_frames);
+    enc.put_varint(r.handover_messages);
+    enc.put_varint(r.collisions);
+    enc.put_varint(r.devices_seen);
+    enc.put_f64(r.total_energy_mj);
+    enc.put_f64(r.total_active_s);
+    enc.put_varint(r.gateway_outages);
+    enc.put_varint(r.buses_withdrawn);
+    enc.put_varint(r.noise_bursts);
+    enc.put_f64(r.outage_time_s);
+    enc.put_varint(r.generated_during_outage);
+    enc.put_varint(r.delivered_of_outage_generated);
+    enc.put_f64(r.total_airtime_s);
+    enc.put_varint(r.profiles.len() as u64);
+    for p in &r.profiles {
+        enc.put_str(&p.name);
+        enc.put_varint(p.generated);
+        enc.put_varint(p.delivered);
+        enc.put_varint(p.messages_sent);
+        enc.put_varint(p.payload_bytes_sent);
+        enc.put_f64(p.airtime_s);
+        put_welford(enc, &p.delay);
+    }
+}
+
+fn get_report<R: Read>(r: &mut ScenarioReader<R>) -> Result<SimReport, ScenarioIoError> {
+    let scheme = r.string()?;
+    let generated = r.varint()?;
+    let delivered = r.varint()?;
+    let duplicates = r.varint()?;
+    let stranded = r.varint()?;
+    let queue_drops = r.varint()?;
+    let delay = get_welford(r)?;
+    let hops = get_welford(r)?;
+    let bucket = get_dur(r)?;
+    let bounded = r.bool()?;
+    let n = r.varint()?;
+    let mut counts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        counts.push(r.varint()?);
+    }
+    let throughput_series = TimeSeries::from_raw_parts(bucket, counts, bounded);
+    let frames_sent = r.varint()?;
+    let messages_sent = r.varint()?;
+    let handover_frames = r.varint()?;
+    let handover_messages = r.varint()?;
+    let collisions = r.varint()?;
+    let devices_seen = r.varint()?;
+    let total_energy_mj = r.f64()?;
+    let total_active_s = r.f64()?;
+    let gateway_outages = r.varint()?;
+    let buses_withdrawn = r.varint()?;
+    let noise_bursts = r.varint()?;
+    let outage_time_s = r.f64()?;
+    let generated_during_outage = r.varint()?;
+    let delivered_of_outage_generated = r.varint()?;
+    let total_airtime_s = r.f64()?;
+    let n = r.varint()?;
+    let mut profiles = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = r.string()?;
+        let generated = r.varint()?;
+        let delivered = r.varint()?;
+        let messages_sent = r.varint()?;
+        let payload_bytes_sent = r.varint()?;
+        let airtime_s = r.f64()?;
+        let delay = get_welford(r)?;
+        profiles.push(ProfileReport {
+            name,
+            generated,
+            delivered,
+            messages_sent,
+            payload_bytes_sent,
+            airtime_s,
+            delay,
+        });
+    }
+    Ok(SimReport {
+        scheme,
+        generated,
+        delivered,
+        duplicates,
+        stranded,
+        queue_drops,
+        delay,
+        hops,
+        throughput_series,
+        frames_sent,
+        messages_sent,
+        handover_frames,
+        handover_messages,
+        collisions,
+        devices_seen,
+        total_energy_mj,
+        total_active_s,
+        gateway_outages,
+        buses_withdrawn,
+        noise_bursts,
+        outage_time_s,
+        generated_during_outage,
+        delivered_of_outage_generated,
+        total_airtime_s,
+        profiles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+    use mlora_core::Scheme;
+
+    fn cfg() -> SimConfig {
+        SimConfig::smoke_test(Scheme::Robc, Environment::Urban)
+    }
+
+    #[test]
+    fn snapshot_requires_a_started_engine() {
+        let engine = Engine::new(cfg(), 7);
+        assert!(matches!(
+            engine.snapshot(),
+            Err(SnapshotError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run() {
+        let baseline = Engine::new(cfg(), 7).run();
+        let mut engine = Engine::new(cfg(), 7);
+        engine.run_until(SimTime::from_secs(900));
+        let snap = engine.snapshot().expect("snapshot mid-run");
+        // The snapshotted engine keeps running unperturbed...
+        assert_eq!(engine.finish(), baseline);
+        // ...and the resumed copy reproduces the identical report.
+        let resumed = Engine::resume(&snap).expect("resume");
+        assert_eq!(resumed.finish(), baseline);
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_through_files() {
+        let mut engine = Engine::new(cfg(), 11);
+        engine.run_until(SimTime::from_secs(600));
+        let snap = engine.snapshot().expect("snapshot");
+        let reloaded = Snapshot::from_bytes(snap.as_bytes().to_vec()).expect("reload");
+        assert_eq!(reloaded.time(), snap.time());
+        assert_eq!(reloaded.seed(), snap.seed());
+        assert_eq!(reloaded.shards(), snap.shards());
+        let a = Engine::resume(&snap).expect("resume original").finish();
+        let b = Engine::resume(&reloaded).expect("resume reloaded").finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlay_must_be_in_the_future() {
+        let mut engine = Engine::new(cfg(), 7);
+        engine.run_until(SimTime::from_secs(1_000));
+        let snap = engine.snapshot().expect("snapshot");
+        let overlay = DisruptionPlan {
+            outages: vec![crate::disruption::GatewayOutage {
+                gateway: 0,
+                start: SimTime::from_secs(10),
+                duration: Some(SimDuration::from_secs(60)),
+            }],
+            ..DisruptionPlan::default()
+        };
+        assert!(matches!(
+            Engine::resume_with_overlay(&snap, overlay),
+            Err(SnapshotError::Overlay(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut engine = Engine::new(cfg(), 7);
+        engine.run_until(SimTime::from_secs(300));
+        let snap = engine.snapshot().expect("snapshot");
+        let bytes = snap.as_bytes();
+        let cut = Snapshot::from_bytes(bytes[..bytes.len() / 2].to_vec());
+        match cut {
+            // Header fits in the first block: the cut surfaces on resume.
+            Ok(snap) => assert!(Engine::resume(&snap).is_err()),
+            Err(SnapshotError::Format(_)) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

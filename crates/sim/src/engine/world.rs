@@ -235,4 +235,21 @@ impl World {
     pub(super) fn withdraw_trip(&mut self, n: NodeId, now: SimTime) {
         self.net.withdraw(n, now);
     }
+
+    /// When the next periodic grid drift sweep is due — checkpoint
+    /// counterpart of [`World::restore_runtime`].
+    pub(super) fn grid_refresh_due(&self) -> SimTime {
+        self.grid_refresh_due
+    }
+
+    /// Restores snapshot-captured runtime state: re-files every device
+    /// (restored into `devices` by the caller via [`World::activate`],
+    /// which rebuilt the grid and active set) and pins the drift-sweep
+    /// schedule where the checkpoint left it. Position-hint cursors are
+    /// deliberately *not* checkpointed: they are pure lookup
+    /// accelerators that never change a position value, so fresh zeros
+    /// resume bit-identically.
+    pub(super) fn restore_runtime(&mut self, grid_refresh_due: SimTime) {
+        self.grid_refresh_due = grid_refresh_due;
+    }
 }

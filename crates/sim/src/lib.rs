@@ -97,7 +97,7 @@ pub use engine::comm::{
     PlannedInterferer, ShardCommunicator,
 };
 pub use engine::partition::Partition;
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, Snapshot, SnapshotError, SNAPSHOT_MAGIC};
 pub use io::ScenarioFileError;
 pub use metrics::{ProfileReport, SimReport};
 pub use mlora_core::{ForwardingPolicy, PolicyContext, PolicySpec};

@@ -33,8 +33,9 @@ pub struct ProfileReport {
     /// metadata overhead stays unattributed, which is why the profile
     /// shares sum to *less than* [`SimReport::total_airtime_s`].
     pub airtime_s: f64,
-    /// End-to-end delay statistics over this profile's deliveries.
-    delay: Welford,
+    /// End-to-end delay statistics over this profile's deliveries
+    /// (crate-visible so engine checkpoints can capture and restore it).
+    pub(crate) delay: Welford,
 }
 
 impl ProfileReport {
@@ -120,10 +121,12 @@ pub struct SimReport {
     pub stranded: u64,
     /// Messages dropped by full queues.
     pub queue_drops: u64,
-    /// End-to-end delay statistics over delivered messages, seconds.
-    delay: Welford,
-    /// Hop-count statistics over delivered messages.
-    hops: Welford,
+    /// End-to-end delay statistics over delivered messages, seconds
+    /// (crate-visible so engine checkpoints can capture and restore it).
+    pub(crate) delay: Welford,
+    /// Hop-count statistics over delivered messages (crate-visible for
+    /// checkpointing, like `delay`).
+    pub(crate) hops: Welford,
     /// Unique messages received per series bucket (Figs. 10–11).
     pub throughput_series: TimeSeries,
     /// Frames transmitted, network-wide.
@@ -290,19 +293,21 @@ impl SimReport {
 /// immutable [`SimReport`].
 #[derive(Debug, Clone)]
 pub(crate) struct Collector {
-    report: SimReport,
+    /// All fields are crate-visible: engine checkpoints capture and
+    /// restore the collector wholesale, mid-run state included.
+    pub(crate) report: SimReport,
     /// First-arrival times, for dedup (message ids are sequential, so a
     /// dense map makes the per-delivery bookkeeping an array access).
-    arrived: DenseMap<MessageId, SimTime>,
+    pub(crate) arrived: DenseMap<MessageId, SimTime>,
     /// Device-to-device transfer counts per message (hops − 1).
-    transfers: DenseMap<MessageId, u32>,
+    pub(crate) transfers: DenseMap<MessageId, u32>,
     /// Gateways currently down (global outage depth).
-    outage_depth: u32,
+    pub(crate) outage_depth: u32,
     /// When the current ≥1-gateway-down interval began.
-    outage_since: SimTime,
+    pub(crate) outage_since: SimTime,
     /// Messages generated while ≥1 gateway was down (empty — and never
     /// probed into — when the run has no outages).
-    outage_generated: DenseMap<MessageId, ()>,
+    pub(crate) outage_generated: DenseMap<MessageId, ()>,
 }
 
 impl Collector {

@@ -36,7 +36,8 @@ use mlora_simcore::{SimDuration, SimTime};
 
 use crate::{
     BusWithdrawal, ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayOutage,
-    GatewayPlacement, NoiseBurst, SimConfig, SimObserver, SimReport, TrafficModel, TrafficProfile,
+    GatewayPlacement, NoiseBurst, SimConfig, SimObserver, SimReport, Snapshot, SnapshotError,
+    TrafficModel, TrafficProfile,
 };
 
 /// Entry points for building simulation scenarios.
@@ -65,6 +66,20 @@ impl Scenario {
         ScenarioBuilder {
             config: SimConfig::paper_default(Scheme::NoRouting, environment),
         }
+    }
+
+    /// A builder seeded with the scenario captured in `snapshot` — the
+    /// configuration the snapshotted run executes, shard count included.
+    /// Useful to spin fresh from-scratch variants of a checkpointed
+    /// experiment (different seed, tweaked fields) next to its resumed
+    /// branches.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the snapshot container or its embedded
+    /// configuration does not decode.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Result<ScenarioBuilder, SnapshotError> {
+        Ok(ScenarioBuilder::from(snapshot.config()?))
     }
 }
 

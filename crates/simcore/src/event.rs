@@ -103,6 +103,25 @@ impl<E> EventQueue<E> {
         self.heap.clear();
     }
 
+    /// The queue's raw state: the backing heap (packed `(time, seq)`
+    /// priority words paired with events, in heap layout order) and the
+    /// next insertion sequence number. Checkpoint counterpart of
+    /// [`EventQueue::from_raw_parts`].
+    pub fn raw_parts(&self) -> (&[(u128, E)], u64) {
+        (&self.heap, self.seq)
+    }
+
+    /// Rebuilds a queue from state captured by [`EventQueue::raw_parts`].
+    ///
+    /// `heap` must be a valid binary min-heap over the packed priority
+    /// words (any slice returned by [`EventQueue::raw_parts`] is); the
+    /// layout is restored verbatim so subsequent pops replay in exactly
+    /// the original order.
+    pub fn from_raw_parts(heap: Vec<(u128, E)>, seq: u64) -> Self {
+        debug_assert!((1..heap.len()).all(|i| heap[(i - 1) / 2].0 <= heap[i].0));
+        EventQueue { heap, seq }
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;

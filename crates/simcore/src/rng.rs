@@ -56,6 +56,22 @@ impl SimRng {
         self.seed
     }
 
+    /// The generator's full state: the master seed and the four raw
+    /// xoshiro256++ state words. Together with [`SimRng::from_state`]
+    /// this makes the stream checkpointable: a rebuilt generator
+    /// continues the draw sequence exactly where this one stands.
+    pub fn state(&self) -> (u64, [u64; 4]) {
+        (self.seed, self.inner.state())
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    pub fn from_state(seed: u64, words: [u64; 4]) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::from_state(words),
+        }
+    }
+
     /// Derives an independent child generator for `stream`.
     ///
     /// Forking depends only on the master seed and the stream label — not

@@ -55,6 +55,16 @@ impl SlabKey {
     }
 }
 
+impl SlabKey {
+    /// Rebuilds a key from its `(index, generation)` parts — the
+    /// checkpoint counterpart of [`SlabKey::index`] and
+    /// [`SlabKey::generation`]. The key only resolves against a slab
+    /// whose slot still carries the same generation.
+    pub const fn from_parts(index: u32, generation: u32) -> Self {
+        SlabKey { index, generation }
+    }
+}
+
 impl fmt::Display for SlabKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "slab-{}v{}", self.index, self.generation)
@@ -200,6 +210,52 @@ impl<T> Slab<T> {
                 )),
                 Entry::Vacant { .. } => None,
             })
+    }
+
+    /// Iterates every *slot* in index order as `(generation, value)`,
+    /// vacant slots included (`None` value). Together with
+    /// [`Slab::free_list`] this captures the arena's full layout, so a
+    /// checkpoint rebuilt through [`Slab::from_raw_parts`] hands out the
+    /// same keys in the same order as the original.
+    pub fn raw_slots(&self) -> impl Iterator<Item = (u32, Option<&T>)> + '_ {
+        self.entries.iter().map(|entry| match entry {
+            Entry::Occupied { generation, value } => (*generation, Some(value)),
+            Entry::Vacant { generation } => (*generation, None),
+        })
+    }
+
+    /// The free list, in pop order from the back: the checkpoint
+    /// counterpart of [`Slab::from_raw_parts`].
+    pub fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuilds a slab from state captured by [`Slab::raw_slots`] and
+    /// [`Slab::free_list`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free-list index is out of range or points at an
+    /// occupied slot.
+    pub fn from_raw_parts(slots: Vec<(u32, Option<T>)>, free: Vec<u32>) -> Self {
+        let mut len = 0;
+        let entries: Vec<Entry<T>> = slots
+            .into_iter()
+            .map(|(generation, value)| match value {
+                Some(value) => {
+                    len += 1;
+                    Entry::Occupied { generation, value }
+                }
+                None => Entry::Vacant { generation },
+            })
+            .collect();
+        for &index in &free {
+            assert!(
+                matches!(entries.get(index as usize), Some(Entry::Vacant { .. })),
+                "free-list entry {index} does not name a vacant slot"
+            );
+        }
+        Slab { entries, free, len }
     }
 
     /// Keeps only the values for which `keep` returns true, visiting

@@ -114,6 +114,24 @@ impl Welford {
         (self.count > 0).then_some(self.max)
     }
 
+    /// The accumulator's raw state `(count, mean, m2, min, max)` — the
+    /// checkpoint counterpart of [`Welford::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from state captured by
+    /// [`Welford::raw_parts`].
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (Chan's parallel update).
     pub fn merge(&mut self, other: &Welford) {
         if other.count == 0 {
@@ -273,7 +291,13 @@ impl TimeSeries {
         let mut idx = (time.as_millis() / self.bucket.as_millis()) as usize;
         if self.bounded {
             while idx >= self.counts.len() {
-                self.fold();
+                if !self.fold() {
+                    // The width can no longer double without overflowing
+                    // the millisecond clock: degrade to the fixed-series
+                    // discipline and clamp into the last bucket, rather
+                    // than folding forever without making progress.
+                    break;
+                }
                 idx = (time.as_millis() / self.bucket.as_millis()) as usize;
             }
         }
@@ -283,8 +307,15 @@ impl TimeSeries {
 
     /// Halves the resolution in place: bucket `i` becomes the sum of old
     /// buckets `2i` and `2i+1`, and the bucket width doubles. Totals are
-    /// preserved exactly; the allocation is untouched.
-    fn fold(&mut self) {
+    /// preserved exactly; the allocation is untouched. Returns `false`
+    /// without touching anything when the doubled width would overflow
+    /// `u64` milliseconds (`SimDuration` multiplication saturates, so a
+    /// blind fold would stop halving indices and spin).
+    fn fold(&mut self) -> bool {
+        let width = self.bucket.as_millis();
+        if width > u64::MAX / 2 {
+            return false;
+        }
         let n = self.counts.len();
         for i in 0..n / 2 {
             self.counts[i] = self.counts[2 * i] + self.counts[2 * i + 1];
@@ -295,7 +326,8 @@ impl TimeSeries {
         for c in &mut self.counts[n.div_ceil(2)..] {
             *c = 0;
         }
-        self.bucket = self.bucket * 2;
+        self.bucket = SimDuration::from_millis(width * 2);
+        true
     }
 
     /// Bucket width.
@@ -311,6 +343,29 @@ impl TimeSeries {
     /// Total events recorded.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// True when this series folds instead of clamping (built by
+    /// [`TimeSeries::bounded`]).
+    pub fn is_bounded(&self) -> bool {
+        self.bounded
+    }
+
+    /// Rebuilds a series from its parts — the checkpoint counterpart of
+    /// [`TimeSeries::bucket`], [`TimeSeries::counts`] and
+    /// [`TimeSeries::is_bounded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero or `counts` is empty.
+    pub fn from_raw_parts(bucket: SimDuration, counts: Vec<u64>, bounded: bool) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        assert!(!counts.is_empty(), "need at least one bucket");
+        TimeSeries {
+            bucket,
+            counts,
+            bounded,
+        }
     }
 
     /// Iterator over `(bucket_start, count)`.
@@ -488,6 +543,71 @@ mod tests {
         assert_eq!(ts.bucket(), SimDuration::from_secs(2));
         assert_eq!(ts.counts(), &[21, 25, 14, 0, 1]);
         assert_eq!(ts.total(), 61);
+    }
+
+    #[test]
+    fn bounded_timeseries_sample_exactly_at_fold_threshold() {
+        // 4 buckets x 10 s cover t < 40 s; a sample at exactly 40 s is
+        // the first instant past the span and must trigger exactly one
+        // fold, landing in bucket 40 / 20 = 2.
+        let mut ts = TimeSeries::bounded(SimDuration::from_secs(10), 4);
+        ts.record(SimTime::from_secs(39)); // last covered instant
+        assert_eq!(ts.bucket(), SimDuration::from_secs(10));
+        ts.record(SimTime::from_secs(40)); // exact threshold
+        assert_eq!(ts.bucket(), SimDuration::from_secs(20));
+        assert_eq!(ts.counts(), &[0, 1, 1, 0]);
+        assert_eq!(ts.total(), 2);
+    }
+
+    #[test]
+    fn bounded_timeseries_two_consecutive_folds() {
+        // 4 buckets x 10 s; a sample at 80 s needs two folds (span 40 s
+        // -> 80 s -> 160 s) and lands in bucket 80 / 40 = 2.
+        let mut ts = TimeSeries::bounded(SimDuration::from_secs(10), 4);
+        ts.record_n(SimTime::from_secs(5), 3);
+        ts.record_n(SimTime::from_secs(35), 2);
+        ts.record(SimTime::from_secs(80));
+        assert_eq!(ts.bucket(), SimDuration::from_secs(40));
+        assert_eq!(ts.counts(), &[5, 0, 1, 0]);
+        assert_eq!(ts.total(), 6);
+    }
+
+    #[test]
+    fn bounded_timeseries_terminates_at_clock_limit() {
+        // A sample at the u64 millisecond clock limit: bucket doubling
+        // saturates, so folding can stop making progress. The old loop
+        // spun forever on a single-bucket series; now the series
+        // degrades to clamping and the totals stay exact.
+        let mut ts = TimeSeries::bounded(SimDuration::from_millis(1), 1);
+        ts.record_n(SimTime::from_millis(3), 2);
+        ts.record(SimTime::from_millis(u64::MAX));
+        assert_eq!(ts.counts(), &[3]);
+        assert_eq!(ts.total(), 3);
+
+        // Multi-bucket series near the limit keep folding until the
+        // sample fits and preserve every earlier count.
+        let mut ts = TimeSeries::bounded(SimDuration::from_millis(1), 4);
+        ts.record_n(SimTime::from_millis(0), 7);
+        ts.record(SimTime::from_millis(u64::MAX));
+        assert_eq!(ts.total(), 8);
+        assert_eq!(ts.counts()[0], 7);
+        assert!(ts.bucket().as_millis() > u64::MAX / 8);
+    }
+
+    #[test]
+    fn timeseries_raw_parts_round_trip() {
+        let mut ts = TimeSeries::bounded(SimDuration::from_secs(10), 4);
+        ts.record_n(SimTime::from_secs(5), 3);
+        ts.record(SimTime::from_secs(41));
+        let rebuilt =
+            TimeSeries::from_raw_parts(ts.bucket(), ts.counts().to_vec(), ts.is_bounded());
+        assert_eq!(rebuilt, ts);
+        // The rebuilt series keeps folding exactly like the original.
+        let mut a = ts.clone();
+        let mut b = rebuilt;
+        a.record(SimTime::from_secs(500));
+        b.record(SimTime::from_secs(500));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Property-based tests over the engine snapshot subsystem: for
+//! arbitrary scenarios (scheme × traffic × disruptions × shard count)
+//! and an arbitrary snapshot instant, capturing mid-run state and
+//! resuming it reproduces the uninterrupted run bit for bit; what-if
+//! forks are deterministic, their control branch is exact, and a branch
+//! diverges only once its overlay's first event fires.
+//!
+//! The closing golden fixture replays the 20 000-bus metro world
+//! through a mid-run snapshot at scale; like the metro fingerprints it
+//! is compiled only under the release profile (CI's `release-tests`
+//! job).
+
+use mlora::core::Scheme;
+use mlora::geo::Point;
+use mlora::sim::{
+    BusWithdrawal, DisruptionPlan, Engine, GatewayOutage, NoiseBurst, Runner, Scenario, SimConfig,
+    Snapshot, TrafficModel, TrafficProfile,
+};
+use mlora::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The smoke preset's horizon, seconds.
+const HORIZON_S: u64 = 2 * 3600;
+
+/// The scheme under test, decoded from a flat draw.
+fn scheme(idx: u32) -> Scheme {
+    match idx % 4 {
+        0 => Scheme::NoRouting,
+        1 => Scheme::RcaEtx,
+        2 => Scheme::CaEtx,
+        _ => Scheme::Robc,
+    }
+}
+
+/// A mixed-profile traffic model exercising per-device RNG cursors,
+/// priorities and payload models.
+fn traffic() -> TrafficModel {
+    TrafficModel::mix([TrafficProfile::telemetry(), TrafficProfile::alerts()])
+}
+
+/// A disruption plan hitting all three mechanisms inside the smoke
+/// horizon: outage depth, fleet withdrawal and regional noise.
+fn disruptions() -> DisruptionPlan {
+    DisruptionPlan {
+        outages: vec![GatewayOutage {
+            gateway: 0,
+            start: SimTime::from_secs(600),
+            duration: Some(SimDuration::from_secs(900)),
+        }],
+        withdrawals: vec![BusWithdrawal {
+            at: SimTime::from_secs(1_800),
+            fraction: 0.2,
+        }],
+        noise_bursts: vec![NoiseBurst {
+            center: Point::new(5_000.0, 5_000.0),
+            radius_m: 4_000.0,
+            start: SimTime::from_secs(1_200),
+            duration: Some(SimDuration::from_secs(600)),
+            extra_loss_db: 10.0,
+        }],
+    }
+}
+
+/// The configuration a property case runs: smoke scale with the drawn
+/// scheme and shard count, optionally with traffic and disruptions.
+fn config(scheme_idx: u32, shards: usize, with_traffic: bool, with_disruptions: bool) -> SimConfig {
+    let mut builder = Scenario::urban()
+        .smoke()
+        .scheme(scheme(scheme_idx))
+        .shards(shards);
+    if with_traffic {
+        builder = builder.traffic(traffic());
+    }
+    if with_disruptions {
+        builder = builder.disruptions(disruptions());
+    }
+    builder.build().expect("property scenario is valid")
+}
+
+proptest! {
+    /// The tentpole property: snapshot at an arbitrary event boundary,
+    /// restore, run to the horizon — bit-identical to the uninterrupted
+    /// run, for every scheme, with traffic and disruptions active,
+    /// across shard counts. Taking the snapshot must also leave the
+    /// running engine unperturbed.
+    #[test]
+    fn resume_is_bit_identical_to_the_uninterrupted_run(
+        scheme_idx in 0u32..4,
+        shards_idx in 0usize..3,
+        seed in 0u64..1_000,
+        snap_frac in 0.05f64..0.95,
+        with_traffic in proptest::bool::ANY,
+        with_disruptions in proptest::bool::ANY,
+    ) {
+        let shards = 1 << shards_idx; // 1, 2, 4
+        let cfg = config(scheme_idx, shards, with_traffic, with_disruptions);
+        let baseline = Engine::new(cfg.clone(), seed).run();
+
+        let snap_t = SimTime::from_secs((HORIZON_S as f64 * snap_frac) as u64);
+        let mut engine = Engine::new(cfg, seed);
+        engine.run_until(snap_t);
+        let snap = engine.snapshot().expect("snapshot mid-run");
+
+        // The snapshotted engine keeps running unperturbed...
+        prop_assert_eq!(engine.finish(), baseline.clone());
+        // ...and the resumed copy reproduces the identical report, even
+        // after a serialization round trip through raw bytes.
+        let reloaded = Snapshot::from_bytes(snap.as_bytes().to_vec()).expect("reload");
+        prop_assert_eq!(Engine::resume(&reloaded).expect("resume").finish(), baseline);
+    }
+}
+
+proptest! {
+    /// Fork semantics: the control branch (empty overlay) reproduces
+    /// the uninterrupted run exactly, identical overlays produce
+    /// identical branches, and [`Runner::fork`] matches driving
+    /// [`Engine::resume_with_overlay`] by hand.
+    #[test]
+    fn fork_control_is_exact_and_branches_are_deterministic(
+        scheme_idx in 0u32..4,
+        seed in 0u64..1_000,
+        snap_frac in 0.1f64..0.6,
+        overlay_frac in 0.65f64..0.9,
+        workers in 1usize..5,
+    ) {
+        let cfg = config(scheme_idx, 1, true, true);
+        let baseline = Engine::new(cfg.clone(), seed).run();
+
+        let snap_t = SimTime::from_secs((HORIZON_S as f64 * snap_frac) as u64);
+        let mut engine = Engine::new(cfg, seed);
+        engine.run_until(snap_t);
+        let snap = engine.snapshot().expect("snapshot mid-run");
+
+        let overlay = DisruptionPlan {
+            outages: vec![GatewayOutage {
+                gateway: 1,
+                start: SimTime::from_secs((HORIZON_S as f64 * overlay_frac) as u64),
+                duration: Some(SimDuration::from_secs(600)),
+            }],
+            ..DisruptionPlan::default()
+        };
+        let branches = Runner::new()
+            .workers(workers)
+            .fork(&snap, &[DisruptionPlan::default(), overlay.clone(), overlay.clone()])
+            .expect("fork runs");
+        prop_assert_eq!(branches.len(), 3);
+        prop_assert_eq!(branches[0].clone(), baseline);
+        prop_assert_eq!(branches[1].clone(), branches[2].clone());
+        let by_hand = Engine::resume_with_overlay(&snap, overlay)
+            .expect("resume with overlay")
+            .finish();
+        prop_assert_eq!(branches[1].clone(), by_hand);
+    }
+}
+
+proptest! {
+    /// A forked branch diverges only after its overlay's first event:
+    /// probed at any instant up to the overlay start, the overlay
+    /// branch has processed exactly the events the control branch has.
+    #[test]
+    fn fork_diverges_only_after_the_overlay_start(
+        scheme_idx in 0u32..4,
+        seed in 0u64..1_000,
+        snap_frac in 0.1f64..0.4,
+        probe_frac in 0.0f64..1.0,
+    ) {
+        let cfg = config(scheme_idx, 1, true, false);
+        let snap_t = SimTime::from_secs((HORIZON_S as f64 * snap_frac) as u64);
+        let overlay_start_s = HORIZON_S * 3 / 4;
+        let mut engine = Engine::new(cfg, seed);
+        engine.run_until(snap_t);
+        let snap = engine.snapshot().expect("snapshot mid-run");
+
+        let overlay = DisruptionPlan {
+            withdrawals: vec![BusWithdrawal {
+                at: SimTime::from_secs(overlay_start_s),
+                fraction: 0.3,
+            }],
+            ..DisruptionPlan::default()
+        };
+        let mut control = Engine::resume(&snap).expect("resume control");
+        let mut branch =
+            Engine::resume_with_overlay(&snap, overlay).expect("resume branch");
+
+        // Any probe instant strictly before the overlay start must see
+        // identical progress on both branches.
+        let span = overlay_start_s - snap_t.as_millis() / 1000 - 1;
+        let probe =
+            SimTime::from_secs(snap_t.as_millis() / 1000 + (span as f64 * probe_frac) as u64);
+        prop_assert_eq!(control.run_until(probe), branch.run_until(probe));
+        // Past the overlay start the branches may diverge freely (the
+        // withdrawal culls its buses' future events); both must still
+        // run cleanly to completion.
+        control.finish();
+        branch.finish();
+    }
+}
+
+/// Golden fixture: the 20 000-bus metro world (the `metro_scale`
+/// fixture generator) snapshotted mid-run and resumed, bit-identical to
+/// the uninterrupted run. Release builds only — the fleet is far too
+/// large for the debug profile.
+#[cfg(not(debug_assertions))]
+#[test]
+fn metro_scale_resume_is_bit_identical() {
+    use mlora::mobility::{DiurnalProfile, MetroConfig};
+
+    let metro = MetroConfig {
+        area_side_m: 20_000.0,
+        num_radials: 48,
+        num_rings: 24,
+        peak_active_buses: 24_000,
+        min_legs: 1,
+        max_legs: 1,
+        horizon: SimDuration::from_mins(40),
+        profile: DiurnalProfile::flat(1.0),
+        ..MetroConfig::default()
+    };
+    let cfg = Scenario::urban()
+        .scheme(Scheme::Robc)
+        .metro(&metro, 4242)
+        .build()
+        .expect("metro scenario is valid");
+
+    let baseline = Engine::new(cfg.clone(), 4242).run();
+    let mut engine = Engine::new(cfg, 4242);
+    engine.run_until(SimTime::from_secs(20 * 60));
+    let snap = engine.snapshot().expect("snapshot mid-run");
+    assert_eq!(engine.finish(), baseline, "snapshot must not perturb");
+    let resumed = Snapshot::from_bytes(snap.as_bytes().to_vec()).expect("reload");
+    assert_eq!(
+        Engine::resume(&resumed).expect("resume").finish(),
+        baseline,
+        "metro-scale resume must be bit-identical"
+    );
+}

@@ -17,6 +17,19 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state words.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from raw state words previously obtained
+    /// through [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
