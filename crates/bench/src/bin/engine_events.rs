@@ -7,26 +7,37 @@
 //! per scenario with the processed-event count, wall-clock time and
 //! events/sec. The 2000- and 20 000-bus tiers are additionally measured
 //! with the spatially partitioned engine at 4 shards (the `_4shards`
-//! rows), so the CI regression gate covers the parallel path like the
-//! serial ones. The repo-level `BENCH_engine.json` baseline/after pair
-//! is recorded with this binary; passing `full` adds the 100 000-bus
-//! metro tier, which is measured out-of-gate (it runs for minutes).
+//! rows) and on the calendar event queue (the `_calendar` rows), so the
+//! CI regression gate covers the parallel and calendar paths like the
+//! serial heap ones. The repo-level `BENCH_engine.json` baseline/after
+//! pair is recorded with this binary; passing `full` adds the
+//! 100 000-bus metro tier, which is measured out-of-gate (it runs for
+//! minutes).
 //!
 //! Usage:
-//! `cargo run --release -p mlora-bench --bin engine_events [runs] [full] [--shards <n>]`
+//! `cargo run --release -p mlora-bench --bin engine_events [runs] [full] [--shards <n>] [--queue <kind>]`
 //!
 //! `--shards <n>` overrides the shard count of every tier (the default
 //! scenario list then drops the built-in `_4shards` rows), for probing
-//! scaling at other widths.
+//! scaling at other widths. `--queue <heap|calendar>` overrides the
+//! event-queue kind of every tier the same way (dropping the built-in
+//! `_calendar` rows); both produce bit-identical reports, so the rows
+//! measure pure queue mechanics.
 
 use std::time::Instant;
 
 use mlora_bench::{engine_throughput_config, metro_throughput_config, HARNESS_SEED};
-use mlora_sim::{Engine, SimConfig};
+use mlora_sim::{Engine, QueueKind, SimConfig};
 
 fn sharded(cfg: &SimConfig, shards: usize) -> SimConfig {
     let mut cfg = cfg.clone();
     cfg.shards = shards;
+    cfg
+}
+
+fn on_queue(cfg: &SimConfig, queue: QueueKind) -> SimConfig {
+    let mut cfg = cfg.clone();
+    cfg.queue = queue;
     cfg
 }
 
@@ -37,6 +48,17 @@ fn main() {
         .position(|a| a == "--shards")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
+    let queue_override: Option<QueueKind> = args
+        .iter()
+        .position(|a| a == "--queue")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match s.parse() {
+            Ok(kind) => kind,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        });
     let positional: Vec<&String> = {
         let mut skip_next = false;
         args.iter()
@@ -45,7 +67,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--shards" {
+                if *a == "--shards" || *a == "--queue" {
                     skip_next = true;
                     return false;
                 }
@@ -72,13 +94,34 @@ fn main() {
                 name.push_str(&format!("_{n}shards"));
             }
         }
-        // Default list: serial tiers plus the two gated 4-shard rows.
-        None => {
+        // Default list: serial tiers plus the two gated 4-shard rows
+        // (skipped when probing a specific queue kind — those runs
+        // compare queue mechanics, not partitioning).
+        None if queue_override.is_none() => {
             let d2d = sharded(&scenarios[1].1, 4);
             let metro = sharded(&scenarios[2].1, 4);
             scenarios.push(("2000_buses_4shards".to_string(), d2d));
             scenarios.push(("20000_buses_metro_4shards".to_string(), metro));
         }
+        None => {}
+    }
+    match queue_override {
+        // Probe mode: run every tier (including any `_Nshards` rows)
+        // on the requested queue kind instead.
+        Some(kind) => {
+            for (name, cfg) in &mut scenarios {
+                cfg.queue = kind;
+                name.push_str(&format!("_{kind}"));
+            }
+        }
+        // Default list: add the two gated calendar rows.
+        None if shards_override.is_none() => {
+            let d2d = on_queue(&scenarios[1].1, QueueKind::Calendar);
+            let metro = on_queue(&scenarios[2].1, QueueKind::Calendar);
+            scenarios.push(("2000_buses_calendar".to_string(), d2d));
+            scenarios.push(("20000_buses_metro_calendar".to_string(), metro));
+        }
+        None => {}
     }
     if full {
         let mut cfg = metro_throughput_config(100_000);
@@ -86,6 +129,10 @@ fn main() {
         if let Some(n) = shards_override {
             cfg.shards = n;
             name.push_str(&format!("_{n}shards"));
+        }
+        if let Some(kind) = queue_override {
+            cfg.queue = kind;
+            name.push_str(&format!("_{kind}"));
         }
         scenarios.push((name, cfg));
     }

@@ -50,6 +50,92 @@ pub fn time_on_air(payload_bytes: usize, params: &PhyParams) -> SimDuration {
     SimDuration::from_secs_f64(t_preamble + t_payload)
 }
 
+/// Precomputed [`time_on_air`] for every payload length under one
+/// [`PhyParams`].
+///
+/// The airtime formula costs a float division, a `ceil` and several
+/// conversions; the engine's hot path pays it on every transmission
+/// start. There are only [`LORA_MAX_PAYLOAD_BYTES`]` + 1` possible
+/// inputs, so this table computes each entry once with the exact same
+/// formula — lookups are bit-identical to calling [`time_on_air`] by
+/// construction — and a lookup is one bounds-checked load.
+///
+/// # Example
+///
+/// ```
+/// use mlora_phy::{time_on_air, AirtimeTable, PhyParams};
+///
+/// let params = PhyParams::paper_default();
+/// let table = AirtimeTable::new(&params);
+/// assert_eq!(table.lookup(250), time_on_air(250, &params));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AirtimeTable {
+    table: [SimDuration; LORA_MAX_PAYLOAD_BYTES + 1],
+}
+
+impl AirtimeTable {
+    /// Tabulates [`time_on_air`] for payloads `0..=255` under `params`.
+    pub fn new(params: &PhyParams) -> Self {
+        let mut table = [SimDuration::ZERO; LORA_MAX_PAYLOAD_BYTES + 1];
+        for (bytes, slot) in table.iter_mut().enumerate() {
+            *slot = time_on_air(bytes, params);
+        }
+        AirtimeTable { table }
+    }
+
+    /// The time-on-air of a `payload_bytes`-byte frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` exceeds [`LORA_MAX_PAYLOAD_BYTES`],
+    /// like [`time_on_air`].
+    #[inline]
+    pub fn lookup(&self, payload_bytes: usize) -> SimDuration {
+        assert!(
+            payload_bytes <= LORA_MAX_PAYLOAD_BYTES,
+            "LoRa payload is at most 255 bytes"
+        );
+        self.table[payload_bytes]
+    }
+
+    /// The worst-case airtime under these parameters (a full 255-byte
+    /// payload) — what flight-retention windows are sized from.
+    pub fn max(&self) -> SimDuration {
+        self.table[LORA_MAX_PAYLOAD_BYTES]
+    }
+}
+
+/// [`AirtimeTable`]s for every [`SpreadingFactor`] at fixed
+/// bandwidth/coding parameters, for schemes that adapt SF per link.
+///
+/// [`SpreadingFactor`]: crate::SpreadingFactor
+#[derive(Debug, Clone)]
+pub struct SfAirtimeTables {
+    tables: [AirtimeTable; crate::SpreadingFactor::ALL.len()],
+}
+
+impl SfAirtimeTables {
+    /// Tabulates airtime for every SF, holding `base`'s bandwidth,
+    /// coding rate, preamble and header settings fixed.
+    pub fn new(base: &PhyParams) -> Self {
+        SfAirtimeTables {
+            tables: crate::SpreadingFactor::ALL
+                .map(|sf| AirtimeTable::new(&PhyParams { sf, ..*base })),
+        }
+    }
+
+    /// The table for one spreading factor.
+    #[inline]
+    pub fn for_sf(&self, sf: crate::SpreadingFactor) -> &AirtimeTable {
+        let at = crate::SpreadingFactor::ALL
+            .iter()
+            .position(|&s| s == sf)
+            .expect("every SF is tabulated");
+        &self.tables[at]
+    }
+}
+
 /// The mandatory silence after a transmission under a duty-cycle cap.
 ///
 /// A `duty_cycle` of 0.01 (EU868 general channels) after an airtime `toa`
@@ -155,6 +241,32 @@ mod tests {
     #[should_panic(expected = "at most 255")]
     fn oversized_payload_rejected() {
         let _ = time_on_air(256, &PhyParams::paper_default());
+    }
+
+    #[test]
+    fn table_matches_formula_for_every_payload() {
+        let params = PhyParams::paper_default();
+        let table = AirtimeTable::new(&params);
+        for bytes in 0..=LORA_MAX_PAYLOAD_BYTES {
+            assert_eq!(table.lookup(bytes), time_on_air(bytes, &params));
+        }
+        assert_eq!(table.max(), time_on_air(LORA_MAX_PAYLOAD_BYTES, &params));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 255")]
+    fn table_rejects_oversized_payload() {
+        AirtimeTable::new(&PhyParams::paper_default()).lookup(256);
+    }
+
+    #[test]
+    fn sf_tables_match_per_sf_formula() {
+        let base = PhyParams::paper_default();
+        let tables = SfAirtimeTables::new(&base);
+        for sf in SpreadingFactor::ALL {
+            let params = PhyParams { sf, ..base };
+            assert_eq!(tables.for_sf(sf).lookup(50), time_on_air(50, &params));
+        }
     }
 
     #[test]

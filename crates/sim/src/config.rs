@@ -5,7 +5,7 @@ use std::sync::Arc;
 use mlora_core::{PolicySpec, RoutingConfig, RoutingState, Scheme};
 use mlora_mobility::{BusNetwork, BusNetworkConfig};
 use mlora_phy::{CapacityModel, LogDistanceModel, PhyParams};
-use mlora_simcore::SimDuration;
+use mlora_simcore::{QueueKind, SimDuration};
 use serde::{Deserialize, Serialize};
 
 use crate::disruption::DisruptionPlan;
@@ -140,6 +140,14 @@ pub struct SimConfig {
     /// scenario files neither carry nor require it (loaded configs
     /// default to `1`).
     pub shards: usize,
+    /// Which event-queue implementation the engine runs on: the binary
+    /// heap (the default) or the calendar queue / time wheel. Like
+    /// [`SimConfig::shards`], a host-execution knob, not scenario
+    /// content: both kinds pop the identical `(time, seq)` sequence, so
+    /// any choice produces bit-identical results and neither `.mlsc`
+    /// scenario files nor `.mlss` snapshots carry it (loaded files
+    /// default to [`QueueKind::BinaryHeap`]).
+    pub queue: QueueKind,
 }
 
 /// Error returned when a [`SimConfig`] is internally inconsistent.
@@ -291,6 +299,7 @@ impl SimConfig {
             series_bucket: SimDuration::from_mins(10),
             disruptions: DisruptionPlan::default(),
             shards: 1,
+            queue: QueueKind::default(),
         }
     }
 

@@ -29,7 +29,7 @@
 //! # Example
 //!
 //! ```
-//! use mlora_sim::{DisruptionPlan, GatewayOutage, Scenario};
+//! use mlora_sim::prelude::*;
 //! use mlora_simcore::{SimDuration, SimTime};
 //!
 //! let plan = DisruptionPlan {

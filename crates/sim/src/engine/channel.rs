@@ -62,6 +62,9 @@ pub(super) struct Channel {
     flight_retention: SimDuration,
     /// Scratch: time-overlapping flights as `(seq, position)`.
     pub(super) scratch_overlaps: Vec<(u64, Point)>,
+    /// Scratch: the subset of `scratch_overlaps` close enough to the
+    /// sender to be audible at *some* device receiver.
+    pub(super) scratch_near_overlaps: Vec<(u64, Point)>,
     /// Scratch: per-receiver collision candidates as `(seq, rssi)`.
     scratch_rssi: Vec<(u64, f64)>,
     /// Indices of currently active noise bursts, in activation order.
@@ -91,6 +94,7 @@ impl Channel {
             next_flight_seq: 0,
             flight_retention,
             scratch_overlaps: Vec::new(),
+            scratch_near_overlaps: Vec::new(),
             scratch_rssi: Vec::new(),
             active_noise: Vec::new(),
             noise_bursts,

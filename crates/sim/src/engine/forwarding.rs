@@ -24,30 +24,25 @@ use super::Engine;
 use crate::observer::{HandoverAccepted, SimObserver};
 
 impl Engine {
-    /// Resolves overhearing at every active neighbour. Returns whether the
-    /// handover target decoded the frame; devices that need a new
-    /// transmission opportunity are appended to `to_schedule`.
+    /// Resolves overhearing at every active neighbour. `candidates` is
+    /// the batched prefilter's output — sender-excluded,
+    /// exact-range-filtered `(id, position)` pairs in ascending id
+    /// order (see [`World::batched_candidates`](super::world::World)) —
+    /// so this loop is pure admission + collision resolution. Returns
+    /// whether the handover target decoded the frame; devices that need
+    /// a new transmission opportunity are appended to `to_schedule`.
     pub(super) fn resolve_neighbours(
         &mut self,
         flight: &Flight,
         overlaps: &[(u64, Point)],
-        candidates: &[NodeId],
+        candidates: &[(NodeId, Point)],
         to_schedule: &mut Vec<NodeId>,
         observer: &mut dyn SimObserver,
     ) -> bool {
         let d2d = self.cfg.environment.d2d_range_m();
-        let now = self.now;
-
         let mut accepted = false;
 
-        for &x in candidates {
-            if x == flight.sender {
-                continue;
-            }
-            let pos_x = self.world.position_now(x, now);
-            if pos_x.distance(flight.pos) > d2d {
-                continue;
-            }
+        for &(x, pos_x) in candidates {
             if !self.neighbour_admitted(x, flight) {
                 continue;
             }
@@ -102,22 +97,31 @@ impl Engine {
     /// passes after the geometric prefilter: liveness, half-duplex and
     /// device-class receive windows. Draw-free, so rejected candidates
     /// leave no trace on the RNG stream.
+    ///
+    /// Reads only the world's hot columns — a handful of contiguous
+    /// loads per candidate, no device-map lookup (the `active` column
+    /// is `false` for ids that never activated, covering existence).
+    /// The device class is scenario-uniform, so it comes from the
+    /// configuration rather than a per-device field.
     fn neighbour_admitted(&self, x: NodeId, flight: &Flight) -> bool {
-        let Some(dev) = self.world.devices.get(x) else {
-            return false;
-        };
-        if !dev.active {
+        let i = x.index();
+        let hot = &self.world.hot;
+        if !hot.active[i] {
             return false;
         }
         // Half-duplex: a device transmitting during any part of the
         // frame cannot receive it.
-        if let Some((s, e)) = dev.tx_window {
+        if let Some((s, e)) = hot.tx_window[i] {
             if s < flight.end && e > flight.start {
                 return false;
             }
         }
-        dev.class
-            .overhears(self.now, dev.last_tx_end, self.cfg.gen_interval, dev.gamma)
+        self.device_class().overhears(
+            self.now,
+            hot.last_tx_end[i],
+            self.cfg.gen_interval,
+            hot.gamma[i],
+        )
     }
 
     /// Applies one neighbour's reception outcome: handover acceptance
@@ -249,7 +253,7 @@ impl Engine {
         // next legal opportunity. Draining at the duty-cycle service rate
         // (not the generation rate) is what gives well-connected relays
         // their higher RGQ service rate φ.
-        if dev.active && !dev.queue.is_empty() {
+        if self.world.hot.active[sender.index()] && !dev.queue.is_empty() {
             self.maybe_schedule_tx(sender);
         }
     }

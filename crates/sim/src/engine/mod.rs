@@ -66,8 +66,8 @@ use mlora_mac::{
     AppMessage, DataQueue, DeviceClass, DutyCycleTracker, Priority, RetransmitPolicy, UplinkFrame,
     MAX_BUNDLE, MAX_BUNDLE_BYTES,
 };
-use mlora_phy::time_on_air;
-use mlora_simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime, SlabKey};
+use mlora_phy::AirtimeTable;
+use mlora_simcore::{AnyEventQueue, NodeId, SimDuration, SimRng, SimTime, SlabKey};
 
 use self::channel::Channel;
 use self::comm::{
@@ -238,7 +238,11 @@ pub struct Engine {
     /// so a resume can regenerate the deterministic substrate (network,
     /// gateway placement, RNG stream identities).
     seed: u64,
-    events: EventQueue<Event>,
+    events: AnyEventQueue<Event>,
+    /// Precomputed per-payload airtime under the configured PHY —
+    /// bit-identical to calling `time_on_air` per transmission, one
+    /// table load instead of the float formula on the hot path.
+    airtime: AirtimeTable,
     now: SimTime,
     horizon: SimTime,
     next_msg: u64,
@@ -248,8 +252,8 @@ pub struct Engine {
     channel: Channel,
     /// The sink side (gateways, outages, collector).
     delivery: Delivery,
-    /// Scratch: sorted neighbour-candidate ids.
-    scratch_candidates: Vec<NodeId>,
+    /// Scratch: sorted neighbour candidates `(id, exact position)`.
+    scratch_candidates: Vec<(NodeId, Point)>,
     /// Scratch: devices needing a transmission opportunity scheduled.
     scratch_schedule: Vec<NodeId>,
     /// Compiled disruption timeline, in firing order (empty for an
@@ -312,11 +316,12 @@ impl Engine {
         let horizon = SimTime::ZERO + cfg.horizon;
         let cell = cfg.environment.d2d_range_m().max(200.0);
         let world = World::new(net, cell, cfg.network.max_speed_mps);
+        let airtime = AirtimeTable::new(&cfg.phy);
         // The 2 s floor keeps the historical window at fast spreading
         // factors; slow SFs (≳4 s airtime for a full bundle) need the
         // whole worst-case airtime or concurrent frames would be pruned
         // before their interference resolves.
-        let flight_retention = time_on_air(255, &cfg.phy).max(SimDuration::from_secs(2));
+        let flight_retention = airtime.max().max(SimDuration::from_secs(2));
         // Forking is a pure function of the master seed: deriving the
         // channel (12), disruption (13) and traffic (14) streams in this
         // fixed order leaves each subsystem's draws independent of the
@@ -334,7 +339,8 @@ impl Engine {
         let timeline = cfg.disruptions.compile(cfg.horizon);
         Engine {
             seed,
-            events: EventQueue::with_capacity(1 << 16),
+            events: AnyEventQueue::with_capacity(cfg.queue, 1 << 16),
+            airtime,
             now: SimTime::ZERO,
             horizon,
             next_msg: 0,
@@ -685,7 +691,6 @@ impl Engine {
             )
         };
         let device = Device {
-            active: true,
             activated_at: self.now,
             retired_at: None,
             queue: DataQueue::new(self.cfg.queue_capacity),
@@ -693,12 +698,8 @@ impl Engine {
             retransmit: RetransmitPolicy::new(self.cfg.max_attempts),
             routing: self.cfg.routing_state(),
             class: self.device_class(),
-            transmitting: false,
             tx_scheduled: false,
             pending_handover: None,
-            last_tx_end: None,
-            tx_window: None,
-            gamma: 0.0,
             tx_time: SimDuration::ZERO,
             rx_window_time: SimDuration::ZERO,
             frames_sent: 0,
@@ -725,12 +726,12 @@ impl Engine {
     fn on_generate(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
         let gen_interval = self.cfg.gen_interval;
         let now = self.now;
+        if !self.world.hot.active[n.index()] {
+            return;
+        }
         let Some(dev) = self.world.devices.get_mut(n) else {
             return;
         };
-        if !dev.active {
-            return;
-        }
         // Reading shape and the gap to the next one: the paper default
         // is a fixed 20-byte reading every `gen_interval`; a profile
         // samples both from the device's own traffic stream.
@@ -776,10 +777,14 @@ impl Engine {
     /// Schedules the next transmission opportunity for `n`, if one is
     /// needed and none is pending.
     pub(super) fn maybe_schedule_tx(&mut self, n: NodeId) {
+        let i = n.index();
+        if !self.world.hot.active[i] || self.world.hot.transmitting[i] {
+            return;
+        }
         let Some(dev) = self.world.devices.get_mut(n) else {
             return;
         };
-        if !dev.active || dev.tx_scheduled || dev.transmitting {
+        if dev.tx_scheduled {
             return;
         }
         let has_data = !dev.queue.is_empty() || dev.pending_handover.is_some_and(|(_, c)| c > 0);
@@ -792,14 +797,14 @@ impl Engine {
     }
 
     fn on_tx_start(&mut self, n: NodeId, observer: &mut dyn SimObserver) {
-        let phy = self.cfg.phy;
         let gen_interval = self.cfg.gen_interval;
         let queue_capacity = self.cfg.queue_capacity;
+        let i = n.index();
         let Some(dev) = self.world.devices.get_mut(n) else {
             return;
         };
         dev.tx_scheduled = false;
-        if !dev.active || dev.transmitting {
+        if !self.world.hot.active[i] || self.world.hot.transmitting[i] {
             return;
         }
         if !dev.duty.can_transmit(self.now) {
@@ -815,7 +820,7 @@ impl Engine {
         let mut target = None;
         let mut count = dev.queue.len().min(MAX_BUNDLE);
         if let Some((y, c)) = dev.pending_handover.take() {
-            let target_alive = self.world.devices.get(y).is_some_and(|d| d.active);
+            let target_alive = self.world.hot.active[y.index()];
             if target_alive {
                 let c = c.min(MAX_BUNDLE);
                 if c > 0 {
@@ -841,16 +846,16 @@ impl Engine {
             dev.routing.beacon_metric_at(self.now, dev.queue.len()),
             dev.queue.len(),
         );
-        let airtime = time_on_air(frame.payload_bytes(), &phy);
+        let airtime = self.airtime.lookup(frame.payload_bytes());
         dev.duty.record_tx(self.now, airtime);
-        dev.transmitting = true;
-        dev.tx_window = Some((self.now, self.now + airtime));
+        self.world.hot.transmitting[i] = true;
+        self.world.hot.tx_window[i] = Some((self.now, self.now + airtime));
         dev.tx_time += airtime;
         dev.frames_sent += 1;
         // Queue-based Class-A opens its Eq. 11 window after this uplink.
         if matches!(dev.class, DeviceClass::QueueBasedClassA) {
             let gamma = dev.routing.gamma(dev.queue.len(), queue_capacity);
-            dev.gamma = gamma;
+            self.world.hot.gamma[i] = gamma;
             dev.rx_window_time += gen_interval.mul_f64(gamma);
         }
         self.delivery
@@ -900,10 +905,8 @@ impl Engine {
         let sender = flight.sender;
 
         // Sender leaves the transmit state.
-        if let Some(dev) = self.world.devices.get_mut(sender) {
-            dev.transmitting = false;
-            dev.last_tx_end = Some(self.now);
-        }
+        self.world.hot.transmitting[sender.index()] = false;
+        self.world.hot.last_tx_end[sender.index()] = Some(self.now);
 
         // Frames overlapping this one in time (including itself), in
         // creation order.
@@ -913,17 +916,29 @@ impl Engine {
         let gateway_rssi = self
             .delivery
             .resolve_gateways(&mut self.channel, &overlaps, flight);
+        let d2d = self.cfg.environment.d2d_range_m();
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
-        self.world.neighbour_candidates(
-            self.now,
-            flight.pos,
-            self.cfg.environment.d2d_range_m(),
-            &mut candidates,
+        self.world
+            .batched_candidates(self.now, sender, flight.pos, d2d, &mut candidates);
+        // Every device receiver sits within `d2d` of the sender, so an
+        // overlapping frame farther than `2 * d2d` from the sender is out
+        // of range of all of them (triangle inequality; +1 m float
+        // margin, per-receiver exact check unchanged). One filter pass
+        // here replaces a full-overlap distance scan per candidate; the
+        // subset keeps creation order, so draw order is untouched.
+        let mut near = std::mem::take(&mut self.channel.scratch_near_overlaps);
+        near.clear();
+        let reach_sq = (2.0 * d2d + 1.0) * (2.0 * d2d + 1.0);
+        near.extend(
+            overlaps
+                .iter()
+                .copied()
+                .filter(|&(_, p)| p.distance_sq(flight.pos) <= reach_sq),
         );
         let mut to_schedule = std::mem::take(&mut self.scratch_schedule);
         to_schedule.clear();
         let accepted_by_target =
-            self.resolve_neighbours(flight, &overlaps, &candidates, &mut to_schedule, observer);
+            self.resolve_neighbours(flight, &near, &candidates, &mut to_schedule, observer);
         self.settle_sender(flight, gateway_rssi, accepted_by_target, observer);
         for &n in &to_schedule {
             self.maybe_schedule_tx(n);
@@ -931,6 +946,7 @@ impl Engine {
 
         self.scratch_schedule = to_schedule;
         self.scratch_candidates = candidates;
+        self.channel.scratch_near_overlaps = near;
         self.channel.scratch_overlaps = overlaps;
         self.channel.flights = flights;
     }
@@ -949,10 +965,8 @@ impl Engine {
         let sender = flight.sender;
 
         // Sender leaves the transmit state.
-        if let Some(dev) = self.world.devices.get_mut(sender) {
-            dev.transmitting = false;
-            dev.last_tx_end = Some(self.now);
-        }
+        self.world.hot.transmitting[sender.index()] = false;
+        self.world.hot.last_tx_end[sender.index()] = Some(self.now);
 
         let mut rt = self.shard_rt.take().expect("sharded path");
         let plan = rt.take_plan(flight.seq);
@@ -983,7 +997,7 @@ impl Engine {
         let shards = self.cfg.shards;
         let d2d = self.cfg.environment.d2d_range_m();
         let gw_range = self.cfg.gateway_range_m;
-        let max_airtime = time_on_air(255, &self.cfg.phy);
+        let max_airtime = self.airtime.max();
         let part = Arc::new(Partition::new(
             self.world.net.area(),
             shards,

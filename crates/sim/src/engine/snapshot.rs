@@ -32,11 +32,12 @@ use mlora_mac::{AppMessage, DataQueue, DutyCycleTracker, Priority, RetransmitPol
 use mlora_scenario_io::{Enc, ScenarioIoError, ScenarioReader, ScenarioWriter};
 use mlora_simcore::stats::{TimeSeries, Welford};
 use mlora_simcore::{
-    DenseMap, EventQueue, MessageId, NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey,
+    AnyEventQueue, DenseMap, MessageId, NodeId, QueueKind, SimDuration, SimRng, SimTime, Slab,
+    SlabKey,
 };
 
 use super::channel::Flight;
-use super::world::{Device, DeviceTraffic};
+use super::world::{Device, DeviceHot, DeviceTraffic};
 use super::{Engine, Event};
 use crate::metrics::Collector;
 use crate::{
@@ -294,8 +295,12 @@ impl Engine {
 
         let mut w = ScenarioWriter::with_magic(Vec::new(), SNAPSHOT_MAGIC)?;
 
-        // Header: run identity and loop counters.
-        let (heap, event_seq) = self.events.raw_parts();
+        // Header: run identity and loop counters. The queue's records
+        // come out in heap layout order for the heap kind (what
+        // historical snapshots hold) and ascending key order for the
+        // calendar kind; either order rebuilds either kind, so the
+        // snapshot never records which one was running.
+        let (queue_records, event_seq) = self.events.checkpoint_events();
         w.begin_section(SEC_HEADER, 1)?;
         let enc = w.enc();
         enc.put_varint(self.seed);
@@ -314,10 +319,10 @@ impl Engine {
         w.end_record()?;
         w.end_section()?;
 
-        // The event queue, in raw heap layout order so the restored
+        // The event queue, in record order (see above) so the restored
         // queue pops in exactly the original sequence.
-        w.begin_section(SEC_EVENTS, heap.len() as u64)?;
-        for &(key, ev) in heap {
+        w.begin_section(SEC_EVENTS, queue_records.len() as u64)?;
+        for &(key, ev) in &queue_records {
             let enc = w.enc();
             enc.put_varint((key >> 64) as u64);
             enc.put_varint(key as u64);
@@ -327,11 +332,14 @@ impl Engine {
         w.end_section()?;
 
         // Every device ever activated, active or retired, in id order.
+        // Hot-column values are gathered back into a row view so the
+        // per-device wire record is byte-identical to the AoS era.
         w.begin_section(SEC_DEVICES, self.world.devices.len() as u64)?;
         for (idx, dev) in self.world.devices.iter() {
+            let hot = self.world.hot.device_hot(idx);
             let enc = w.enc();
             enc.put_varint(idx as u64);
-            put_device(enc, dev);
+            put_device(enc, dev, hot);
             w.end_record()?;
         }
         w.end_section()?;
@@ -445,6 +453,25 @@ impl Engine {
         Engine::resume_with_overlay(snapshot, DisruptionPlan::default())
     }
 
+    /// [`Engine::resume_with_overlay`] on an explicit event-queue kind.
+    ///
+    /// The queue kind is a host-execution knob snapshots deliberately do
+    /// not record (see [`SimConfig::queue`](crate::SimConfig)): the
+    /// default entry points resume on the binary heap, and this one lets
+    /// the host pick — resuming a heap-recorded snapshot on the calendar
+    /// queue (or vice versa) is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::resume_with_overlay`].
+    pub fn resume_on_queue(
+        snapshot: &Snapshot,
+        overlay: DisruptionPlan,
+        queue: QueueKind,
+    ) -> Result<Engine, SnapshotError> {
+        Engine::resume_inner(snapshot, overlay, queue)
+    }
+
     /// [`Engine::resume`] with an additional [`DisruptionPlan`] overlay
     /// — the what-if fork primitive. The resumed branch replays the
     /// captured state exactly, then diverges only once the overlay's
@@ -462,9 +489,21 @@ impl Engine {
         snapshot: &Snapshot,
         overlay: DisruptionPlan,
     ) -> Result<Engine, SnapshotError> {
+        Engine::resume_inner(snapshot, overlay, QueueKind::default())
+    }
+
+    fn resume_inner(
+        snapshot: &Snapshot,
+        overlay: DisruptionPlan,
+        queue: QueueKind,
+    ) -> Result<Engine, SnapshotError> {
         let mut r = ScenarioReader::with_magic(snapshot.bytes.as_slice(), SNAPSHOT_MAGIC)?;
         let header = read_header(&mut r)?;
         let mut cfg = read_config(&mut r, header.shards)?;
+        // Like `shards`, the queue kind is host state, not snapshot
+        // content: the loaded config defaults to the heap and the
+        // caller's choice lands here, before the engine is built.
+        cfg.queue = queue;
         let original = cfg.disruptions.clone();
 
         // Compile the overlay against the captured horizon, offsetting
@@ -523,17 +562,18 @@ impl Engine {
         engine.next_msg = header.next_msg;
         engine.events_processed = header.events_processed;
 
-        // Pending events, in raw heap layout order.
+        // Pending events, in the writer's record order (heap layout or
+        // ascending keys — either rebuilds either queue kind).
         let n = expect_section(&mut r, SEC_EVENTS, "snapshot events")?;
-        let mut heap = Vec::with_capacity(n as usize);
+        let mut records = Vec::with_capacity(n as usize);
         for _ in 0..n {
             r.begin_record()?;
             let time_ms = r.varint()?;
             let seq = r.varint()?;
             let ev = get_event(&mut r)?;
-            heap.push(((u128::from(time_ms) << 64) | u128::from(seq), ev));
+            records.push(((u128::from(time_ms) << 64) | u128::from(seq), ev));
         }
-        engine.events = EventQueue::from_raw_parts(heap, header.event_seq);
+        engine.events = AnyEventQueue::from_events(engine.cfg.queue, records, header.event_seq);
         // Overlay disruptions are scheduled *after* the queue restore so
         // they take fresh (higher) sequence numbers: at equal times they
         // fire after everything the original run had already scheduled.
@@ -550,13 +590,17 @@ impl Engine {
         for _ in 0..n {
             r.begin_record()?;
             let node = NodeId::new(u32::try_from(r.varint()?).map_err(bad_index)?);
-            let dev = get_device(&mut r, &engine.cfg)?;
-            if dev.active {
+            let (dev, hot) = get_device(&mut r, &engine.cfg)?;
+            if hot.active {
                 let pos = dev.grid_pos;
                 engine.world.activate(node, dev, pos);
             } else {
                 engine.world.devices.insert(node, dev);
             }
+            // Scatter the captured hot row over activate()'s defaults —
+            // retired devices keep their historical transmit state, so
+            // a re-snapshot reproduces the original bytes.
+            engine.world.hot.set(node.index(), hot);
         }
 
         // Replay withdrawals against the regenerated network — before
@@ -668,8 +712,8 @@ impl Engine {
             let mut rt = engine.build_shard_runtime();
             rt.pump_barriers(engine.now);
             let mut pending: HashSet<u64> = HashSet::new();
-            let (heap, _) = engine.events.raw_parts();
-            for &(_, ev) in heap {
+            let (queue_records, _) = engine.events.checkpoint_events();
+            for &(_, ev) in &queue_records {
                 if let Event::TxEnd(key) = ev {
                     if let Some(f) = engine.channel.flights.get(key) {
                         pending.insert(f.seq);
@@ -980,8 +1024,11 @@ fn get_flight<R: Read>(r: &mut ScenarioReader<R>) -> Result<Flight, ScenarioIoEr
     })
 }
 
-fn put_device(enc: &mut Enc, dev: &Device) {
-    enc.put_bool(dev.active);
+/// Writes one device record: the cold [`Device`] row plus its gathered
+/// hot-column view, in the exact field order the AoS layout used — the
+/// wire format is unchanged by the SoA split.
+fn put_device(enc: &mut Enc, dev: &Device, hot: DeviceHot) {
+    enc.put_bool(hot.active);
     put_time(enc, dev.activated_at);
     put_opt_time(enc, dev.retired_at);
 
@@ -1035,7 +1082,7 @@ fn put_device(enc: &mut Enc, dev: &Device) {
         enc.put_varint(d.raw() as u64);
     }
 
-    enc.put_bool(dev.transmitting);
+    enc.put_bool(hot.transmitting);
     enc.put_bool(dev.tx_scheduled);
     match dev.pending_handover {
         None => enc.put_bool(false),
@@ -1045,8 +1092,8 @@ fn put_device(enc: &mut Enc, dev: &Device) {
             enc.put_varint(count as u64);
         }
     }
-    put_opt_time(enc, dev.last_tx_end);
-    match dev.tx_window {
+    put_opt_time(enc, hot.last_tx_end);
+    match hot.tx_window {
         None => enc.put_bool(false),
         Some((a, b)) => {
             enc.put_bool(true);
@@ -1054,7 +1101,7 @@ fn put_device(enc: &mut Enc, dev: &Device) {
             put_time(enc, b);
         }
     }
-    enc.put_f64(dev.gamma);
+    enc.put_f64(hot.gamma);
     put_dur(enc, dev.tx_time);
     put_dur(enc, dev.rx_window_time);
     enc.put_varint(dev.frames_sent);
@@ -1071,10 +1118,12 @@ fn put_device(enc: &mut Enc, dev: &Device) {
     }
 }
 
+/// Reads one device record, splitting it back into the cold [`Device`]
+/// row and the hot-column values the caller scatters into the world.
 fn get_device<R: Read>(
     r: &mut ScenarioReader<R>,
     cfg: &SimConfig,
-) -> Result<Device, ScenarioIoError> {
+) -> Result<(Device, DeviceHot), ScenarioIoError> {
     let active = r.bool()?;
     let activated_at = get_time(r)?;
     let retired_at = get_opt_time(r)?;
@@ -1168,27 +1217,31 @@ fn get_device<R: Read>(
         DeviceClassChoice::QueueBasedClassA => mlora_mac::DeviceClass::QueueBasedClassA,
     };
 
-    Ok(Device {
-        active,
-        activated_at,
-        retired_at,
-        queue,
-        duty,
-        retransmit,
-        routing,
-        class,
-        transmitting,
-        tx_scheduled,
-        pending_handover,
-        last_tx_end,
-        tx_window,
-        gamma,
-        tx_time,
-        rx_window_time,
-        frames_sent,
-        grid_pos,
-        traffic,
-    })
+    Ok((
+        Device {
+            activated_at,
+            retired_at,
+            queue,
+            duty,
+            retransmit,
+            routing,
+            class,
+            tx_scheduled,
+            pending_handover,
+            tx_time,
+            rx_window_time,
+            frames_sent,
+            grid_pos,
+            traffic,
+        },
+        DeviceHot {
+            active,
+            transmitting,
+            tx_window,
+            last_tx_end,
+            gamma,
+        },
+    ))
 }
 
 fn put_report(enc: &mut Enc, r: &SimReport) {

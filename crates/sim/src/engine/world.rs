@@ -8,6 +8,22 @@
 //! polyline cursors — behind a narrow interface the event loop drives.
 //! All scratch buffers for grid queries and withdrawal selection live
 //! here too, so world queries are allocation-free in steady state.
+//!
+//! # Column layout
+//!
+//! The fields the event loop touches for *every* reception candidate —
+//! liveness, half-duplex transmit state, the transmit window, the
+//! Eq. 11 receive fraction and the last transmission end — live in
+//! struct-of-arrays form in [`HotColumns`], indexed by
+//! [`NodeId::index`] exactly like the position-hint cursors. A
+//! transmission end at metro scale sweeps hundreds of candidates, and
+//! each admission check now reads a handful of contiguous column
+//! entries instead of pulling a whole [`Device`] (queue, routing
+//! estimators, energy counters — several cache lines) through a map
+//! lookup. The cold remainder of per-device state stays in [`Device`];
+//! the split is invisible outside the engine, and snapshots write the
+//! exact same per-device wire record by gathering a [`DeviceHot`] view
+//! next to each device.
 
 use mlora_core::RoutingState;
 use mlora_geo::{GridIndex, Point};
@@ -38,10 +54,10 @@ pub(super) struct DeviceTraffic {
     pub(super) burst_left: u32,
 }
 
-/// Per-device live state.
+/// Per-device live state — the *cold* remainder after the per-event
+/// hot fields moved into [`HotColumns`] (see the module docs).
 #[derive(Debug, Clone)]
 pub(super) struct Device {
-    pub(super) active: bool,
     pub(super) activated_at: SimTime,
     pub(super) retired_at: Option<SimTime>,
     pub(super) queue: DataQueue,
@@ -49,14 +65,8 @@ pub(super) struct Device {
     pub(super) retransmit: RetransmitPolicy,
     pub(super) routing: RoutingState,
     pub(super) class: DeviceClass,
-    pub(super) transmitting: bool,
     pub(super) tx_scheduled: bool,
     pub(super) pending_handover: Option<(NodeId, usize)>,
-    pub(super) last_tx_end: Option<SimTime>,
-    /// Window of the most recent transmission, for half-duplex checks.
-    pub(super) tx_window: Option<(SimTime, SimTime)>,
-    /// Eq. 11 receive-window fraction, refreshed at each uplink.
-    pub(super) gamma: f64,
     /// Cumulative transmit airtime.
     pub(super) tx_time: SimDuration,
     /// Cumulative Queue-based Class-A listening time.
@@ -67,6 +77,70 @@ pub(super) struct Device {
     pub(super) grid_pos: Point,
     /// Traffic-model state; `None` under the paper's default workload.
     pub(super) traffic: Option<DeviceTraffic>,
+}
+
+/// One device's hot-column values, gathered/scattered as a unit where
+/// row-shaped access is the right interface (snapshot records).
+#[derive(Debug, Clone, Copy)]
+pub(super) struct DeviceHot {
+    pub(super) active: bool,
+    pub(super) transmitting: bool,
+    pub(super) tx_window: Option<(SimTime, SimTime)>,
+    pub(super) last_tx_end: Option<SimTime>,
+    pub(super) gamma: f64,
+}
+
+/// Struct-of-arrays columns for the per-event hot fields, indexed by
+/// [`NodeId::index`] (sized to the fleet at build time, like the
+/// position-hint cursors). Entries for devices not yet activated hold
+/// the inert defaults (`active == false`), so admission checks never
+/// need a map lookup to distinguish "never existed" from "retired".
+#[derive(Debug)]
+pub(super) struct HotColumns {
+    /// In service right now. `false` covers retired *and* never
+    /// activated.
+    pub(super) active: Vec<bool>,
+    /// A frame from this device is on the air right now.
+    pub(super) transmitting: Vec<bool>,
+    /// Window of the most recent transmission, for half-duplex checks.
+    pub(super) tx_window: Vec<Option<(SimTime, SimTime)>>,
+    /// When the most recent transmission ended (Class-A receive
+    /// windows open relative to it).
+    pub(super) last_tx_end: Vec<Option<SimTime>>,
+    /// Eq. 11 receive-window fraction, refreshed at each uplink.
+    pub(super) gamma: Vec<f64>,
+}
+
+impl HotColumns {
+    fn new(n: usize) -> Self {
+        HotColumns {
+            active: vec![false; n],
+            transmitting: vec![false; n],
+            tx_window: vec![None; n],
+            last_tx_end: vec![None; n],
+            gamma: vec![0.0; n],
+        }
+    }
+
+    /// Gathers one device's row across the columns.
+    pub(super) fn device_hot(&self, i: usize) -> DeviceHot {
+        DeviceHot {
+            active: self.active[i],
+            transmitting: self.transmitting[i],
+            tx_window: self.tx_window[i],
+            last_tx_end: self.last_tx_end[i],
+            gamma: self.gamma[i],
+        }
+    }
+
+    /// Scatters one device's row across the columns (snapshot restore).
+    pub(super) fn set(&mut self, i: usize, h: DeviceHot) {
+        self.active[i] = h.active;
+        self.transmitting[i] = h.transmitting;
+        self.tx_window[i] = h.tx_window;
+        self.last_tx_end[i] = h.last_tx_end;
+        self.gamma[i] = h.gamma;
+    }
 }
 
 /// What a retirement costs: the device's reconstructed radio energy and
@@ -82,6 +156,8 @@ pub(super) struct Retirement {
 pub(super) struct World {
     pub(super) net: mlora_mobility::BusNetwork,
     pub(super) devices: DenseMap<NodeId, Device>,
+    /// The per-event hot fields, in column form (see the module docs).
+    pub(super) hot: HotColumns,
     /// Device ids currently in service, kept sorted for determinism.
     pub(super) active: Vec<NodeId>,
     /// Incrementally maintained spatial index over active devices.
@@ -93,8 +169,6 @@ pub(super) struct World {
     grid_refresh_every: SimDuration,
     /// Per-device polyline segment cursors for O(1) position queries.
     pos_hints: Vec<u32>,
-    /// Scratch: raw grid query output.
-    scratch_within: Vec<(NodeId, Point)>,
     /// Scratch: withdrawal candidate pool.
     scratch_withdraw: Vec<NodeId>,
 }
@@ -109,12 +183,12 @@ impl World {
         let grid_refresh_every = SimDuration::from_secs_f64(GRID_MARGIN_M / max_speed_mps * 0.95);
         World {
             devices: DenseMap::with_capacity(num_trips),
+            hot: HotColumns::new(num_trips),
             active: Vec::new(),
             grid: GridIndex::new(cell_m),
             grid_refresh_due: SimTime::ZERO,
             grid_refresh_every,
             pos_hints: vec![0; num_trips],
-            scratch_within: Vec::new(),
             scratch_withdraw: Vec::new(),
             net,
         }
@@ -144,28 +218,68 @@ impl World {
         }
     }
 
-    /// Writes the sorted ids of active devices possibly within `radius`
-    /// of `pos` into `out` (callers must re-check exact distances).
-    pub(super) fn neighbour_candidates(
+    /// Writes `(id, exact position)` of every active device other than
+    /// `sender` truly within `radius` of `center` into `out`, sorted
+    /// ascending by id.
+    ///
+    /// This is the batched form of the old per-device candidate walk:
+    /// the grid's cell buckets inside the padded query box are visited
+    /// as contiguous slices ([`GridIndex::for_each_bucket_within`]),
+    /// each device's exact position is computed once through its
+    /// polyline cursor, and the exact-distance filter runs during the
+    /// sweep — so the caller receives the final candidate set and never
+    /// touches the grid again. The result is the same set, in the same
+    /// ascending-id order, as filtering a raw `within_into` query would
+    /// produce: position values are cursor-order-independent, so
+    /// computing them in bucket order instead of id order changes
+    /// nothing downstream.
+    pub(super) fn batched_candidates(
         &mut self,
         now: SimTime,
-        pos: Point,
+        sender: NodeId,
+        center: Point,
         radius: f64,
-        out: &mut Vec<NodeId>,
+        out: &mut Vec<(NodeId, Point)>,
     ) {
         self.refresh_grid_if_due(now);
-        let mut within = std::mem::take(&mut self.scratch_within);
-        self.grid
-            .within_into(pos, radius + GRID_MARGIN_M, &mut within);
         out.clear();
-        out.extend(within.iter().map(|&(n, _)| n));
-        out.sort_unstable();
-        self.scratch_within = within;
+        let net = &self.net;
+        let hints = &mut self.pos_hints;
+        let coarse = radius + GRID_MARGIN_M;
+        let coarse_sq = coarse * coarse;
+        self.grid.for_each_bucket_within(center, coarse, |bucket| {
+            for &(n, stale) in bucket {
+                // Coarse filter on the grid's stale position first: a
+                // device can have drifted at most `GRID_MARGIN_M` since
+                // the last refresh, so anything outside the padded
+                // circle is truly out of range — and the exact polyline
+                // walk below runs only for the survivors.
+                if n == sender || stale.distance_sq(center) > coarse_sq {
+                    continue;
+                }
+                let pos = net.position_hinted(n, now, &mut hints[n.index()]);
+                if pos.distance(center) <= radius {
+                    out.push((n, pos));
+                }
+            }
+        });
+        out.sort_unstable_by_key(|&(n, _)| n);
     }
 
     /// Activates a device: files it in the device map, the sorted active
-    /// set and the neighbour grid at `pos`.
+    /// set and the neighbour grid at `pos`, and resets its hot columns
+    /// to the fresh-activation state.
     pub(super) fn activate(&mut self, n: NodeId, device: Device, pos: Point) {
+        self.hot.set(
+            n.index(),
+            DeviceHot {
+                active: true,
+                transmitting: false,
+                tx_window: None,
+                last_tx_end: None,
+                gamma: 0.0,
+            },
+        );
         self.devices.insert(n, device);
         if let Err(i) = self.active.binary_search(&n) {
             self.active.insert(i, n);
@@ -181,7 +295,7 @@ impl World {
         if dev.retired_at.is_some() {
             return None;
         }
-        dev.active = false;
+        self.hot.active[n.index()] = false;
         dev.retired_at = Some(now);
         if let Ok(i) = self.active.binary_search(&n) {
             self.active.remove(i);

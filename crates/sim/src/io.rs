@@ -198,9 +198,11 @@ impl SimConfig {
             horizon: params.horizon,
             series_bucket: params.series_bucket,
             disruptions,
-            // A host-execution knob, not scenario content: files carry
-            // no shard count and loaded configs default to serial.
+            // Host-execution knobs, not scenario content: files carry
+            // neither a shard count nor a queue kind, and loaded
+            // configs default to serial on the binary heap.
             shards: 1,
+            queue: mlora_simcore::QueueKind::default(),
         };
         cfg.validate()?;
         Ok(cfg)

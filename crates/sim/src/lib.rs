@@ -42,8 +42,7 @@
 //! # Quick start
 //!
 //! ```
-//! use mlora_core::Scheme;
-//! use mlora_sim::Scenario;
+//! use mlora_sim::prelude::*;
 //!
 //! let report = Scenario::urban()
 //!     .smoke() // the small, fast test preset
@@ -56,8 +55,7 @@
 //! # A parallel multi-seed sweep
 //!
 //! ```
-//! use mlora_core::Scheme;
-//! use mlora_sim::{ExperimentPlan, Runner, Scenario};
+//! use mlora_sim::prelude::*;
 //! use mlora_simcore::SimDuration;
 //!
 //! let base = Scenario::urban()
@@ -92,10 +90,6 @@ pub mod traffic;
 pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, SimConfig};
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
-pub use engine::comm::{
-    EdgeMessage, FlightPlan, LocalCommunicator, PlannedCandidate, PlannedGateway,
-    PlannedInterferer, ShardCommunicator,
-};
 pub use engine::partition::Partition;
 pub use engine::{Engine, EngineStats, Snapshot, SnapshotError, SNAPSHOT_MAGIC};
 pub use io::ScenarioFileError;
@@ -103,6 +97,7 @@ pub use metrics::{ProfileReport, SimReport};
 pub use mlora_core::{ForwardingPolicy, PolicyContext, PolicySpec};
 pub use mlora_mac::Priority;
 pub use mlora_mobility::{BusNetwork, MetroConfig, MetroWorld};
+pub use mlora_simcore::QueueKind;
 pub use observer::{
     BusWithdrawn, EventCounter, FrameTransmitted, GatewayOutageChanged, HandoverAccepted,
     MessageDelivered, MessageGenerated, NoiseBurstChanged, NullObserver, ReportWriter,
@@ -115,3 +110,29 @@ pub use runner::{
 };
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use traffic::{ArrivalProcess, PayloadModel, TrafficModel, TrafficProfile};
+
+pub mod prelude {
+    //! The one-line import for working with the simulator.
+    //!
+    //! Re-exports the common surface — scenario building, schemes,
+    //! observers and their event types, experiment plans, disruption
+    //! scripting and traffic modelling — so examples and downstream
+    //! code start with `use mlora_sim::prelude::*;` and reach for
+    //! specific modules only for the long tail (snapshot internals,
+    //! custom policies, raw substrate types).
+    pub use crate::observer::events::{
+        BusWithdrawn, FrameTransmitted, GatewayOutageChanged, HandoverAccepted, MessageDelivered,
+        MessageGenerated, NoiseBurstChanged, ObservedEvent,
+    };
+    pub use crate::observer::{
+        EventCounter, NullObserver, ReportWriter, SeriesObserver, SimObserver, TraceFormat,
+        TraceSink,
+    };
+    pub use crate::{
+        BusWithdrawal, ConfigError, DeviceClassChoice, DisruptionPlan, Engine, Environment,
+        ExperimentPlan, GatewayOutage, GatewayPlacement, MetroConfig, NoiseBurst, QueueKind,
+        ReplicatedReport, Runner, Scenario, ScenarioBuilder, SimConfig, SimReport, Snapshot,
+        TrafficModel, TrafficProfile,
+    };
+    pub use mlora_core::Scheme;
+}

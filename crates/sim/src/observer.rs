@@ -8,14 +8,17 @@
 //! [`SeriesObserver`] and [`TraceSink`], or anything user-defined) instead
 //! of being re-run once per figure.
 //!
+//! The event types themselves live in [`events`] (re-exported here and
+//! from the crate root), one struct per hook, all carrying their firing
+//! instant behind the [`events::ObservedEvent`] accessor.
+//!
 //! Observers are strictly passive: the engine's event stream and final
 //! [`SimReport`] are byte-identical with or without one attached.
 //!
 //! # Example
 //!
 //! ```
-//! use mlora_core::Scheme;
-//! use mlora_sim::{EventCounter, Scenario};
+//! use mlora_sim::prelude::*;
 //!
 //! let config = Scenario::urban().smoke().scheme(Scheme::Robc).build()?;
 //! let mut counter = EventCounter::default();
@@ -27,107 +30,156 @@
 use std::io::Write;
 
 use mlora_simcore::stats::TimeSeries;
-use mlora_simcore::{MessageId, NodeId, SimDuration, SimTime};
+use mlora_simcore::{SimDuration, SimTime};
 
 use crate::SimReport;
 
-/// A device generated one application message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MessageGenerated {
-    /// Simulation time of generation.
-    pub time: SimTime,
-    /// The generating device.
-    pub device: NodeId,
-    /// The new message's identifier.
-    pub message: MessageId,
-    /// Index of the traffic profile that generated it (0 under the
-    /// paper's homogeneous default).
-    pub profile: u8,
-    /// Application payload size, bytes.
-    pub payload_bytes: u16,
-}
+pub use events::{
+    BusWithdrawn, FrameTransmitted, GatewayOutageChanged, HandoverAccepted, MessageDelivered,
+    MessageGenerated, NoiseBurstChanged, ObservedEvent,
+};
 
-/// A device began transmitting one uplink or handover frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrameTransmitted {
-    /// Simulation time at transmission start.
-    pub time: SimTime,
-    /// The transmitting device.
-    pub sender: NodeId,
-    /// Messages bundled into the frame.
-    pub bundled: usize,
-    /// PHY payload size of the frame, bytes (header, metadata and the
-    /// actual bundled payload sizes — what the airtime was computed
-    /// from).
-    pub payload_bytes: usize,
-    /// Time on air.
-    pub airtime: SimDuration,
-    /// `Some(device)` when this frame is a directed handover.
-    pub handover_target: Option<NodeId>,
-}
+pub mod events {
+    //! The typed events a [`SimObserver`](super::SimObserver) receives.
+    //!
+    //! One struct per hook, all following the same conventions: plain
+    //! `Copy` data (ids, times, counts — no references into engine
+    //! state), public fields, and a leading `time` field exposing the
+    //! simulation instant the event fired at, uniformly accessible
+    //! through [`ObservedEvent::time`] so generic sinks can timestamp
+    //! any event without matching on its type.
 
-/// A handover frame was decoded and accepted by its target device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HandoverAccepted {
-    /// Simulation time of acceptance (transmission end).
-    pub time: SimTime,
-    /// The device that handed its data over.
-    pub donor: NodeId,
-    /// The device now holding the data.
-    pub acceptor: NodeId,
-    /// Messages moved.
-    pub messages: usize,
-}
+    use mlora_simcore::{MessageId, NodeId, SimDuration, SimTime};
 
-/// A message reached the network server for the first time.
-///
-/// Exactly one such event fires per unique delivery — duplicates arriving
-/// later at other gateways are filtered, so counting these events always
-/// matches [`SimReport::delivered`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MessageDelivered {
-    /// Simulation time of first arrival.
-    pub time: SimTime,
-    /// The delivered message.
-    pub message: MessageId,
-    /// The device that originally generated it.
-    pub origin: NodeId,
-    /// End-to-end delay from generation to first arrival.
-    pub delay: SimDuration,
-    /// Device-to-device transfers plus the final uplink (≥ 1).
-    pub hops: u32,
-}
+    /// The shared accessor convention: every observer event carries the
+    /// simulation instant it fired at.
+    ///
+    /// Implemented by all seven event types, so generic code — bucketing
+    /// time-series sinks, ordered trace mergers — can read the timestamp
+    /// without knowing the concrete event.
+    pub trait ObservedEvent {
+        /// Simulation time the event fired at.
+        fn time(&self) -> SimTime;
+    }
 
-/// A gateway went down or recovered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GatewayOutageChanged {
-    /// Simulation time of the transition.
-    pub time: SimTime,
-    /// Index of the affected gateway.
-    pub gateway: u32,
-    /// `true` when the gateway just went down, `false` on recovery.
-    pub down: bool,
-}
+    macro_rules! observed_at {
+        ($($ty:ty),+) => {$(
+            impl ObservedEvent for $ty {
+                fn time(&self) -> SimTime {
+                    self.time
+                }
+            }
+        )+};
+    }
 
-/// A bus was withdrawn from service by a scripted disruption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BusWithdrawn {
-    /// Simulation time of the withdrawal.
-    pub time: SimTime,
-    /// The withdrawn device.
-    pub device: NodeId,
-}
+    observed_at!(
+        MessageGenerated,
+        FrameTransmitted,
+        HandoverAccepted,
+        MessageDelivered,
+        GatewayOutageChanged,
+        BusWithdrawn,
+        NoiseBurstChanged
+    );
 
-/// A regional noise burst began or ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NoiseBurstChanged {
-    /// Simulation time of the transition.
-    pub time: SimTime,
-    /// Index of the burst in the scenario's
-    /// [`DisruptionPlan`](crate::DisruptionPlan).
-    pub burst: u32,
-    /// `true` when the burst just started, `false` when it ended.
-    pub active: bool,
+    /// A device generated one application message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct MessageGenerated {
+        /// Simulation time of generation.
+        pub time: SimTime,
+        /// The generating device.
+        pub device: NodeId,
+        /// The new message's identifier.
+        pub message: MessageId,
+        /// Index of the traffic profile that generated it (0 under the
+        /// paper's homogeneous default).
+        pub profile: u8,
+        /// Application payload size, bytes.
+        pub payload_bytes: u16,
+    }
+
+    /// A device began transmitting one uplink or handover frame.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FrameTransmitted {
+        /// Simulation time at transmission start.
+        pub time: SimTime,
+        /// The transmitting device.
+        pub sender: NodeId,
+        /// Messages bundled into the frame.
+        pub bundled: usize,
+        /// PHY payload size of the frame, bytes (header, metadata and the
+        /// actual bundled payload sizes — what the airtime was computed
+        /// from).
+        pub payload_bytes: usize,
+        /// Time on air.
+        pub airtime: SimDuration,
+        /// `Some(device)` when this frame is a directed handover.
+        pub handover_target: Option<NodeId>,
+    }
+
+    /// A handover frame was decoded and accepted by its target device.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct HandoverAccepted {
+        /// Simulation time of acceptance (transmission end).
+        pub time: SimTime,
+        /// The device that handed its data over.
+        pub donor: NodeId,
+        /// The device now holding the data.
+        pub acceptor: NodeId,
+        /// Messages moved.
+        pub messages: usize,
+    }
+
+    /// A message reached the network server for the first time.
+    ///
+    /// Exactly one such event fires per unique delivery — duplicates arriving
+    /// later at other gateways are filtered, so counting these events always
+    /// matches [`SimReport::delivered`](crate::SimReport::delivered).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct MessageDelivered {
+        /// Simulation time of first arrival.
+        pub time: SimTime,
+        /// The delivered message.
+        pub message: MessageId,
+        /// The device that originally generated it.
+        pub origin: NodeId,
+        /// End-to-end delay from generation to first arrival.
+        pub delay: SimDuration,
+        /// Device-to-device transfers plus the final uplink (≥ 1).
+        pub hops: u32,
+    }
+
+    /// A gateway went down or recovered.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct GatewayOutageChanged {
+        /// Simulation time of the transition.
+        pub time: SimTime,
+        /// Index of the affected gateway.
+        pub gateway: u32,
+        /// `true` when the gateway just went down, `false` on recovery.
+        pub down: bool,
+    }
+
+    /// A bus was withdrawn from service by a scripted disruption.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BusWithdrawn {
+        /// Simulation time of the withdrawal.
+        pub time: SimTime,
+        /// The withdrawn device.
+        pub device: NodeId,
+    }
+
+    /// A regional noise burst began or ended.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct NoiseBurstChanged {
+        /// Simulation time of the transition.
+        pub time: SimTime,
+        /// Index of the burst in the scenario's
+        /// [`DisruptionPlan`](crate::DisruptionPlan).
+        pub burst: u32,
+        /// `true` when the burst just started, `false` when it ended.
+        pub active: bool,
+    }
 }
 
 /// Receives the engine's event stream.
@@ -490,7 +542,7 @@ pub enum TraceFormat {
 ///
 /// Rows share one schema across event kinds; fields that do not apply to
 /// a kind are left empty (CSV) or omitted (JSON). The `device` column's
-/// id space depends on the `event` column: bus [`NodeId`]s for traffic
+/// id space depends on the `event` column: bus [`NodeId`](mlora_simcore::NodeId)s for traffic
 /// and `withdrawn` rows, the *gateway index* for `gateway_down` /
 /// `gateway_up` rows, and the *burst index* for `noise_start` /
 /// `noise_end` rows — group by `(event, device)`, never by `device`
@@ -680,6 +732,7 @@ impl<W: Write> SimObserver for TraceSink<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlora_simcore::{MessageId, NodeId};
 
     fn delivered(t: u64) -> MessageDelivered {
         MessageDelivered {

@@ -15,8 +15,7 @@
 //! # Example
 //!
 //! ```
-//! use mlora_core::Scheme;
-//! use mlora_sim::{Environment, ExperimentPlan, Runner, Scenario};
+//! use mlora_sim::prelude::*;
 //!
 //! // A miniature Fig. 9: urban vs rural × two gateway densities × two
 //! // schemes, three seeds per cell.

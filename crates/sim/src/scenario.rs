@@ -32,7 +32,7 @@ use std::sync::Arc;
 use mlora_core::Scheme;
 use mlora_geo::Point;
 use mlora_mobility::{BusNetwork, MetroConfig, MetroWorld};
-use mlora_simcore::{SimDuration, SimTime};
+use mlora_simcore::{QueueKind, SimDuration, SimTime};
 
 use crate::{
     BusWithdrawal, ConfigError, DeviceClassChoice, DisruptionPlan, Environment, GatewayOutage,
@@ -225,7 +225,7 @@ impl ScenarioBuilder {
     /// # Example
     ///
     /// ```
-    /// use mlora_sim::{Scenario, TrafficModel, TrafficProfile};
+    /// use mlora_sim::prelude::*;
     ///
     /// let cfg = Scenario::urban()
     ///     .smoke()
@@ -250,7 +250,7 @@ impl ScenarioBuilder {
     /// # Example
     ///
     /// ```
-    /// use mlora_sim::{Scenario, TrafficProfile};
+    /// use mlora_sim::prelude::*;
     ///
     /// let cfg = Scenario::urban()
     ///     .smoke()
@@ -279,6 +279,16 @@ impl ScenarioBuilder {
     /// oversubscribe the host.
     pub fn shards(mut self, shards: usize) -> Self {
         self.config.shards = shards;
+        self
+    }
+
+    /// Sets the event-queue implementation (see [`SimConfig::queue`]):
+    /// the binary heap (the default) or the calendar queue. Like
+    /// [`ScenarioBuilder::shards`] this is a host-execution knob —
+    /// results are bit-identical for either kind, and scenario files
+    /// and snapshots never carry it.
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.config.queue = kind;
         self
     }
 
@@ -329,7 +339,7 @@ impl ScenarioBuilder {
     /// # Example
     ///
     /// ```
-    /// use mlora_sim::{DisruptionPlan, Scenario};
+    /// use mlora_sim::prelude::*;
     ///
     /// let cfg = Scenario::urban()
     ///     .smoke()

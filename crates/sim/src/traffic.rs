@@ -20,7 +20,7 @@
 //! # Example
 //!
 //! ```
-//! use mlora_sim::{Scenario, TrafficProfile};
+//! use mlora_sim::prelude::*;
 //!
 //! let cfg = Scenario::urban()
 //!     .smoke()

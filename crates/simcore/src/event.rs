@@ -1,4 +1,20 @@
-//! Timestamped event queue with deterministic FIFO tie-breaking.
+//! Timestamped event queues with deterministic FIFO tie-breaking.
+//!
+//! Two interchangeable implementations share one contract — events pop
+//! in packed `(time, sequence)` order, so runs are bit-identical under
+//! either:
+//!
+//! * [`EventQueue`] — a binary min-heap: `O(log n)` per operation,
+//!   branch-predictable, the long-standing default.
+//! * [`CalendarQueue`] — a calendar queue (time wheel): amortized `O(1)`
+//!   schedule/pop when the bucket width tracks the mean event spacing.
+//!
+//! [`AnyEventQueue`] dispatches between them at runtime from a
+//! [`QueueKind`], and both export their pending events in a common
+//! checkpoint shape so snapshots taken under one kind resume under the
+//! other.
+
+use serde::{Deserialize, Serialize};
 
 use crate::SimTime;
 
@@ -161,6 +177,426 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Which [`AnyEventQueue`] implementation a simulation runs on.
+///
+/// A host-execution knob, not scenario content: both kinds pop the same
+/// packed `(time, seq)` sequence, so any choice produces bit-identical
+/// results and scenario/snapshot files neither carry nor require it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// The binary min-heap [`EventQueue`]: `O(log n)` per operation.
+    #[default]
+    BinaryHeap,
+    /// The [`CalendarQueue`] time wheel: amortized `O(1)` per operation
+    /// once the bucket width has adapted to the mean event spacing.
+    Calendar,
+}
+
+impl QueueKind {
+    /// Every selectable kind, in declaration order (for CLI help text
+    /// and exhaustive sweeps).
+    pub const ALL: [QueueKind; 2] = [QueueKind::BinaryHeap, QueueKind::Calendar];
+
+    /// The canonical CLI/config spelling (`"heap"` / `"calendar"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueueKind::BinaryHeap => "heap",
+            QueueKind::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`QueueKind`] from a string (see its [`FromStr`]
+/// impl for the accepted spellings).
+///
+/// [`FromStr`]: std::str::FromStr
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueueKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseQueueKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown queue kind `{}` (expected `heap` or `calendar`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseQueueKindError {}
+
+impl std::str::FromStr for QueueKind {
+    type Err = ParseQueueKindError;
+
+    /// Accepts `heap` / `binary-heap` / `binary_heap` and `calendar`
+    /// (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "heap" | "binary-heap" | "binary_heap" | "binaryheap" => Ok(QueueKind::BinaryHeap),
+            "calendar" => Ok(QueueKind::Calendar),
+            _ => Err(ParseQueueKindError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// The bucket-day of a packed key under a given bucket width
+/// (`1 << shift` milliseconds).
+fn day_of(key: u128, shift: u32) -> u64 {
+    ((key >> 64) as u64) >> shift
+}
+
+/// A calendar queue (time wheel) with the same ordering contract as
+/// [`EventQueue`].
+///
+/// Time is divided into fixed-width *days* of `1 << day_shift`
+/// milliseconds; day `d` files its events under bucket `d mod n` (with
+/// `n` a power of two). Each bucket is kept sorted by packed key in
+/// descending order, so the earliest pending event of the day under the
+/// cursor is a `Vec::pop` from the bucket's tail. Popping advances the
+/// cursor day by day; after one full empty rotation it jumps straight
+/// to the globally earliest bucket head, so sparse stretches cost one
+/// wheel scan instead of one step per empty day.
+///
+/// The wheel doubles (and re-tunes its bucket width to the mean pending
+/// event spacing) whenever occupancy exceeds one event per bucket, and
+/// never shrinks: buckets keep their capacity, so a queue at its
+/// steady-state size allocates nothing — the property
+/// `calendar_queue_alloc` pins with a counting allocator.
+///
+/// # Example
+///
+/// ```
+/// use mlora_simcore::{CalendarQueue, SimTime};
+///
+/// let mut q = CalendarQueue::new();
+/// q.schedule(SimTime::from_secs(5), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// q.schedule(SimTime::from_secs(1), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// `buckets[d mod n]` holds day `d`'s events, sorted by packed key
+    /// in *descending* order (earliest at the tail).
+    buckets: Vec<Vec<(u128, E)>>,
+    /// Bucket width is `1 << day_shift` milliseconds.
+    day_shift: u32,
+    /// The day holding `head` (meaningless while the queue is empty).
+    day: u64,
+    /// Cached earliest pending key, so `peek_time` is `O(1)`.
+    head: Option<u128>,
+    len: usize,
+    seq: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: Vec::new(),
+            day_shift: 0,
+            day: 0,
+            head: None,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue wheel-sized for about `capacity` pending
+    /// events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = CalendarQueue::new();
+        q.buckets
+            .resize_with(capacity.next_power_of_two().max(16), Vec::new);
+        q
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let key = pack(time, self.seq);
+        self.seq += 1;
+        if self.len == self.buckets.len() {
+            self.grow();
+        }
+        self.insert_key(key, event);
+    }
+
+    /// Files an already-packed key without growing; the caller ensures
+    /// `len < buckets.len()`.
+    fn insert_key(&mut self, key: u128, event: E) {
+        let d = day_of(key, self.day_shift);
+        let mask = (self.buckets.len() - 1) as u64;
+        let bucket = &mut self.buckets[(d & mask) as usize];
+        let at = bucket.partition_point(|&(k, _)| k > key);
+        bucket.insert(at, (key, event));
+        self.len += 1;
+        if self.head.is_none_or(|h| key < h) {
+            self.head = Some(key);
+            self.day = d;
+        }
+    }
+
+    /// Doubles the wheel and re-tunes the bucket width to the mean
+    /// spacing of the pending events, redistributing them all.
+    fn grow(&mut self) {
+        let mut all: Vec<(u128, E)> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            all.append(bucket);
+        }
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &(key, _) in &all {
+            let t = (key >> 64) as u64;
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let width = if all.is_empty() {
+            1
+        } else {
+            ((hi - lo) / all.len() as u64).max(1).next_power_of_two()
+        };
+        self.day_shift = width.trailing_zeros();
+        let target = (self.buckets.len() * 2).max(16);
+        self.buckets.resize_with(target, Vec::new);
+        self.len = 0;
+        self.head = None;
+        for (key, event) in all {
+            self.insert_key(key, event);
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let head = self.head?;
+        let mask = (self.buckets.len() - 1) as u64;
+        let (key, event) = self.buckets[(self.day & mask) as usize]
+            .pop()
+            .expect("head bucket is non-empty");
+        debug_assert_eq!(key, head);
+        self.len -= 1;
+        if self.len == 0 {
+            self.head = None;
+        } else {
+            // The next head is at or after the popped day: walk the
+            // wheel forward, and after one full empty rotation jump to
+            // the globally earliest bucket tail.
+            let mut d = self.day;
+            let mut scanned = 0;
+            self.head = loop {
+                if let Some(&(k, _)) = self.buckets[(d & mask) as usize].last() {
+                    if day_of(k, self.day_shift) == d {
+                        self.day = d;
+                        break Some(k);
+                    }
+                }
+                d += 1;
+                scanned += 1;
+                if scanned >= self.buckets.len() {
+                    let k = self
+                        .buckets
+                        .iter()
+                        .filter_map(|b| b.last())
+                        .map(|&(k, _)| k)
+                        .min()
+                        .expect("len > 0");
+                    self.day = day_of(k, self.day_shift);
+                    break Some(k);
+                }
+            };
+        }
+        Some((unpack_time(key), event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.head.map(unpack_time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all pending events, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+        self.head = None;
+    }
+
+    /// The queue's checkpoint state: every pending `(packed key, event)`
+    /// in ascending key order, plus the next insertion sequence number.
+    /// Counterpart of [`CalendarQueue::from_events`]; ascending order is
+    /// also a valid [`EventQueue`] heap layout, so either kind can
+    /// rebuild from it.
+    pub fn checkpoint_events(&self) -> (Vec<(u128, E)>, u64)
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(u128, E)> = self.buckets.iter().flatten().cloned().collect();
+        out.sort_unstable_by_key(|&(key, _)| key);
+        (out, self.seq)
+    }
+
+    /// Rebuilds a queue from checkpointed `(packed key, event)` records
+    /// (any order) and the next insertion sequence number.
+    pub fn from_events(events: Vec<(u128, E)>, seq: u64) -> Self {
+        let mut q = CalendarQueue::with_capacity(events.len());
+        for (key, event) in events {
+            q.insert_key(key, event);
+        }
+        q.seq = seq;
+        q
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+/// Runtime dispatch between the two [`QueueKind`]s.
+///
+/// Both kinds pop the identical packed `(time, seq)` sequence, so which
+/// one a simulation runs on is a pure host-performance choice; the
+/// two-variant match per operation is a predicted branch and costs
+/// nothing measurable next to the queue work itself.
+#[derive(Debug, Clone)]
+pub enum AnyEventQueue<E> {
+    /// Binary min-heap ([`EventQueue`]).
+    Heap(EventQueue<E>),
+    /// Calendar queue / time wheel ([`CalendarQueue`]).
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> AnyEventQueue<E> {
+    /// Creates an empty queue of the given kind.
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => AnyEventQueue::Heap(EventQueue::new()),
+            QueueKind::Calendar => AnyEventQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Creates an empty queue of the given kind with room for
+    /// `capacity` events.
+    pub fn with_capacity(kind: QueueKind, capacity: usize) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => AnyEventQueue::Heap(EventQueue::with_capacity(capacity)),
+            QueueKind::Calendar => AnyEventQueue::Calendar(CalendarQueue::with_capacity(capacity)),
+        }
+    }
+
+    /// Which implementation this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            AnyEventQueue::Heap(_) => QueueKind::BinaryHeap,
+            AnyEventQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    #[inline]
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        match self {
+            AnyEventQueue::Heap(q) => q.schedule(time, event),
+            AnyEventQueue::Calendar(q) => q.schedule(time, event),
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            AnyEventQueue::Heap(q) => q.pop(),
+            AnyEventQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            AnyEventQueue::Heap(q) => q.peek_time(),
+            AnyEventQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyEventQueue::Heap(q) => q.len(),
+            AnyEventQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all pending events, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        match self {
+            AnyEventQueue::Heap(q) => q.clear(),
+            AnyEventQueue::Calendar(q) => q.clear(),
+        }
+    }
+
+    /// The queue's checkpoint state: every pending `(packed key, event)`
+    /// record plus the next insertion sequence number, in an order any
+    /// kind can rebuild from (heap layout order for the heap — also what
+    /// historical snapshots hold — ascending key order for the
+    /// calendar; both are valid heap layouts). Counterpart of
+    /// [`AnyEventQueue::from_events`].
+    pub fn checkpoint_events(&self) -> (Vec<(u128, E)>, u64)
+    where
+        E: Clone,
+    {
+        match self {
+            AnyEventQueue::Heap(q) => {
+                let (heap, seq) = q.raw_parts();
+                (heap.to_vec(), seq)
+            }
+            AnyEventQueue::Calendar(q) => q.checkpoint_events(),
+        }
+    }
+
+    /// Rebuilds a queue of the given kind from checkpointed records.
+    ///
+    /// `events` must come from [`AnyEventQueue::checkpoint_events`] (of
+    /// either kind) with record order preserved: restoring a heap from
+    /// heap-layout records reproduces the original layout verbatim, so
+    /// pops replay exactly as the snapshotted run's would have.
+    pub fn from_events(kind: QueueKind, events: Vec<(u128, E)>, seq: u64) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => AnyEventQueue::Heap(EventQueue::from_raw_parts(events, seq)),
+            QueueKind::Calendar => AnyEventQueue::Calendar(CalendarQueue::from_events(events, seq)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +661,101 @@ mod tests {
         }
         assert!(q.is_empty());
         assert!(q.heap.capacity() >= 8, "capacity must be retained");
+    }
+
+    #[test]
+    fn calendar_pops_in_time_order_with_fifo_ties() {
+        let mut q = CalendarQueue::new();
+        for &t in &[9u64, 3, 7, 1, 5, 3, 3] {
+            q.schedule(SimTime::from_secs(t), t);
+        }
+        let out: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, vec![1, 3, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn calendar_handles_sparse_and_past_inserts() {
+        let mut q = CalendarQueue::new();
+        // A sparse far-future event forces the full-rotation jump...
+        q.schedule(SimTime::from_secs(100_000), "far");
+        q.schedule(SimTime::from_secs(1), "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        // ...and scheduling earlier than the cursor pulls it back.
+        q.schedule(SimTime::from_secs(2), "earlier");
+        assert_eq!(q.pop().unwrap().1, "earlier");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_matches_heap_under_random_interleavings() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(2020);
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for step in 0..5_000u64 {
+            if rng.gen_range_u64(0, 3) < 2 {
+                let t = rng.gen_range_u64(0, 10_000);
+                heap.schedule(SimTime::from_millis(t), step);
+                cal.schedule(SimTime::from_millis(t), step);
+            } else {
+                assert_eq!(heap.pop(), cal.pop());
+            }
+            assert_eq!(heap.peek_time(), cal.peek_time());
+            assert_eq!(heap.len(), cal.len());
+        }
+        while let Some(want) = heap.pop() {
+            assert_eq!(cal.pop(), Some(want));
+        }
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn checkpoint_restores_into_either_kind() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(7);
+        let mut q = AnyEventQueue::new(QueueKind::Calendar);
+        for i in 0..500u64 {
+            q.schedule(SimTime::from_millis(rng.gen_range_u64(0, 2_000)), i);
+        }
+        for _ in 0..200 {
+            q.pop().unwrap();
+        }
+        let (events, seq) = q.checkpoint_events();
+        let mut heap = AnyEventQueue::from_events(QueueKind::BinaryHeap, events.clone(), seq);
+        let mut cal = AnyEventQueue::from_events(QueueKind::Calendar, events, seq);
+        // New schedules continue the sequence identically on both sides.
+        heap.schedule(SimTime::from_millis(500), 9_999);
+        cal.schedule(SimTime::from_millis(500), 9_999);
+        while let Some(want) = q.pop() {
+            // The original keeps popping what both restored queues pop,
+            // except the freshly scheduled event they share.
+            let got_heap = heap.pop().unwrap();
+            let got_cal = cal.pop().unwrap();
+            assert_eq!(got_heap, got_cal);
+            if got_heap.1 != 9_999 {
+                assert_eq!(got_heap, want);
+            } else {
+                let next_heap = heap.pop().unwrap();
+                assert_eq!(next_heap, cal.pop().unwrap());
+                assert_eq!(next_heap, want);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_kind_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(QueueKind::from_str("heap"), Ok(QueueKind::BinaryHeap));
+        assert_eq!(
+            QueueKind::from_str("Binary-Heap"),
+            Ok(QueueKind::BinaryHeap)
+        );
+        assert_eq!(QueueKind::from_str("calendar"), Ok(QueueKind::Calendar));
+        assert!(QueueKind::from_str("wheelbarrow").is_err());
+        assert_eq!(QueueKind::BinaryHeap.to_string(), "heap");
+        assert_eq!(QueueKind::Calendar.to_string(), "calendar");
+        assert_eq!(QueueKind::default(), QueueKind::BinaryHeap);
     }
 
     #[test]

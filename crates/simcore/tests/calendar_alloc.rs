@@ -1,0 +1,77 @@
+//! Allocation accounting for the calendar queue hot path: steady-state
+//! schedule/pop churn must not touch the heap.
+//!
+//! Uses a counting wrapper around the system allocator; the counter is a
+//! process-wide total, so each assertion brackets exactly the code under
+//! test and nothing else runs concurrently (integration tests in this
+//! binary run on one thread: there is only one test).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mlora_simcore::{CalendarQueue, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_schedule_and_pop_do_not_allocate() {
+    // 64 buckets at the initial 1 ms width; occupancy stays at 32 so the
+    // wheel never grows, and each round advances time by exactly one
+    // wheel revolution so the same buckets fill cycle over cycle.
+    let mut q: CalendarQueue<u64> = CalendarQueue::with_capacity(63);
+    let cycle = |q: &mut CalendarQueue<u64>, base_round: u64| {
+        for round in base_round..base_round + 50 {
+            for i in 0..32u64 {
+                q.schedule(SimTime::from_millis(round * 64 + 2 * i), i);
+            }
+            for _ in 0..32 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        // A sparse far-future event exercises the full-rotation jump.
+        q.schedule(SimTime::from_millis((base_round + 51) * 64), 0);
+        q.schedule(SimTime::from_millis(base_round * 64 + 3), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+    };
+
+    // Warm-up settles every bucket at the cycle's maximum capacity.
+    cycle(&mut q, 0);
+
+    // Steady state: the identical churn pattern must be allocation-free.
+    let before = allocations();
+    cycle(&mut q, 100);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "calendar queue hot path allocated {} times in steady state",
+        after - before
+    );
+}

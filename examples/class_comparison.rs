@@ -10,8 +10,7 @@
 //! cargo run --release --example class_comparison
 //! ```
 
-use mlora::core::Scheme;
-use mlora::sim::{DeviceClassChoice, ExperimentPlan, Runner, Scenario};
+use mlora::sim::prelude::*;
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

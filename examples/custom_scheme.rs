@@ -10,9 +10,10 @@
 //! ```
 
 use mlora::core::{
-    Beacon, ForwardingPolicy, PolicyContext, PolicySpec, RoutingConfig, Scheme, RCA_ETX_CEILING,
+    Beacon, ForwardingPolicy, PolicyContext, PolicySpec, RoutingConfig, RCA_ETX_CEILING,
 };
-use mlora::sim::{report, ExperimentPlan, Runner, Scenario};
+use mlora::sim::prelude::*;
+use mlora::sim::report;
 
 /// A binary spray-and-wait relay with a contact-gated budget.
 ///

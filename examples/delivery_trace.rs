@@ -8,8 +8,7 @@
 //! With a path argument the full event trace lands in that file;
 //! otherwise only the summary prints.
 
-use mlora::core::Scheme;
-use mlora::sim::{EventCounter, Scenario, SeriesObserver, TraceSink};
+use mlora::sim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = Scenario::urban().smoke().scheme(Scheme::Robc).build()?;

@@ -10,8 +10,7 @@
 //! cargo run --release --example gateway_planning
 //! ```
 
-use mlora::core::Scheme;
-use mlora::sim::{ExperimentPlan, GatewayPlacement, Runner, Scenario};
+use mlora::sim::prelude::*;
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

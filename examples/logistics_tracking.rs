@@ -15,8 +15,7 @@
 //! cargo run --release --example logistics_tracking
 //! ```
 
-use mlora::core::Scheme;
-use mlora::sim::{ExperimentPlan, Runner, Scenario, TrafficProfile};
+use mlora::sim::prelude::*;
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -13,9 +13,8 @@
 //! cargo run --release --example metro_scale
 //! ```
 
-use mlora::core::Scheme;
 use mlora::mobility::DiurnalProfile;
-use mlora::sim::{MetroConfig, ReportWriter, Scenario, SeriesObserver, SimConfig};
+use mlora::sim::prelude::*;
 use mlora::simcore::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mlora::core::Scheme;
-use mlora::sim::{Scenario, TrafficProfile};
+use mlora::sim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down urban MLoRa-SS network: 100 km², two simulated hours,

@@ -13,12 +13,9 @@
 //! cargo run --release --example resilience
 //! ```
 
-use mlora::core::Scheme;
 use mlora::geo::Point;
+use mlora::sim::prelude::*;
 use mlora::sim::report::resilience_table;
-use mlora::sim::{
-    BusWithdrawal, DisruptionPlan, ExperimentPlan, GatewayOutage, NoiseBurst, Runner, Scenario,
-};
 use mlora::simcore::{SimDuration, SimTime};
 
 /// Outages covering `gateways` of the deployment, staggered through the

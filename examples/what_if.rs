@@ -13,8 +13,7 @@
 //! cargo run --release --example what_if
 //! ```
 
-use mlora::core::Scheme;
-use mlora::sim::{DisruptionPlan, Engine, GatewayOutage, Runner, Scenario, Snapshot};
+use mlora::sim::prelude::*;
 use mlora::simcore::SimTime;
 
 /// An overlay downing gateways `0..count` for the rest of the run,

@@ -1,0 +1,109 @@
+//! Property-based tests over the pluggable event queue: the calendar
+//! queue is observationally identical to the binary heap — same pop
+//! sequence, same peek, same length — under arbitrary interleavings of
+//! schedules and pops, including duplicate timestamps (where the packed
+//! `(time, seq)` key decides) and far-future jumps that force bucket
+//! rotation and calendar re-tuning. Checkpointing one kind and restoring
+//! into the other mid-run must be invisible too: the ascending-key
+//! record list is a shared wire format.
+
+use mlora::simcore::{AnyEventQueue, QueueKind, SimTime};
+use proptest::prelude::*;
+
+/// One step of a queue workload.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule a payload at this absolute time (milliseconds).
+    Schedule(u64),
+    /// Pop the earliest pending event, if any.
+    Pop,
+}
+
+/// Decodes one raw draw into a workload step. The mix — near-term
+/// schedules (dense buckets, duplicate timestamps), far-future jumps
+/// (bucket rotation across many empty days, grow-only re-tuning) and
+/// pops — comes from the low bits; the time from the rest.
+fn decode(word: u64) -> Op {
+    match word & 7 {
+        0..=3 => Op::Schedule((word >> 3) % 5_000),
+        4 => Op::Schedule(1u64 << (10 + (word >> 3) % 18)),
+        _ => Op::Pop,
+    }
+}
+
+/// Applies one op to a queue, tagging each scheduled event with its
+/// ordinal so pop results expose the full `(time, seq)` order.
+fn apply(q: &mut AnyEventQueue<u32>, op: &Op, ordinal: u32) -> Option<(SimTime, u32)> {
+    match op {
+        Op::Schedule(ms) => {
+            q.schedule(SimTime::from_millis(*ms), ordinal);
+            None
+        }
+        Op::Pop => q.pop(),
+    }
+}
+
+proptest! {
+    /// Heap and calendar queues driven by the same workload agree on
+    /// every observation: each pop returns the same `(time, payload)`,
+    /// and `peek_time`/`len` match after every step.
+    #[test]
+    fn calendar_pops_bit_identical_to_heap(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&w| decode(w)).collect();
+        let mut heap = AnyEventQueue::new(QueueKind::BinaryHeap);
+        let mut cal = AnyEventQueue::new(QueueKind::Calendar);
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut heap, op, i as u32);
+            let b = apply(&mut cal, op, i as u32);
+            prop_assert_eq!(a, b, "divergence at op {}: {:?}", i, op);
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        // Drain whatever remains: the tails must be identical and sorted
+        // by the packed key (time ascending, insertion order within a
+        // timestamp).
+        let mut last: Option<(SimTime, u32)> = None;
+        while let Some(a) = heap.pop() {
+            prop_assert_eq!(Some(a), cal.pop());
+            if let Some((lt, lp)) = last {
+                prop_assert!(a.0 > lt || (a.0 == lt && a.1 > lp), "total order violated");
+            }
+            last = Some(a);
+        }
+        prop_assert!(cal.pop().is_none());
+    }
+
+    /// Checkpointing mid-workload and restoring into the *other* queue
+    /// kind leaves the remaining pop sequence unchanged: snapshots
+    /// written under one kind resume under the other bit-identically.
+    #[test]
+    fn checkpoint_crosses_queue_kinds(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..300),
+        cut in 0usize..300,
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&w| decode(w)).collect();
+        let mut reference = AnyEventQueue::new(QueueKind::BinaryHeap);
+        let mut swapped = AnyEventQueue::new(QueueKind::Calendar);
+        let cut = cut.min(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            if i == cut {
+                // Migrate each queue onto the opposite kind through the
+                // shared checkpoint format.
+                let (records, seq) = swapped.checkpoint_events();
+                swapped = AnyEventQueue::from_events(QueueKind::BinaryHeap, records, seq);
+                prop_assert_eq!(swapped.kind(), QueueKind::BinaryHeap);
+                let (records, seq) = reference.checkpoint_events();
+                reference = AnyEventQueue::from_events(QueueKind::Calendar, records, seq);
+            }
+            let a = apply(&mut reference, op, i as u32);
+            let b = apply(&mut swapped, op, i as u32);
+            prop_assert_eq!(a, b, "divergence at op {} after kind swap", i);
+        }
+        while let Some(a) = reference.pop() {
+            prop_assert_eq!(Some(a), swapped.pop());
+        }
+        prop_assert!(swapped.pop().is_none());
+    }
+}

@@ -13,8 +13,8 @@
 use mlora::core::Scheme;
 use mlora::geo::Point;
 use mlora::sim::{
-    BusWithdrawal, DisruptionPlan, Engine, GatewayOutage, NoiseBurst, Runner, Scenario, SimConfig,
-    Snapshot, TrafficModel, TrafficProfile,
+    BusWithdrawal, DisruptionPlan, Engine, GatewayOutage, NoiseBurst, QueueKind, Runner, Scenario,
+    SimConfig, Snapshot, TrafficModel, TrafficProfile,
 };
 use mlora::simcore::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -91,9 +91,19 @@ proptest! {
         snap_frac in 0.05f64..0.95,
         with_traffic in proptest::bool::ANY,
         with_disruptions in proptest::bool::ANY,
+        on_calendar in proptest::bool::ANY,
     ) {
         let shards = 1 << shards_idx; // 1, 2, 4
-        let cfg = config(scheme_idx, shards, with_traffic, with_disruptions);
+        let mut cfg = config(scheme_idx, shards, with_traffic, with_disruptions);
+        // Run and snapshot under either queue kind, then resume on the
+        // *other* one: the kind is a host knob snapshots do not record,
+        // so every crossing must be bit-identical.
+        let (run_q, resume_q) = if on_calendar {
+            (QueueKind::Calendar, QueueKind::BinaryHeap)
+        } else {
+            (QueueKind::BinaryHeap, QueueKind::Calendar)
+        };
+        cfg.queue = run_q;
         let baseline = Engine::new(cfg.clone(), seed).run();
 
         let snap_t = SimTime::from_secs((HORIZON_S as f64 * snap_frac) as u64);
@@ -104,9 +114,15 @@ proptest! {
         // The snapshotted engine keeps running unperturbed...
         prop_assert_eq!(engine.finish(), baseline.clone());
         // ...and the resumed copy reproduces the identical report, even
-        // after a serialization round trip through raw bytes.
+        // after a serialization round trip through raw bytes and a
+        // switch to the opposite queue kind.
         let reloaded = Snapshot::from_bytes(snap.as_bytes().to_vec()).expect("reload");
-        prop_assert_eq!(Engine::resume(&reloaded).expect("resume").finish(), baseline);
+        prop_assert_eq!(
+            Engine::resume_on_queue(&reloaded, DisruptionPlan::default(), resume_q)
+                .expect("resume")
+                .finish(),
+            baseline
+        );
     }
 }
 
