@@ -4,8 +4,9 @@
 //! activity profile, see [`mlora_bench::engine_throughput_config`]) plus
 //! a 20 000-bus metro-generator tier
 //! ([`mlora_bench::metro_throughput_config`]) and prints one JSON object
-//! per scenario with the processed-event count, wall-clock time and
-//! events/sec. The 2000- and 20 000-bus tiers are additionally measured
+//! per scenario with the processed-event count, wall-clock time,
+//! events/sec and the host's available parallelism (so a recorded
+//! artifact says on its face whether sharded tiers had real cores). The 2000- and 20 000-bus tiers are additionally measured
 //! with the spatially partitioned engine at 4 shards (the `_4shards`
 //! rows) and on the calendar event queue (the `_calendar` rows), so the
 //! CI regression gate covers the parallel and calendar paths like the
@@ -137,6 +138,13 @@ fn main() {
         scenarios.push((name, cfg));
     }
 
+    // Host parallelism goes into every row: sharded-tier ratios are only
+    // interpretable against the hardware threads actually available (the
+    // recorded baselines come from a single-hardware-thread box).
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+
     println!("[");
     for (i, (name, cfg)) in scenarios.iter().enumerate() {
         // One warm-up, then the timed runs; report the best (least-noise)
@@ -160,7 +168,7 @@ fn main() {
         println!(
             "  {{\"scenario\": \"{name}\", \"events\": {events}, \
              \"setup_wall_s\": {setup_s:.4}, \"best_wall_s\": {best_s:.4}, \
-             \"events_per_sec\": {eps:.0}}}{comma}"
+             \"events_per_sec\": {eps:.0}, \"host_threads\": {host_threads}}}{comma}"
         );
     }
     println!("]");

@@ -9,6 +9,22 @@
 //! receiver — gateway or neighbouring device — goes through one method,
 //! [`Channel::receive`], so the capture rule, the noise model and the
 //! RNG draw order cannot drift apart between the two resolution paths.
+//!
+//! Flight state is split hot/cold: the fields the interferer scan reads
+//! per overlapping flight (`seq`, `start`, `end`, `pos`, `sender`) live
+//! in contiguous [`FlightColumns`] keyed by slab slot, while the frame
+//! payload and handover target stay in the slab ([`FlightCold`]). The
+//! time-overlap scan therefore runs over dense column slices instead of
+//! chasing slab entries; snapshots gather/scatter full rows so the
+//! `.mlss` wire format is unchanged.
+//!
+//! Pruning of expired flights is lazy and batched: a stale flight
+//! (`end + retention < now`) can never pass the time-overlap filter for
+//! any frame still in the air (`subject.start >= now - retention`), so
+//! instead of a per-event `retain` the slab is swept only when an insert
+//! is about to grow it past a power-of-two slot count — a trigger that
+//! is a pure function of checkpointed state, so a resumed run sweeps at
+//! the same events as the uninterrupted one.
 
 use mlora_geo::Point;
 use mlora_mac::UplinkFrame;
@@ -17,7 +33,15 @@ use mlora_simcore::{NodeId, SimDuration, SimRng, SimTime, Slab, SlabKey};
 
 use crate::disruption::NoiseBurst;
 
-/// A frame in the air.
+/// Below this slot count the deferred sweep never runs: the slab is
+/// allowed to grow to a small floor before any batched pruning, keeping
+/// tiny scenarios on the pure insert path.
+const SWEEP_MIN_SLOTS: usize = 64;
+
+/// A frame in the air, gathered as one row. This is the snapshot wire
+/// shape — field for field the historical array-of-structs layout — and
+/// the unit [`Channel::restore`] scatters back into the split
+/// columns/slab storage.
 #[derive(Debug, Clone)]
 pub(super) struct Flight {
     /// Creation sequence number: slab slots are recycled, so canonical
@@ -32,6 +56,99 @@ pub(super) struct Flight {
     pub(super) end: SimTime,
     /// Sender position at transmission start (quasi-static over ≤0.4 s).
     pub(super) pos: Point,
+}
+
+/// The slab-resident cold part of a flight: everything the interferer
+/// scan never touches.
+#[derive(Debug, Clone)]
+pub(super) struct FlightCold {
+    pub(super) frame: UplinkFrame,
+    /// `Some(y)` for a handover aimed at device `y`.
+    pub(super) target: Option<NodeId>,
+}
+
+/// The hot fields of one flight, gathered from [`FlightColumns`].
+#[derive(Debug, Clone, Copy)]
+pub(super) struct FlightHot {
+    pub(super) seq: u64,
+    pub(super) sender: NodeId,
+    pub(super) start: SimTime,
+    pub(super) end: SimTime,
+    pub(super) pos: Point,
+}
+
+/// A borrowed full view of one flight: the hot row copied out of the
+/// columns plus the cold slab entry. What the transmission-end
+/// resolution paths pass around instead of the old `&Flight`.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct FlightRef<'a> {
+    pub(super) seq: u64,
+    pub(super) sender: NodeId,
+    pub(super) frame: &'a UplinkFrame,
+    pub(super) target: Option<NodeId>,
+    pub(super) start: SimTime,
+    pub(super) end: SimTime,
+    pub(super) pos: Point,
+}
+
+/// Struct-of-arrays storage for the per-flight hot fields, indexed by
+/// slab slot. `live[i]` distinguishes occupied slots; a vacated slot's
+/// other columns keep their last value and are never read.
+#[derive(Debug, Default)]
+pub(super) struct FlightColumns {
+    live: Vec<bool>,
+    seq: Vec<u64>,
+    sender: Vec<NodeId>,
+    start: Vec<SimTime>,
+    end: Vec<SimTime>,
+    pos: Vec<Point>,
+}
+
+impl FlightColumns {
+    fn clear(&mut self) {
+        self.live.clear();
+        self.seq.clear();
+        self.sender.clear();
+        self.start.clear();
+        self.end.clear();
+        self.pos.clear();
+    }
+
+    /// Grows every column so slot `i` exists (freshly grown slots are
+    /// not live).
+    fn ensure_slot(&mut self, i: usize) {
+        if i >= self.live.len() {
+            let n = i + 1;
+            self.live.resize(n, false);
+            self.seq.resize(n, 0);
+            self.sender.resize(n, NodeId::default());
+            self.start.resize(n, SimTime::ZERO);
+            self.end.resize(n, SimTime::ZERO);
+            self.pos.resize(n, Point::new(0.0, 0.0));
+        }
+    }
+
+    /// Scatters one hot row into slot `i` and marks it live.
+    fn set(&mut self, i: usize, hot: FlightHot) {
+        self.live[i] = true;
+        self.seq[i] = hot.seq;
+        self.sender[i] = hot.sender;
+        self.start[i] = hot.start;
+        self.end[i] = hot.end;
+        self.pos[i] = hot.pos;
+    }
+
+    /// Gathers the hot row of slot `i` (which must be live).
+    fn gather(&self, i: usize) -> FlightHot {
+        debug_assert!(self.live[i], "gather from vacant flight slot");
+        FlightHot {
+            seq: self.seq[i],
+            sender: self.sender[i],
+            start: self.start[i],
+            end: self.end[i],
+            pos: self.pos[i],
+        }
+    }
 }
 
 /// What one receiver heard of a subject frame.
@@ -51,8 +168,10 @@ pub(super) struct Channel {
     /// The shadowing stream: every RSSI draw of the run, in receiver ×
     /// frame order.
     rng: SimRng,
-    /// Frames currently (or recently) in the air.
-    pub(super) flights: Slab<Flight>,
+    /// Cold halves of the frames currently (or recently) in the air.
+    pub(super) flights: Slab<FlightCold>,
+    /// Hot halves, parallel to the slab's slots.
+    cols: FlightColumns,
     /// Monotone frame creation counter (see [`Flight::seq`]).
     next_flight_seq: u64,
     /// How long an ended flight stays in the slab: at least the
@@ -60,6 +179,10 @@ pub(super) struct Channel {
     /// still in the air finds every time-overlapping interferer in the
     /// collision scan.
     flight_retention: SimDuration,
+    /// Test knob (see the engine probe module): sweep on every
+    /// transmission end, reproducing the historical eager prune, so a
+    /// property test can pin lazy-vs-eager bit-equality.
+    pub(super) eager_prune: bool,
     /// Scratch: time-overlapping flights as `(seq, position)`.
     pub(super) scratch_overlaps: Vec<(u64, Point)>,
     /// Scratch: the subset of `scratch_overlaps` close enough to the
@@ -91,8 +214,10 @@ impl Channel {
         Channel {
             rng,
             flights: Slab::new(),
+            cols: FlightColumns::default(),
             next_flight_seq: 0,
             flight_retention,
+            eager_prune: false,
             scratch_overlaps: Vec::new(),
             scratch_near_overlaps: Vec::new(),
             scratch_rssi: Vec::new(),
@@ -124,6 +249,10 @@ impl Channel {
 
     /// Puts a frame on the air; returns its slab key for the
     /// transmission-end event.
+    ///
+    /// When the insert is about to grow the slab past a power-of-two
+    /// slot count, the deferred sweep runs first (see the module docs) —
+    /// the only place expired flights are reclaimed on the default path.
     pub(super) fn launch(
         &mut self,
         sender: NodeId,
@@ -133,42 +262,121 @@ impl Channel {
         end: SimTime,
         pos: Point,
     ) -> SlabKey {
+        self.maybe_sweep(start);
         let seq = self.next_flight_seq;
         self.next_flight_seq += 1;
-        self.flights.insert(Flight {
-            seq,
-            sender,
-            frame,
-            target,
-            start,
-            end,
-            pos,
-        })
-    }
-
-    /// Prunes flights that can no longer overlap anything; vacated slab
-    /// slots are recycled by later transmissions.
-    pub(super) fn prune(&mut self, now: SimTime) {
-        let retention = self.flight_retention;
-        self.flights.retain(|_, f| f.end + retention >= now);
-    }
-
-    /// Collects the frames overlapping `flight` in time (including
-    /// itself) into `out`, in creation order: storage order must not
-    /// leak into RNG draw order.
-    pub(super) fn overlaps_into(
-        flights: &Slab<Flight>,
-        flight: &Flight,
-        out: &mut Vec<(u64, Point)>,
-    ) {
-        out.clear();
-        out.extend(
-            flights
-                .iter()
-                .filter(|(_, f)| f.start < flight.end && f.end > flight.start)
-                .map(|(_, f)| (f.seq, f.pos)),
+        let key = self.flights.insert(FlightCold { frame, target });
+        let i = key.index();
+        self.cols.ensure_slot(i);
+        self.cols.set(
+            i,
+            FlightHot {
+                seq,
+                sender,
+                start,
+                end,
+                pos,
+            },
         );
+        key
+    }
+
+    /// Runs the deferred sweep when the next insert would grow the slab
+    /// past a power-of-two slot count (≥ [`SWEEP_MIN_SLOTS`]). The
+    /// trigger reads only slab layout and event time — both
+    /// checkpointed — so a resumed run reproduces the exact sweep (and
+    /// therefore slot-assignment) schedule of the uninterrupted one.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        let slots = self.flights.slot_count();
+        if self.flights.has_free_slot() || slots < SWEEP_MIN_SLOTS || !slots.is_power_of_two() {
+            return;
+        }
+        self.sweep(now);
+    }
+
+    /// Reclaims every flight that can no longer overlap anything;
+    /// vacated slab slots are recycled by later transmissions. Safe at
+    /// any event time: a reclaimed flight (`end + retention < now`)
+    /// fails the time-overlap filter against every frame still in the
+    /// air, so deferring or batching sweeps never changes an interferer
+    /// set.
+    pub(super) fn sweep(&mut self, now: SimTime) {
+        let retention = self.flight_retention;
+        let cols = &mut self.cols;
+        self.flights.retain(|key, _| {
+            let i = key.index();
+            if cols.end[i] + retention >= now {
+                true
+            } else {
+                cols.live[i] = false;
+                false
+            }
+        });
+    }
+
+    /// Collects the frames overlapping `(start, end)` in time (including
+    /// the subject itself) into `out`, in creation order: storage order
+    /// must not leak into RNG draw order. One pass over the contiguous
+    /// hot columns.
+    pub(super) fn overlaps_into(&self, start: SimTime, end: SimTime, out: &mut Vec<(u64, Point)>) {
+        out.clear();
+        let cols = &self.cols;
+        for i in 0..cols.live.len() {
+            if cols.live[i] && cols.start[i] < end && cols.end[i] > start {
+                out.push((cols.seq[i], cols.pos[i]));
+            }
+        }
         out.sort_unstable_by_key(|&(seq, _)| seq);
+    }
+
+    /// The hot row behind `key`, if the key is still valid.
+    pub(super) fn flight_hot(&self, key: SlabKey) -> Option<FlightHot> {
+        self.flights.get(key).map(|_| self.cols.gather(key.index()))
+    }
+
+    /// Hot rows of every live flight, in slot order.
+    pub(super) fn iter_hot(&self) -> impl Iterator<Item = FlightHot> + '_ {
+        self.flights
+            .iter()
+            .map(|(key, _)| self.cols.gather(key.index()))
+    }
+
+    /// Every slab slot in index order as `(generation, row)`, vacant
+    /// slots included: the capture counterpart of [`Channel::restore`].
+    /// Rows are gathered back into the historical array-of-structs view
+    /// so the snapshot wire format is unchanged by the split layout.
+    pub(super) fn raw_flight_slots(
+        &self,
+    ) -> impl Iterator<Item = (u32, Option<FlightRef<'_>>)> + '_ {
+        self.flights
+            .raw_slots()
+            .enumerate()
+            .map(|(i, (generation, cold))| {
+                let row = cold.map(|cold| {
+                    let hot = self.cols.gather(i);
+                    FlightRef {
+                        seq: hot.seq,
+                        sender: hot.sender,
+                        frame: &cold.frame,
+                        target: cold.target,
+                        start: hot.start,
+                        end: hot.end,
+                        pos: hot.pos,
+                    }
+                });
+                (generation, row)
+            })
+    }
+
+    /// The flight slab's free list (checkpoint counterpart of
+    /// [`Channel::restore`]).
+    pub(super) fn flight_free_list(&self) -> &[u32] {
+        self.flights.free_list()
+    }
+
+    /// Total flight slab slots, vacant included.
+    pub(super) fn flight_slot_count(&self) -> usize {
+        self.flights.slot_count()
     }
 
     /// A noise burst became active.
@@ -284,25 +492,52 @@ impl Channel {
 
     /// The channel's checkpoint state: the shadowing-stream RNG words,
     /// the monotone flight counter and the active-noise stack (in
-    /// activation order). The flight slab is read directly — it is
-    /// already exposed to the engine.
+    /// activation order). The flight slab is read via
+    /// [`Channel::raw_flight_slots`] / [`Channel::flight_free_list`].
     pub(super) fn checkpoint_parts(&self) -> ((u64, [u64; 4]), u64, &[u32]) {
         (self.rng.state(), self.next_flight_seq, &self.active_noise)
     }
 
     /// Restores the state captured by [`Channel::checkpoint_parts`] plus
-    /// the flight slab. The static tables (noise bursts, path loss,
-    /// retention) are reconstructed from the scenario config and stay
-    /// untouched.
+    /// the flight slab: rows from the snapshot are scattered back into
+    /// the cold slab + hot columns. The static tables (noise bursts,
+    /// path loss, retention) are reconstructed from the scenario config
+    /// and stay untouched.
     pub(super) fn restore(
         &mut self,
         rng: SimRng,
-        flights: Slab<Flight>,
+        slots: Vec<(u32, Option<Flight>)>,
+        free: Vec<u32>,
         next_flight_seq: u64,
         active_noise: Vec<u32>,
     ) {
+        self.cols.clear();
+        let cold_slots: Vec<(u32, Option<FlightCold>)> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, (generation, row))| {
+                self.cols.ensure_slot(i);
+                let cold = row.map(|f| {
+                    self.cols.set(
+                        i,
+                        FlightHot {
+                            seq: f.seq,
+                            sender: f.sender,
+                            start: f.start,
+                            end: f.end,
+                            pos: f.pos,
+                        },
+                    );
+                    FlightCold {
+                        frame: f.frame,
+                        target: f.target,
+                    }
+                });
+                (generation, cold)
+            })
+            .collect();
         self.rng = rng;
-        self.flights = flights;
+        self.flights = Slab::from_raw_parts(cold_slots, free);
         self.next_flight_seq = next_flight_seq;
         self.active_noise = active_noise;
     }

@@ -175,6 +175,11 @@ pub trait ShardCommunicator: Send + std::fmt::Debug {
     ///
     /// Panics if a worker died — determinism is unrecoverable then.
     fn recv_plan(&mut self) -> FlightPlan;
+    /// Non-blocking: the next finished plan, if one is already queued.
+    /// Lets the commit thread fold plan buffering into the gaps between
+    /// events instead of paying it on the transmission-end critical
+    /// path.
+    fn try_recv_plan(&mut self) -> Option<FlightPlan>;
     /// Shuts the workers down and reclaims their resources. Idempotent.
     fn shutdown(&mut self);
 }
@@ -242,6 +247,10 @@ impl ShardCommunicator for LocalCommunicator {
         self.plans
             .recv_timeout(RECV_TIMEOUT)
             .expect("shard worker died or stalled; cannot preserve determinism")
+    }
+
+    fn try_recv_plan(&mut self) -> Option<FlightPlan> {
+        self.plans.try_recv().ok()
     }
 
     fn shutdown(&mut self) {
@@ -326,6 +335,14 @@ pub(crate) struct ShardWorker {
     /// Early-arrived crossing batches for future barriers.
     stash: Vec<(u64, Vec<(NodeId, Point)>)>,
     scratch_overlaps: Vec<(u64, Point)>,
+    /// Once-per-plan near-overlap cut for gateway receivers (within
+    /// 2 × gateway range of the sender).
+    scratch_near_gw: Vec<(u64, Point)>,
+    /// Once-per-plan near-overlap cut for device receivers (within
+    /// 2 × device range of the sender).
+    scratch_near_dev: Vec<(u64, Point)>,
+    /// Only the pre-batched reference plan path uses this (see
+    /// [`ShardWorker::probe_plan_reference`]).
     scratch_within: Vec<(NodeId, Point)>,
     scratch_ids: Vec<NodeId>,
 }
@@ -356,6 +373,8 @@ impl ShardWorker {
             flights: Vec::new(),
             stash: Vec::new(),
             scratch_overlaps: Vec::new(),
+            scratch_near_gw: Vec::new(),
+            scratch_near_dev: Vec::new(),
             scratch_within: Vec::new(),
             scratch_ids: Vec::new(),
         }
@@ -540,9 +559,84 @@ impl ShardWorker {
         }
     }
 
+    /// Fills the interferer scratches for one plan: `scratch_overlaps`
+    /// holds the temporal overlaps, ascending by sequence (table
+    /// insertion order) — the same predicate as
+    /// `Channel::overlaps_into` — and `scratch_near_gw` /
+    /// `scratch_near_dev` hold its once-per-plan near cuts: the
+    /// overlaps close enough to the sender to be audible at *some*
+    /// in-range gateway (2 × gateway range) or device receiver
+    /// (2 × device range), by the triangle inequality (+1 m float
+    /// margin). The per-receiver exact range check is unchanged, so
+    /// consuming a cut is bit-identical to walking the full list; the
+    /// subsets keep creation order, so interferer-slice order is
+    /// untouched.
+    fn collect_interferers(&mut self, pos: Point, start: SimTime, end: SimTime) {
+        let mut overlaps = std::mem::take(&mut self.scratch_overlaps);
+        overlaps.clear();
+        overlaps.extend(
+            self.flights
+                .iter()
+                .filter(|f| f.start < end && f.end > start)
+                .map(|f| (f.seq, f.pos)),
+        );
+        let gw_reach = 2.0 * self.params.gateway_range_m + 1.0;
+        let dev_reach = 2.0 * self.params.d2d_range_m + 1.0;
+        let (gw_reach_sq, dev_reach_sq) = (gw_reach * gw_reach, dev_reach * dev_reach);
+        let mut near_gw = std::mem::take(&mut self.scratch_near_gw);
+        let mut near_dev = std::mem::take(&mut self.scratch_near_dev);
+        near_gw.clear();
+        near_dev.clear();
+        for &(fseq, fpos) in &overlaps {
+            let d_sq = fpos.distance_sq(pos);
+            if d_sq <= gw_reach_sq {
+                near_gw.push((fseq, fpos));
+            }
+            if d_sq <= dev_reach_sq {
+                near_dev.push((fseq, fpos));
+            }
+        }
+        self.scratch_overlaps = overlaps;
+        self.scratch_near_gw = near_gw;
+        self.scratch_near_dev = near_dev;
+    }
+
+    /// Fills `scratch_ids` with the sorted, deduped candidate-id
+    /// superset: one batched sweep over the barrier-snapshot grid cells
+    /// — the worker-side port of the serial engine's
+    /// `World::batched_candidates`, running the coarse circle screen
+    /// per contiguous bucket slice instead of materializing a
+    /// `(id, position)` list first — plus the departures tail since the
+    /// last barrier (buses that activated after the snapshot). The
+    /// sort + dedup yields exactly the membership and order of the old
+    /// `within_into` path.
+    fn collect_candidate_ids(&mut self, pos: Point, end: SimTime) {
+        let r = self.params.d2d_range_m + self.part.query_slack_m();
+        let r_sq = r * r;
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        self.grid.for_each_bucket_within(pos, r, |bucket| {
+            for &(n, p) in bucket {
+                if p.distance_sq(pos) <= r_sq {
+                    ids.push(n);
+                }
+            }
+        });
+        let mut k = self.cursor;
+        while k < self.departures.len() && self.departures[k].0 <= end {
+            ids.push(self.departures[k].1);
+            k += 1;
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        self.scratch_ids = ids;
+    }
+
     /// Computes the [`FlightPlan`] of a flight launched in this shard's
     /// tiles (see the module docs for why every filter below matches
-    /// the serial engine's bit for bit).
+    /// the serial engine's bit for bit). Interferer walks consume the
+    /// once-per-plan near cuts; candidate discovery is one batched grid
+    /// sweep ([`ShardWorker::collect_candidate_ids`]).
     fn plan_for(
         &mut self,
         seq: u64,
@@ -554,8 +648,156 @@ impl ShardWorker {
         let p = &self.params;
         let (d2d, gw_range, tx_dbm) = (p.d2d_range_m, p.gateway_range_m, p.tx_power_dbm);
         let path_loss = p.path_loss;
-        // Temporal overlaps, ascending by sequence (table insertion
-        // order) — the same predicate as `Channel::overlaps_into`.
+        self.collect_interferers(pos, start, end);
+        let mut plan = FlightPlan {
+            seq,
+            gateways: Vec::new(),
+            candidates: Vec::new(),
+            interferers: Vec::new(),
+        };
+        // Gateways: static superset, ascending by index, exact range
+        // re-check — the sequence `Delivery::resolve_gateways` iterates,
+        // before its outage filter. The near-gateway cut is a superset
+        // of every in-range gateway's audible set.
+        for &(gi, gw) in &self.gateways {
+            if gw.distance(pos) > gw_range {
+                continue;
+            }
+            let s = plan.interferers.len() as u32;
+            for &(fseq, fpos) in &self.scratch_near_gw {
+                let dist = gw.distance(fpos);
+                if dist <= gw_range {
+                    plan.interferers
+                        .push((fseq, path_loss.mean_rssi_dbm(tx_dbm, dist)));
+                }
+            }
+            plan.gateways.push(PlannedGateway {
+                gateway: gi,
+                start: s,
+                len: plan.interferers.len() as u32 - s,
+            });
+        }
+        // Neighbour candidates: the barrier-snapshot grid (slack covers
+        // drift since the barrier) plus buses that activated after it.
+        self.collect_candidate_ids(pos, end);
+        for i in 0..self.scratch_ids.len() {
+            let n = self.scratch_ids[i];
+            if n == sender {
+                continue;
+            }
+            let pos_n = self.net.position_hinted(n, end, &mut self.hints[n.index()]);
+            if pos_n.distance(pos) > d2d {
+                continue;
+            }
+            let s = plan.interferers.len() as u32;
+            for &(fseq, fpos) in &self.scratch_near_dev {
+                let dist = pos_n.distance(fpos);
+                if dist <= d2d {
+                    plan.interferers
+                        .push((fseq, path_loss.mean_rssi_dbm(tx_dbm, dist)));
+                }
+            }
+            plan.candidates.push(PlannedCandidate {
+                node: n,
+                pos: pos_n,
+                start: s,
+                len: plan.interferers.len() as u32 - s,
+            });
+        }
+        plan
+    }
+}
+
+/// Test/bench hooks: seed a worker's tile-local state directly and run
+/// the plan paths without the thread/channel machinery. Used by the
+/// engine probe module (allocation-count tests, the batched-vs-
+/// per-flight microbench); never by the engine itself.
+#[doc(hidden)]
+impl ShardWorker {
+    /// Seeds a tracked device at `pos`, as a crossing batch would.
+    pub(crate) fn probe_track(&mut self, n: NodeId, pos: Point) {
+        self.track(n, pos);
+    }
+
+    /// Seeds a tile-local flight, as a `FlightLaunched` edge would.
+    pub(crate) fn probe_flight(&mut self, seq: u64, pos: Point, start: SimTime, end: SimTime) {
+        debug_assert!(self.flights.last().is_none_or(|f| f.seq < seq));
+        self.flights.push(LocalFlight {
+            seq,
+            pos,
+            start,
+            end,
+        });
+    }
+
+    /// The engine's batched plan path.
+    pub(crate) fn probe_plan(
+        &mut self,
+        seq: u64,
+        sender: NodeId,
+        pos: Point,
+        start: SimTime,
+        end: SimTime,
+    ) -> FlightPlan {
+        self.plan_for(seq, sender, pos, start, end)
+    }
+
+    /// The prefilter stages of [`ShardWorker::plan_for`] alone —
+    /// overlap collection, near cuts, batched candidate sweep and the
+    /// exact-range candidate walk over the device cut — without the
+    /// per-plan output allocation. This is the path the counting-
+    /// allocator test pins at zero steady-state allocations. Returns
+    /// the in-range candidate count and a mean-RSSI checksum so the
+    /// work cannot be optimized away.
+    pub(crate) fn probe_prefilter(
+        &mut self,
+        sender: NodeId,
+        pos: Point,
+        start: SimTime,
+        end: SimTime,
+    ) -> (usize, f64) {
+        self.collect_interferers(pos, start, end);
+        self.collect_candidate_ids(pos, end);
+        let d2d = self.params.d2d_range_m;
+        let (tx_dbm, path_loss) = (self.params.tx_power_dbm, self.params.path_loss);
+        let mut in_range = 0usize;
+        let mut acc = 0.0f64;
+        for i in 0..self.scratch_ids.len() {
+            let n = self.scratch_ids[i];
+            if n == sender {
+                continue;
+            }
+            let pos_n = self.net.position_hinted(n, end, &mut self.hints[n.index()]);
+            if pos_n.distance(pos) > d2d {
+                continue;
+            }
+            in_range += 1;
+            for &(_, fpos) in &self.scratch_near_dev {
+                let dist = pos_n.distance(fpos);
+                if dist <= d2d {
+                    acc += path_loss.mean_rssi_dbm(tx_dbm, dist);
+                }
+            }
+        }
+        (in_range, acc)
+    }
+
+    /// The pre-batched reference plan path — grid `within_into` into an
+    /// intermediate `(id, position)` list and a full overlap walk per
+    /// receiver — kept verbatim for the microbench that records the
+    /// batched prefilter's win. Bit-identical output to
+    /// [`ShardWorker::probe_plan`].
+    pub(crate) fn probe_plan_reference(
+        &mut self,
+        seq: u64,
+        sender: NodeId,
+        pos: Point,
+        start: SimTime,
+        end: SimTime,
+    ) -> FlightPlan {
+        let p = &self.params;
+        let (d2d, gw_range, tx_dbm) = (p.d2d_range_m, p.gateway_range_m, p.tx_power_dbm);
+        let path_loss = p.path_loss;
         let mut overlaps = std::mem::take(&mut self.scratch_overlaps);
         overlaps.clear();
         overlaps.extend(
@@ -570,9 +812,6 @@ impl ShardWorker {
             candidates: Vec::new(),
             interferers: Vec::new(),
         };
-        // Gateways: static superset, ascending by index, exact range
-        // re-check — the sequence `Delivery::resolve_gateways` iterates,
-        // before its outage filter.
         for &(gi, gw) in &self.gateways {
             if gw.distance(pos) > gw_range {
                 continue;
@@ -591,8 +830,6 @@ impl ShardWorker {
                 len: plan.interferers.len() as u32 - s,
             });
         }
-        // Neighbour candidates: the barrier-snapshot grid (slack covers
-        // drift since the barrier) plus buses that activated after it.
         let mut ids = std::mem::take(&mut self.scratch_ids);
         self.grid.within_into(
             pos,

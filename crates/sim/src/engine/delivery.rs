@@ -12,7 +12,7 @@ use mlora_geo::{BBox, GridIndex, Point};
 use mlora_mac::AppMessage;
 use mlora_simcore::SimTime;
 
-use super::channel::{Channel, Flight};
+use super::channel::{Channel, FlightRef};
 use super::comm::FlightPlan;
 use crate::metrics::Collector;
 use crate::observer::{GatewayOutageChanged, MessageDelivered, SimObserver};
@@ -116,7 +116,7 @@ impl Delivery {
         &mut self,
         channel: &mut Channel,
         overlaps: &[(u64, Point)],
-        flight: &Flight,
+        flight: FlightRef<'_>,
     ) -> Option<f64> {
         let range = self.gateway_range_m;
         let mut best: Option<f64> = None;
@@ -160,7 +160,7 @@ impl Delivery {
         channel: &mut Channel,
         plan: &FlightPlan,
         dynamic: &[(u64, Point)],
-        flight: &Flight,
+        flight: FlightRef<'_>,
     ) -> Option<f64> {
         let range = self.gateway_range_m;
         let mut best: Option<f64> = None;

@@ -18,7 +18,7 @@ use mlora_core::{Beacon, ForwardDecision};
 use mlora_geo::Point;
 use mlora_simcore::NodeId;
 
-use super::channel::{Flight, Reception};
+use super::channel::{FlightRef, Reception};
 use super::comm::FlightPlan;
 use super::Engine;
 use crate::observer::{HandoverAccepted, SimObserver};
@@ -33,7 +33,7 @@ impl Engine {
     /// a new transmission opportunity are appended to `to_schedule`.
     pub(super) fn resolve_neighbours(
         &mut self,
-        flight: &Flight,
+        flight: FlightRef<'_>,
         overlaps: &[(u64, Point)],
         candidates: &[(NodeId, Point)],
         to_schedule: &mut Vec<NodeId>,
@@ -62,7 +62,7 @@ impl Engine {
     /// unchanged on the commit thread.
     pub(super) fn resolve_neighbours_planned(
         &mut self,
-        flight: &Flight,
+        flight: FlightRef<'_>,
         plan: &FlightPlan,
         dynamic: &[(u64, Point)],
         to_schedule: &mut Vec<NodeId>,
@@ -103,7 +103,7 @@ impl Engine {
     /// is `false` for ids that never activated, covering existence).
     /// The device class is scenario-uniform, so it comes from the
     /// configuration rather than a per-device field.
-    fn neighbour_admitted(&self, x: NodeId, flight: &Flight) -> bool {
+    fn neighbour_admitted(&self, x: NodeId, flight: FlightRef<'_>) -> bool {
         let i = x.index();
         let hot = &self.world.hot;
         if !hot.active[i] {
@@ -130,7 +130,7 @@ impl Engine {
     /// interference.
     fn apply_reception(
         &mut self,
-        flight: &Flight,
+        flight: FlightRef<'_>,
         x: NodeId,
         reception: Reception,
         to_schedule: &mut Vec<NodeId>,
@@ -203,7 +203,7 @@ impl Engine {
     /// scheduling.
     pub(super) fn settle_sender(
         &mut self,
-        flight: &Flight,
+        flight: FlightRef<'_>,
         gateway_rssi: Option<f64>,
         accepted_by_target: bool,
         observer: &mut dyn SimObserver,

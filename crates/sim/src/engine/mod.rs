@@ -53,6 +53,8 @@ pub mod comm;
 mod delivery;
 mod forwarding;
 pub mod partition;
+#[doc(hidden)]
+pub mod probe;
 mod snapshot;
 mod world;
 
@@ -69,7 +71,7 @@ use mlora_mac::{
 use mlora_phy::AirtimeTable;
 use mlora_simcore::{AnyEventQueue, NodeId, SimDuration, SimRng, SimTime, SlabKey};
 
-use self::channel::Channel;
+use self::channel::{Channel, FlightRef};
 use self::comm::{
     EdgeMessage, FlightPlan, LocalCommunicator, ShardCommunicator, ShardParams, ShardWorker,
 };
@@ -194,6 +196,16 @@ impl ShardRuntime {
                     },
                 );
             }
+        }
+    }
+
+    /// Non-blocking: folds every plan the workers have already finished
+    /// into the pending buffer. Called between events so the buffering
+    /// happens off the transmission-end critical path and
+    /// [`ShardRuntime::take_plan`] almost always hits the buffer.
+    fn drain_plans(&mut self) {
+        while let Some(plan) = self.comm.try_recv_plan() {
+            self.pending.insert(plan.seq, plan);
         }
     }
 
@@ -528,6 +540,11 @@ impl Engine {
             // request.
             if let Some(rt) = self.shard_rt.as_mut() {
                 rt.pump_barriers(t);
+                // Fold any plans the workers have already finished into
+                // the pending buffer while the commit thread is between
+                // events, instead of on the transmission-end critical
+                // path.
+                rt.drain_plans();
             }
             self.now = t;
             events_processed += 1;
@@ -888,19 +905,34 @@ impl Engine {
         if self.shard_rt.is_some() {
             return self.on_tx_end_sharded(key, observer);
         }
-        // Prune flights that can no longer overlap anything before
-        // scanning; vacated slab slots are recycled by later
-        // transmissions. (The subject flight ends exactly now, so it
-        // always survives the cutoff.)
-        self.channel.prune(self.now);
+        // Expired-flight reclamation is deferred to the launch path
+        // (`Channel::maybe_sweep`); a stale flight cannot pass the
+        // time-overlap filter below, so nothing here depends on it. The
+        // eager knob reinstates the historical per-event sweep for the
+        // lazy-vs-eager property test.
+        if self.channel.eager_prune {
+            self.channel.sweep(self.now);
+        }
 
-        // Take the flight table out of the channel so the subject flight
-        // can be borrowed across the resolution calls without cloning
-        // its frame.
+        // Copy the subject's hot row out of the columns, then take the
+        // cold table out of the channel so its frame can be borrowed
+        // across the resolution calls without cloning.
+        let Some(hot) = self.channel.flight_hot(key) else {
+            return;
+        };
         let flights = std::mem::take(&mut self.channel.flights);
-        let Some(flight) = flights.get(key) else {
+        let Some(cold) = flights.get(key) else {
             self.channel.flights = flights;
             return;
+        };
+        let flight = FlightRef {
+            seq: hot.seq,
+            sender: hot.sender,
+            frame: &cold.frame,
+            target: cold.target,
+            start: hot.start,
+            end: hot.end,
+            pos: hot.pos,
         };
         let sender = flight.sender;
 
@@ -909,9 +941,10 @@ impl Engine {
         self.world.hot.last_tx_end[sender.index()] = Some(self.now);
 
         // Frames overlapping this one in time (including itself), in
-        // creation order.
+        // creation order — one pass over the contiguous flight columns.
         let mut overlaps = std::mem::take(&mut self.channel.scratch_overlaps);
-        Channel::overlaps_into(&flights, flight, &mut overlaps);
+        self.channel
+            .overlaps_into(flight.start, flight.end, &mut overlaps);
 
         let gateway_rssi = self
             .delivery
@@ -956,11 +989,25 @@ impl Engine {
     /// [`FlightPlan`] plus the commit-side dynamic-interferer ring;
     /// every draw, filter and mutation then runs in the serial order.
     fn on_tx_end_sharded(&mut self, key: SlabKey, observer: &mut dyn SimObserver) {
-        self.channel.prune(self.now);
+        if self.channel.eager_prune {
+            self.channel.sweep(self.now);
+        }
+        let Some(hot) = self.channel.flight_hot(key) else {
+            return;
+        };
         let flights = std::mem::take(&mut self.channel.flights);
-        let Some(flight) = flights.get(key) else {
+        let Some(cold) = flights.get(key) else {
             self.channel.flights = flights;
             return;
+        };
+        let flight = FlightRef {
+            seq: hot.seq,
+            sender: hot.sender,
+            frame: &cold.frame,
+            target: cold.target,
+            start: hot.start,
+            end: hot.end,
+            pos: hot.pos,
         };
         let sender = flight.sender;
 

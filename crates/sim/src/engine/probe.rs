@@ -1,0 +1,302 @@
+//! Hidden instrumentation hooks for the engine's hot paths.
+//!
+//! The counting-allocator tests (`crates/sim/tests/engine_alloc.rs`) and
+//! the `micro_engine` benches need to drive the flight-column scan and
+//! the shard worker's batched prefilter in isolation, without standing
+//! up a full engine run. This module packages those paths behind two
+//! self-contained drivers — [`FlightScanProbe`] over the serial
+//! [`Channel`] and [`WorkerProbe`] over a single [`ShardWorker`] — plus
+//! the [`set_eager_flight_prune`] knob the lazy-vs-eager pruning
+//! proptest uses to force the historical per-event sweep.
+//!
+//! Everything here is `#[doc(hidden)]`: the shapes below track engine
+//! internals and carry no stability promise.
+
+// The module is doc(hidden) and its docs legitimately reference private
+// engine internals; don't let rustdoc's public-link lint reject them.
+#![allow(rustdoc::private_intra_doc_links)]
+
+use std::sync::Arc;
+
+use mlora_geo::Point;
+use mlora_mac::UplinkFrame;
+use mlora_mobility::{BusNetwork, BusNetworkConfig, DiurnalProfile};
+use mlora_phy::LogDistanceModel;
+use mlora_simcore::{NodeId, SimDuration, SimRng, SimTime};
+
+use super::channel::Channel;
+use super::comm::{ShardParams, ShardWorker};
+use super::partition::Partition;
+use super::Engine;
+
+/// Forces (or clears) the historical eager per-TxEnd flight sweep on a
+/// built engine. Default is the lazy growth-boundary sweep; the pruning
+/// proptest runs every scenario both ways and requires bit-identical
+/// reports.
+pub fn set_eager_flight_prune(engine: &mut Engine, eager: bool) {
+    engine.channel.eager_prune = eager;
+}
+
+/// Drives the serial channel's hot loop — launch, contiguous
+/// time-overlap scan over [`FlightColumns`], the near-overlap cut and
+/// capture resolution — with steadily advancing time so the deferred
+/// slab sweep triggers and slots recycle. After a warm-up round the
+/// whole cycle is allocation-free, which `engine_alloc.rs` pins.
+///
+/// [`FlightColumns`]: super::channel::FlightColumns
+#[derive(Debug)]
+pub struct FlightScanProbe {
+    channel: Channel,
+    now: SimTime,
+    airtime: SimDuration,
+    wave: usize,
+    senders: u32,
+    overlaps: Vec<(u64, Point)>,
+    near: Vec<(u64, Point)>,
+}
+
+impl FlightScanProbe {
+    /// A probe launching `wave` concurrent flights per round.
+    pub fn new(seed: u64, wave: usize) -> FlightScanProbe {
+        FlightScanProbe {
+            channel: Channel::new(
+                SimRng::new(seed).fork(12),
+                SimDuration::from_secs(2),
+                Vec::new(),
+                LogDistanceModel::paper_default(),
+                -123.0,
+                14.0,
+            ),
+            now: SimTime::ZERO,
+            airtime: SimDuration::from_millis(370),
+            wave,
+            senders: 0,
+            overlaps: Vec::new(),
+            near: Vec::new(),
+        }
+    }
+
+    /// Runs `rounds` launch/scan/receive cycles and folds the reception
+    /// outcomes into a checksum (so the work cannot be optimised away).
+    pub fn churn(&mut self, rounds: usize) -> u64 {
+        let mut digest = 0u64;
+        for _ in 0..rounds {
+            let start = self.now;
+            let end = start + self.airtime;
+            for j in 0..self.wave {
+                // Spread the wave over a ~1.5 km disc so some flights
+                // survive the near cut and some do not.
+                let k = (self.senders as usize + j) % 17;
+                let pos = Point::new(100.0 * k as f64, 60.0 * (k as f64 - 8.0));
+                let frame = UplinkFrame {
+                    sender: NodeId::new(self.senders),
+                    messages: Vec::new(),
+                    rca_etx: 1.0,
+                    queue_len: 0,
+                };
+                self.channel
+                    .launch(NodeId::new(self.senders), frame, None, start, end, pos);
+                self.senders = self.senders.wrapping_add(1);
+            }
+            let subject_seq = self.channel.last_launched_seq();
+            self.channel.overlaps_into(start, end, &mut self.overlaps);
+            digest = digest.wrapping_add(self.overlaps.len() as u64);
+            // The serial engine's near-overlap cut, at a receiver-side
+            // range of 500 m (urban device-to-device).
+            let at = Point::new(250.0, 0.0);
+            let reach = 2.0 * 500.0 + 1.0;
+            let reach_sq = reach * reach;
+            self.near.clear();
+            self.near.extend(
+                self.overlaps
+                    .iter()
+                    .filter(|&&(_, pos)| pos.distance_sq(at) <= reach_sq)
+                    .copied(),
+            );
+            let reception = self.channel.receive(&self.near, at, 500.0, subject_seq);
+            digest = digest
+                .wrapping_mul(31)
+                .wrapping_add(reception.rssi.is_some() as u64)
+                .wrapping_add((reception.interfered as u64) << 1);
+            self.now += SimDuration::from_millis(400);
+        }
+        digest
+    }
+}
+
+/// A compressed view of a [`FlightPlan`](super::comm::FlightPlan) for
+/// equivalence checks and bench digests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDigest {
+    /// In-range gateway count.
+    pub gateways: usize,
+    /// Exact-range neighbour candidate count.
+    pub candidates: usize,
+    /// Total interferer entries across all receivers.
+    pub interferers: usize,
+    /// Sum of every planned interferer mean RSSI.
+    pub rssi_sum: f64,
+}
+
+/// Drives one [`ShardWorker`]'s plan computation over a real generated
+/// bus network, comparing the batched prefilter path against the
+/// per-flight reference walk and exposing the allocation-free prefilter
+/// core for the counting tests.
+#[derive(Debug)]
+pub struct WorkerProbe {
+    worker: ShardWorker,
+    /// The subject transmission: an active bus at `start`.
+    sender: NodeId,
+    pos: Point,
+    start: SimTime,
+    end: SimTime,
+    next_seq: u64,
+}
+
+impl WorkerProbe {
+    /// Builds a single-shard worker over a generated network with
+    /// `buses` active vehicles, seeds its membership grid with every
+    /// bus active at the probe instant and puts `flights` frames on the
+    /// air around the subject.
+    pub fn new(seed: u64, buses: usize, flights: usize) -> WorkerProbe {
+        let cfg = BusNetworkConfig {
+            area_side_m: 10_000.0,
+            num_routes: 24,
+            max_active_buses: buses,
+            horizon: SimDuration::from_hours(2),
+            profile: DiurnalProfile::flat(1.0),
+            ..BusNetworkConfig::default()
+        };
+        let net = Arc::new(BusNetwork::generate(
+            &cfg,
+            SimRng::new(seed).fork(11).seed(),
+        ));
+        let airtime = SimDuration::from_millis(370);
+        let part = Arc::new(Partition::new(
+            net.area(),
+            1,
+            500.0,
+            2_000.0,
+            cfg.max_speed_mps,
+            airtime,
+        ));
+        let mut departures: Vec<(SimTime, NodeId)> =
+            net.trips().iter().map(|t| (t.depart(), t.node())).collect();
+        departures.sort_unstable_by_key(|&(t, n)| (t, n.index()));
+        // A 3×3 gateway grid over the area, as `place_gateways` would.
+        let side = cfg.area_side_m;
+        let mut gateways = Vec::new();
+        for gy in 0..3u32 {
+            for gx in 0..3u32 {
+                let gpos = Point::new(
+                    side * (2 * gx + 1) as f64 / 6.0,
+                    side * (2 * gy + 1) as f64 / 6.0,
+                );
+                gateways.push((gy * 3 + gx, gpos));
+            }
+        }
+        let mut worker = ShardWorker::new(
+            0,
+            part,
+            Arc::clone(&net),
+            Arc::new(departures),
+            gateways,
+            ShardParams {
+                d2d_range_m: 500.0,
+                gateway_range_m: 2_000.0,
+                tx_power_dbm: 14.0,
+                path_loss: LogDistanceModel::paper_default(),
+                flight_retention: SimDuration::from_secs(2),
+            },
+        );
+        // Membership as of a mid-run barrier: every trip active at t0.
+        let t0 = SimTime::from_secs(20 * 60);
+        let mut hint = 0u32;
+        let mut active: Vec<(NodeId, Point)> = net
+            .trips()
+            .iter()
+            .filter(|t| t.depart() <= t0 && t.end() > t0)
+            .map(|t| {
+                hint = 0;
+                (t.node(), net.position_hinted(t.node(), t0, &mut hint))
+            })
+            .collect();
+        active.sort_unstable_by_key(|&(n, _)| n.index());
+        assert!(
+            !active.is_empty(),
+            "probe network has no active bus at the query instant"
+        );
+        for &(n, p) in &active {
+            worker.probe_track(n, p);
+        }
+        let (sender, pos) = active[0];
+        let start = t0;
+        let end = t0 + airtime;
+        // Tile-local flights: half overlap the subject's window, half
+        // are already stale, at positions cycling over the active set.
+        for seq in 0..flights as u64 {
+            let (_, fpos) = active[seq as usize % active.len()];
+            let (fs, fe) = if seq % 2 == 0 {
+                (start, end)
+            } else {
+                (
+                    start - SimDuration::from_secs(10),
+                    start - SimDuration::from_secs(9),
+                )
+            };
+            worker.probe_flight(seq, fpos, fs, fe);
+        }
+        WorkerProbe {
+            worker,
+            sender,
+            pos,
+            start,
+            end,
+            next_seq: flights as u64,
+        }
+    }
+
+    /// One batched-prefilter pass — overlap collection, the gateway and
+    /// device near cuts, the bucket-sweep candidate scan and the
+    /// exact-range candidate walk — with no per-plan output allocation.
+    /// Allocation-free after the first call.
+    pub fn prefilter(&mut self) -> (usize, f64) {
+        self.worker
+            .probe_prefilter(self.sender, self.pos, self.start, self.end)
+    }
+
+    /// A full plan through the batched prefilter path.
+    pub fn plan_batched(&mut self) -> PlanDigest {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let plan = self
+            .worker
+            .probe_plan(seq, self.sender, self.pos, self.start, self.end);
+        Self::digest(&plan)
+    }
+
+    /// The same plan through the pre-batched per-flight reference walk
+    /// (grid `within_into` plus a full overlap scan per receiver). Must
+    /// produce a digest identical to [`WorkerProbe::plan_batched`].
+    pub fn plan_reference(&mut self) -> PlanDigest {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let plan =
+            self.worker
+                .probe_plan_reference(seq, self.sender, self.pos, self.start, self.end);
+        Self::digest(&plan)
+    }
+
+    fn digest(plan: &super::comm::FlightPlan) -> PlanDigest {
+        let mut rssi_sum = 0.0;
+        for &(_, mean_rssi_dbm) in &plan.interferers {
+            rssi_sum += mean_rssi_dbm;
+        }
+        PlanDigest {
+            gateways: plan.gateways.len(),
+            candidates: plan.candidates.len(),
+            interferers: plan.interferers.len(),
+            rssi_sum,
+        }
+    }
+}

@@ -32,11 +32,10 @@ use mlora_mac::{AppMessage, DataQueue, DutyCycleTracker, Priority, RetransmitPol
 use mlora_scenario_io::{Enc, ScenarioIoError, ScenarioReader, ScenarioWriter};
 use mlora_simcore::stats::{TimeSeries, Welford};
 use mlora_simcore::{
-    AnyEventQueue, DenseMap, MessageId, NodeId, QueueKind, SimDuration, SimRng, SimTime, Slab,
-    SlabKey,
+    AnyEventQueue, DenseMap, MessageId, NodeId, QueueKind, SimDuration, SimRng, SimTime, SlabKey,
 };
 
-use super::channel::Flight;
+use super::channel::{Flight, FlightRef};
 use super::world::{Device, DeviceHot, DeviceTraffic};
 use super::{Engine, Event};
 use crate::metrics::Collector;
@@ -357,9 +356,9 @@ impl Engine {
 
         // The flight slab, slot by slot (vacant included) plus the free
         // list, so restored slab keys resolve identically.
-        let slot_count = self.channel.flights.raw_slots().count() as u64;
+        let slot_count = self.channel.flight_slot_count() as u64;
         w.begin_section(SEC_FLIGHT_SLOTS, slot_count)?;
-        for (generation, flight) in self.channel.flights.raw_slots() {
+        for (generation, flight) in self.channel.raw_flight_slots() {
             let enc = w.enc();
             enc.put_varint(generation as u64);
             match flight {
@@ -372,7 +371,7 @@ impl Engine {
             w.end_record()?;
         }
         w.end_section()?;
-        let free = self.channel.flights.free_list();
+        let free = self.channel.flight_free_list();
         w.begin_section(SEC_FLIGHT_FREE, free.len() as u64)?;
         for &i in free {
             w.enc().put_varint(i as u64);
@@ -634,8 +633,6 @@ impl Engine {
             r.begin_record()?;
             free.push(u32::try_from(r.varint()?).map_err(bad_index)?);
         }
-        let flights = Slab::from_raw_parts(slots, free);
-
         // RNG streams and runtime scalars.
         expect_section(&mut r, SEC_STREAMS, "snapshot streams")?;
         r.begin_record()?;
@@ -648,7 +645,7 @@ impl Engine {
         }
         engine
             .channel
-            .restore(channel_rng, flights, next_flight_seq, active_noise);
+            .restore(channel_rng, slots, free, next_flight_seq, active_noise);
         engine.disruption_rng = get_rng(&mut r)?;
         engine.traffic_root = get_rng(&mut r)?;
         let grid_refresh_due = SimTime::from_millis(r.varint()?);
@@ -715,16 +712,15 @@ impl Engine {
             let (queue_records, _) = engine.events.checkpoint_events();
             for &(_, ev) in &queue_records {
                 if let Event::TxEnd(key) = ev {
-                    if let Some(f) = engine.channel.flights.get(key) {
-                        pending.insert(f.seq);
+                    if let Some(hot) = engine.channel.flight_hot(key) {
+                        pending.insert(hot.seq);
                     }
                 }
             }
             let mut retained: Vec<(u64, NodeId, Point, SimTime, SimTime)> = engine
                 .channel
-                .flights
-                .iter()
-                .map(|(_, f)| (f.seq, f.sender, f.pos, f.start, f.end))
+                .iter_hot()
+                .map(|h| (h.seq, h.sender, h.pos, h.start, h.end))
                 .collect();
             retained.sort_unstable_by_key(|&(seq, ..)| seq);
             for (seq, sender, pos, start, end) in retained {
@@ -963,7 +959,7 @@ fn get_message<R: Read>(r: &mut ScenarioReader<R>) -> Result<AppMessage, Scenari
     })
 }
 
-fn put_flight(enc: &mut Enc, f: &Flight) {
+fn put_flight(enc: &mut Enc, f: FlightRef<'_>) {
     enc.put_varint(f.seq);
     enc.put_varint(f.sender.raw() as u64);
     match f.target {

@@ -91,6 +91,8 @@ pub use config::{ConfigError, DeviceClassChoice, Environment, GatewayPlacement, 
 pub use deployment::place_gateways;
 pub use disruption::{BusWithdrawal, DisruptionEvent, DisruptionPlan, GatewayOutage, NoiseBurst};
 pub use engine::partition::Partition;
+#[doc(hidden)]
+pub use engine::probe;
 pub use engine::{Engine, EngineStats, Snapshot, SnapshotError, SNAPSHOT_MAGIC};
 pub use io::ScenarioFileError;
 pub use metrics::{ProfileReport, SimReport};

@@ -267,11 +267,21 @@ fn day_of(key: u128, shift: u32) -> u64 {
 /// to the globally earliest bucket head, so sparse stretches cost one
 /// wheel scan instead of one step per empty day.
 ///
-/// The wheel doubles (and re-tunes its bucket width to the mean pending
-/// event spacing) whenever occupancy exceeds one event per bucket, and
-/// never shrinks: buckets keep their capacity, so a queue at its
-/// steady-state size allocates nothing — the property
-/// `calendar_queue_alloc` pins with a counting allocator.
+/// The wheel doubles whenever occupancy exceeds one event per bucket,
+/// re-tuning its bucket width as it redistributes: once enough pops have
+/// been observed, the width snaps to the *median observed pop-to-pop
+/// gap* (a fixed-size log₂ histogram updated with pure arithmetic on
+/// every pop — the median tracks the typical event spacing without
+/// being dragged by the rare day-scale gap the mean is hostage to);
+/// until then it falls back to the mean spacing of the pending events.
+/// [`CalendarQueue::with_fixed_day_width_ms`] is the escape hatch that
+/// pins the width and never re-tunes. Width only ever changes inside a
+/// redistribution, so the `(time, seq)` pop order is identical under
+/// any width — tuned, untuned or fixed — which
+/// `tests/queue_properties.rs` pins by proptest. The wheel never
+/// shrinks: buckets keep their capacity, so a queue at its steady-state
+/// size allocates nothing — the property `calendar_queue_alloc` pins
+/// with a counting allocator.
 ///
 /// # Example
 ///
@@ -295,6 +305,19 @@ pub struct CalendarQueue<E> {
     buckets: Vec<Vec<(u128, E)>>,
     /// Bucket width is `1 << day_shift` milliseconds.
     day_shift: u32,
+    /// `Some(shift)` pins the bucket width to `1 << shift` ms forever
+    /// (the [`CalendarQueue::with_fixed_day_width_ms`] escape hatch);
+    /// `None` lets [`CalendarQueue::grow`] re-tune.
+    fixed_shift: Option<u32>,
+    /// Log₂ histogram of observed pop-to-pop gaps: `gap_hist[b]` counts
+    /// gaps with `b` significant bits (`b == 0` is a same-millisecond
+    /// pop). Tuning state only — never checkpointed; a restored queue
+    /// re-learns its spacing, which cannot change pop order.
+    gap_hist: [u32; GAP_BUCKETS],
+    /// Total samples in `gap_hist` (saturating).
+    gap_samples: u32,
+    /// Timestamp (ms) of the most recent pop, for gap measurement.
+    last_pop_ms: Option<u64>,
     /// The day holding `head` (meaningless while the queue is empty).
     day: u64,
     /// Cached earliest pending key, so `peek_time` is `O(1)`.
@@ -303,17 +326,42 @@ pub struct CalendarQueue<E> {
     seq: u64,
 }
 
+/// Log₂ gap-histogram buckets: gaps of up to `2^(GAP_BUCKETS-2)` ms
+/// (≈ 17 years) resolve exactly; anything longer lands in the last
+/// bucket.
+const GAP_BUCKETS: usize = 40;
+
+/// How many pop-to-pop gaps must be observed before the auto-tuner
+/// trusts the histogram median over the pending-span mean.
+const GAP_MIN_SAMPLES: u32 = 64;
+
 impl<E> CalendarQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         CalendarQueue {
             buckets: Vec::new(),
             day_shift: 0,
+            fixed_shift: None,
+            gap_hist: [0; GAP_BUCKETS],
+            gap_samples: 0,
+            last_pop_ms: None,
             day: 0,
             head: None,
             len: 0,
             seq: 0,
         }
+    }
+
+    /// Creates an empty queue whose bucket width is pinned to
+    /// `width_ms` milliseconds, rounded up to a power of two — the
+    /// escape hatch from day-width auto-tuning. The wheel still doubles
+    /// under load, but redistributions keep this width forever.
+    pub fn with_fixed_day_width_ms(width_ms: u64) -> Self {
+        let shift = width_ms.max(1).next_power_of_two().trailing_zeros();
+        let mut q = CalendarQueue::new();
+        q.day_shift = shift;
+        q.fixed_shift = Some(shift);
+        q
     }
 
     /// Creates an empty queue wheel-sized for about `capacity` pending
@@ -350,25 +398,35 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Doubles the wheel and re-tunes the bucket width to the mean
-    /// spacing of the pending events, redistributing them all.
+    /// Doubles the wheel and re-tunes the bucket width, redistributing
+    /// every pending event. Width selection, in priority order: a
+    /// pinned [`CalendarQueue::with_fixed_day_width_ms`] width; the
+    /// median of the observed pop-to-pop gap histogram (once
+    /// [`GAP_MIN_SAMPLES`] gaps have been seen); else the mean spacing
+    /// of the pending events — the cold-start rule.
     fn grow(&mut self) {
         let mut all: Vec<(u128, E)> = Vec::with_capacity(self.len);
         for bucket in &mut self.buckets {
             all.append(bucket);
         }
-        let (mut lo, mut hi) = (u64::MAX, 0u64);
-        for &(key, _) in &all {
-            let t = (key >> 64) as u64;
-            lo = lo.min(t);
-            hi = hi.max(t);
-        }
-        let width = if all.is_empty() {
-            1
+        self.day_shift = if let Some(shift) = self.fixed_shift {
+            shift
+        } else if let Some(shift) = self.tuned_shift() {
+            shift
         } else {
-            ((hi - lo) / all.len() as u64).max(1).next_power_of_two()
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for &(key, _) in &all {
+                let t = (key >> 64) as u64;
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            let width = if all.is_empty() {
+                1
+            } else {
+                ((hi - lo) / all.len() as u64).max(1).next_power_of_two()
+            };
+            width.trailing_zeros()
         };
-        self.day_shift = width.trailing_zeros();
         let target = (self.buckets.len() * 2).max(16);
         self.buckets.resize_with(target, Vec::new);
         self.len = 0;
@@ -376,6 +434,41 @@ impl<E> CalendarQueue<E> {
         for (key, event) in all {
             self.insert_key(key, event);
         }
+    }
+
+    /// The auto-tuned day shift: the histogram bucket holding the
+    /// median observed pop-to-pop gap (so the typical day spans about
+    /// one inter-event interval), or `None` until enough gaps have been
+    /// observed to trust it.
+    fn tuned_shift(&self) -> Option<u32> {
+        if self.gap_samples < GAP_MIN_SAMPLES {
+            return None;
+        }
+        let half = self.gap_samples.div_ceil(2);
+        let mut seen = 0u32;
+        for (b, &count) in self.gap_hist.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= half {
+                // Bucket `b` holds gaps of `b` significant bits, i.e.
+                // `2^(b-1) <= gap < 2^b`; its floor is the widest
+                // power-of-two day not exceeding the median gap.
+                return Some(b.saturating_sub(1) as u32);
+            }
+        }
+        None
+    }
+
+    /// Folds one observed pop timestamp into the gap histogram. Pure
+    /// arithmetic on fixed-size state: no allocation on any pop.
+    fn observe_pop(&mut self, t_ms: u64) {
+        if let Some(prev) = self.last_pop_ms {
+            let gap = t_ms.saturating_sub(prev);
+            let bits = (u64::BITS - gap.leading_zeros()) as usize;
+            self.gap_hist[bits.min(GAP_BUCKETS - 1)] =
+                self.gap_hist[bits.min(GAP_BUCKETS - 1)].saturating_add(1);
+            self.gap_samples = self.gap_samples.saturating_add(1);
+        }
+        self.last_pop_ms = Some(t_ms);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -386,6 +479,7 @@ impl<E> CalendarQueue<E> {
             .pop()
             .expect("head bucket is non-empty");
         debug_assert_eq!(key, head);
+        self.observe_pop((key >> 64) as u64);
         self.len -= 1;
         if self.len == 0 {
             self.head = None;
@@ -435,13 +529,16 @@ impl<E> CalendarQueue<E> {
         self.len == 0
     }
 
-    /// Removes all pending events, keeping the allocated capacity.
+    /// Removes all pending events, keeping the allocated capacity (and
+    /// the learned gap histogram; the pop clock restarts so the gap
+    /// across the clear is not counted).
     pub fn clear(&mut self) {
         for bucket in &mut self.buckets {
             bucket.clear();
         }
         self.len = 0;
         self.head = None;
+        self.last_pop_ms = None;
     }
 
     /// The queue's checkpoint state: every pending `(packed key, event)`
@@ -482,6 +579,10 @@ impl<E> Default for CalendarQueue<E> {
 /// one a simulation runs on is a pure host-performance choice; the
 /// two-variant match per operation is a predicted branch and costs
 /// nothing measurable next to the queue work itself.
+// One queue exists per engine, so the size gap the calendar's inline
+// gap histogram opens between the variants is irrelevant — boxing it
+// would buy nothing and cost an indirection on every pop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum AnyEventQueue<E> {
     /// Binary min-heap ([`EventQueue`]).
@@ -741,6 +842,55 @@ mod tests {
                 assert_eq!(next_heap, want);
             }
         }
+    }
+
+    #[test]
+    fn calendar_auto_tunes_day_width_from_observed_gaps() {
+        let mut q = CalendarQueue::new();
+        // A steady 8 ms cadence, popped as it drains so every gap is
+        // observed: enough samples to cross the tuner's threshold.
+        for i in 0..200u64 {
+            q.schedule(SimTime::from_millis(i * 8), i);
+        }
+        for _ in 0..200 {
+            q.pop().unwrap();
+        }
+        assert!(q.gap_samples >= GAP_MIN_SAMPLES);
+        // Median gap is 8 ms (4 significant bits) → 8 ms days.
+        assert_eq!(q.tuned_shift(), Some(3));
+        // The next redistribution adopts the tuned width.
+        let fill = q.buckets.len() + 1;
+        for i in 0..fill as u64 {
+            q.schedule(SimTime::from_millis(10_000 + i * 8), i);
+        }
+        assert_eq!(q.day_shift, 3);
+        // Pop order stays the packed-key order under the tuned width.
+        let mut last = None;
+        while let Some((t, _)) = q.pop() {
+            assert!(last.is_none_or(|l| t >= l));
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn fixed_day_width_never_retunes() {
+        // 100 ms rounds up to 128 ms days, pinned across regrowth.
+        let mut q: CalendarQueue<u64> = CalendarQueue::with_fixed_day_width_ms(100);
+        assert_eq!(q.day_shift, 7);
+        for i in 0..500u64 {
+            q.schedule(SimTime::from_millis(i * 3), i);
+        }
+        for _ in 0..500 {
+            q.pop().unwrap();
+        }
+        // Plenty of 3 ms gaps observed, but the pinned width holds
+        // through another grow.
+        let fill = q.buckets.len() + 1;
+        for i in 0..fill as u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        assert_eq!(q.day_shift, 7);
+        assert_eq!(q.fixed_shift, Some(7));
     }
 
     #[test]

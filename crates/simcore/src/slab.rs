@@ -230,6 +230,21 @@ impl<T> Slab<T> {
         &self.free
     }
 
+    /// Total number of slots (occupied + vacant). Grows monotonically
+    /// between [`Slab::from_raw_parts`] rebuilds, and — together with
+    /// [`Slab::has_free_slot`] — is part of the checkpointed layout, so
+    /// callers can derive growth-boundary policies (e.g. batched sweeps)
+    /// that replay identically across a checkpoint/restore.
+    pub fn slot_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the next [`Slab::insert`] will recycle a vacated slot
+    /// rather than grow the arena.
+    pub fn has_free_slot(&self) -> bool {
+        !self.free.is_empty()
+    }
+
     /// Rebuilds a slab from state captured by [`Slab::raw_slots`] and
     /// [`Slab::free_list`].
     ///

@@ -7,7 +7,7 @@
 //! into the other mid-run must be invisible too: the ascending-key
 //! record list is a shared wire format.
 
-use mlora::simcore::{AnyEventQueue, QueueKind, SimTime};
+use mlora::simcore::{AnyEventQueue, CalendarQueue, QueueKind, SimTime};
 use proptest::prelude::*;
 
 /// One step of a queue workload.
@@ -105,5 +105,37 @@ proptest! {
             prop_assert_eq!(Some(a), swapped.pop());
         }
         prop_assert!(swapped.pop().is_none());
+    }
+
+    /// Day-width auto-tuning is invisible to the ordering contract: an
+    /// auto-tuned calendar queue and one pinned to an arbitrary fixed
+    /// day width (the escape hatch) pop the identical `(time, seq)`
+    /// sequence under any workload — long enough runs here that the gap
+    /// histogram crosses its sample threshold and re-tunes for real.
+    #[test]
+    fn tuned_and_fixed_width_calendars_pop_identically(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..600),
+        width_pow in 0u32..16,
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&w| decode(w)).collect();
+        let mut tuned: CalendarQueue<u32> = CalendarQueue::new();
+        let mut fixed: CalendarQueue<u32> = CalendarQueue::with_fixed_day_width_ms(1u64 << width_pow);
+        for (i, op) in ops.iter().enumerate() {
+            let (a, b) = match op {
+                Op::Schedule(ms) => {
+                    tuned.schedule(SimTime::from_millis(*ms), i as u32);
+                    fixed.schedule(SimTime::from_millis(*ms), i as u32);
+                    (None, None)
+                }
+                Op::Pop => (tuned.pop(), fixed.pop()),
+            };
+            prop_assert_eq!(a, b, "divergence at op {}: {:?}", i, op);
+            prop_assert_eq!(tuned.peek_time(), fixed.peek_time());
+            prop_assert_eq!(tuned.len(), fixed.len());
+        }
+        while let Some(a) = tuned.pop() {
+            prop_assert_eq!(Some(a), fixed.pop());
+        }
+        prop_assert!(fixed.pop().is_none());
     }
 }
